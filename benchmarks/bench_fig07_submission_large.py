@@ -1,0 +1,39 @@
+"""Figure 7 — event submission overhead with 5 KB events.
+
+Paper: "repeats the previous experiment, however, this time with
+monitoring events of average size 5 KB.  Although the overheads have
+increased, the results show a similar behavior as in Figure 6"
+(~5 ms at 8 nodes for the 1 s period).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import (fig6_submission_overhead,
+                           fig7_submission_overhead_large)
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig7_submission_overhead_large(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig7_submission_overhead_large(nodes=NODES,
+                                               duration=100.0))
+    period1 = result.get("update period=1s")
+    period2 = result.get("update period=2s")
+    differential = result.get("differential filter")
+
+    # Same shape as Figure 6...
+    assert list(period1.y) == sorted(period1.y)
+    assert period2.y_at(8) < period1.y_at(8) * 0.65
+    assert differential.y_at(8) < period1.y_at(8) * 0.15
+
+    # ...with larger magnitudes (~5 ms at 8 nodes).
+    assert 3500 < period1.y_at(8) < 6500
+
+    # Cross-check against the small-event run: 5 KB events cost
+    # strictly more per iteration.
+    small = fig6_submission_overhead(nodes=(8,), duration=50.0)
+    assert period1.y_at(8) > small.get("update period=1s").y_at(8) * 2

@@ -1,0 +1,41 @@
+"""Figure 8 — overhead in receiving incoming events.
+
+Paper: kernel CPU time d-mon spends handling incoming monitoring
+events per polling iteration, vs cluster size.  Expected shape:
+"even when the number of nodes in the cluster is increased to 8, the
+overhead remains less than 1 ms in the case of an update period of 2 s
+and the differential filter, and less than 2.2 ms when the update
+period is 1 s".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import fig8_receive_overhead
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig8_receive_overhead(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig8_receive_overhead(nodes=NODES, duration=100.0))
+    period1 = result.get("update period=1s")
+    period2 = result.get("update period=2s")
+    differential = result.get("differential filter")
+
+    # A 1-node cluster receives nothing.
+    assert period1.y_at(1) == 0.0
+
+    # Growth with the number of publishers.
+    assert list(period1.y) == sorted(period1.y)
+
+    # Paper's bounds at 8 nodes.
+    assert period1.y_at(8) < 2200
+    assert period1.y_at(8) > 1200
+    assert period2.y_at(8) < 1200
+    assert differential.y_at(8) < 1000
+
+    # Ordering: 1 s costs most, the differential filter least.
+    assert period1.y_at(8) > period2.y_at(8) > differential.y_at(8)

@@ -1,0 +1,37 @@
+"""Figure 9(a) — SmartPointer latency under increasing CPU load.
+
+Paper: latency over a 2000 s run during which a new linpack thread
+starts on the client every ~200 s.  Expected shape: latency climbs with
+every thread for the no-filter case (tens of seconds by the end), less
+for the static filter, and stays nearly constant for the dynamic filter
+driven by dproc's CPU information.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import fig9a_latency_timeline
+
+
+def test_fig9a_latency_timeline(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig9a_latency_timeline(duration=800.0,
+                                       thread_interval=100.0,
+                                       sample_every=40.0))
+    none = result.get("no filter")
+    static = result.get("static filter")
+    dynamic = result.get("dynamic filter")
+
+    # No filter: latency explodes as threads accumulate.
+    assert none.y[-1] > 10.0
+    assert none.y[-1] > none.y[0] * 20
+
+    # Static filter helps but still diverges eventually.
+    assert static.y[-1] < none.y[-1]
+    assert static.y[-1] > 1.0
+
+    # Dynamic filter keeps latency flat and small throughout.
+    assert max(dynamic.y) < 1.0
+    assert dynamic.y[-1] < none.y[-1] / 20

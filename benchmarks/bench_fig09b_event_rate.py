@@ -1,0 +1,42 @@
+"""Figure 9(b) — SmartPointer event rate vs linpack threads.
+
+Paper: events/s processed by the client as 0-9 linpack threads run.
+Expected shape: "in the dynamic filter case, the client is able to
+receive and process events at the same rate at which the server sent
+them" (~5/s); the static filter degrades under load; the no-filter
+case performs worst.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.harness import fig9b_event_rate
+
+THREADS = (0, 2, 4, 6, 8)
+
+
+def test_fig9b_event_rate(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig9b_event_rate(threads=THREADS, settle=30.0,
+                                 measure=50.0))
+    none = result.get("no filter")
+    static = result.get("static filter")
+    dynamic = result.get("dynamic filter")
+
+    # Unloaded, everyone delivers the full 5 events/s.
+    for series in (none, static, dynamic):
+        assert series.y_at(0) == pytest.approx(5.0, rel=0.1)
+
+    # The dynamic filter holds the full rate at every load level.
+    for y in dynamic.y:
+        assert y == pytest.approx(5.0, rel=0.15)
+
+    # No filter collapses; static sits in between.
+    assert none.y_at(8) < 2.0
+    assert none.y_at(8) < static.y_at(8) < dynamic.y_at(8) * 1.05
+
+    # Rates degrade monotonically with load for the non-adaptive runs.
+    assert list(none.y) == sorted(none.y, reverse=True)

@@ -1,0 +1,45 @@
+"""Figure 10 — latency vs network perturbation (3 MB events).
+
+Paper: the server streams 3 MB events (~30 Mbps) to a client over a
+100 Mbps link shared with an Iperf UDP flood.  Expected shape: "the
+plot remains horizontal until 70 Mbps of perturbation.  But as the
+perturbation increases beyond 70 Mbps, latency drastically increases
+for the first two types of filters ... The dynamic filter scenario,
+however, performs better than the others because the server reduces
+the data size."
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import fig10_latency_vs_network
+
+PERTURBATIONS = (0, 30, 50, 60, 70, 80, 90)
+
+
+def test_fig10_latency_vs_network(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig10_latency_vs_network(perturbations=PERTURBATIONS,
+                                         settle=20.0, measure=50.0))
+    none = result.get("no filter")
+    static = result.get("static filter")
+    dynamic = result.get("dynamic filter")
+
+    # Horizontal until the stream's ~30 Mbps no longer fits: all three
+    # stay sub-second through 60 Mbps of perturbation.
+    for series in (none, static, dynamic):
+        for x in (0, 30, 50, 60):
+            assert series.y_at(x) < 1.0
+
+    # Crossover at ~70 Mbps: no filter explodes...
+    assert none.y_at(70) > 5.0
+    assert none.y_at(90) > 10.0
+
+    # ...the static filter explodes a little later/lower...
+    assert static.y_at(90) > 5.0
+    assert static.y_at(80) < none.y_at(80)
+
+    # ...and the dynamic filter stays low throughout.
+    assert max(dynamic.y) < 2.0

@@ -1,0 +1,44 @@
+"""Figure 11 — single- vs multi-resource monitoring.
+
+Paper: combined CPU and network perturbation (k linpack threads plus
+10·k Mbps of Iperf) against dynamic filters that monitor cpu-only,
+network-only, or cpu+network+disk.  Expected shape: "the performance is
+better when the filter uses more resource information ... adaptation
+based on only one resource can have a negative effect on the
+requirements of another resource".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import fig11_hybrid_monitors
+
+STEPS = (1, 2, 4, 6, 8)
+
+
+def test_fig11_hybrid_monitors(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig11_hybrid_monitors(steps=STEPS, settle=20.0,
+                                      measure=50.0))
+    cpu = result.get("cpu monitor")
+    net = result.get("network monitor")
+    hybrid = result.get("hybrid monitor")
+
+    # At light perturbation everyone is fine.
+    for series in (cpu, net, hybrid):
+        assert series.y_at(1) < 1.5
+
+    # The hybrid monitor is never (materially) worse than either
+    # single-resource monitor, and strictly better under pressure.
+    for step in STEPS:
+        assert hybrid.y_at(step) <= cpu.y_at(step) * 1.1
+        assert hybrid.y_at(step) <= net.y_at(step) * 1.1
+    assert hybrid.y_at(6) < cpu.y_at(6) / 2
+    assert hybrid.y_at(6) < net.y_at(6) / 2
+
+    # Single-resource adaptation aggravates the other bottleneck:
+    # both single-resource monitors blow past the hybrid at high load.
+    assert cpu.y_at(8) > hybrid.y_at(8) * 2
+    assert net.y_at(8) > hybrid.y_at(8) * 2

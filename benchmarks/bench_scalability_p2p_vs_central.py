@@ -1,0 +1,97 @@
+"""Scalability ablation — peer-to-peer dproc vs. a central collector.
+
+The paper's architectural claim (§1, related work): dproc's
+"full peer-to-peer communications at kernel-level … improv[es]
+communication performance through avoiding central master collection
+points (scalability of communications, fault tolerance)", in contrast
+to Supermon's "centralized data concentrator".
+
+Both architectures are run with identical cost models and metric sets
+so that every node ends up knowing every node's state.  The measure is
+the *hottest node's* monitoring CPU: p2p load is uniform, while the
+central collector pays for n pushes in and an O(n)-sized digest out to
+n-1 nodes — a per-node cost that grows with a steeper slope and
+concentrates on one machine.
+"""
+
+from __future__ import annotations
+
+from repro.dproc import DMonConfig, MetricId, deploy_dproc
+from repro.dproc.central import CentralCollector, CentralConfig
+from repro.sim import Environment, build_cluster
+
+SIZES = (8, 16, 32, 48)
+DURATION = 40.0
+METRICS = frozenset({MetricId.LOADAVG, MetricId.FREEMEM,
+                     MetricId.DISKUSAGE, MetricId.NET_BANDWIDTH})
+
+
+def run_p2p(n: int) -> float:
+    """Max per-node monitoring CPU fraction under dproc."""
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=n, seed=1)
+    dprocs = deploy_dproc(cluster,
+                          config=DMonConfig(metric_subset=METRICS),
+                          modules=("cpu", "mem", "disk", "net"))
+    env.run(until=DURATION)
+    worst = 0.0
+    for dproc in dprocs.values():
+        dmon = dproc.dmon
+        per_poll = (dmon.mean_submit_overhead(since=DURATION * 0.2)
+                    + dmon.mean_receive_overhead(since=DURATION * 0.2))
+        worst = max(worst, per_poll / dmon.config.poll_interval)
+    return worst
+
+
+def run_central(n: int) -> float:
+    """Max per-node monitoring CPU fraction under a central collector."""
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=n, seed=1)
+    central = CentralCollector(
+        cluster, collector=cluster.names[0],
+        config=CentralConfig(metric_subset=METRICS)).start()
+    env.run(until=DURATION)
+    _host, cpu_seconds = central.hottest_node()
+    return cpu_seconds / DURATION
+
+
+def test_p2p_load_stays_flatter_than_central(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: (run_p2p(n), run_central(n)) for n in SIZES},
+        rounds=1, iterations=1)
+    print()
+    print("== scalability: hottest node's monitoring CPU fraction ==")
+    print(f"  {'nodes':>5} {'p2p (dproc)':>12} {'central':>12} "
+          f"{'central/p2p':>11}")
+    for n in SIZES:
+        p2p, central = results[n]
+        ratio = central / p2p if p2p else float("inf")
+        print(f"  {n:5d} {p2p:12.5f} {central:12.5f} {ratio:11.2f}")
+
+    # Both grow with cluster size...
+    p2p_curve = [results[n][0] for n in SIZES]
+    central_curve = [results[n][1] for n in SIZES]
+    assert p2p_curve == sorted(p2p_curve)
+    assert central_curve == sorted(central_curve)
+
+    # ...but the central collector's hotspot grows strictly faster and
+    # dominates at scale (the Supermon scalability problem).
+    assert central_curve[-1] > p2p_curve[-1] * 1.5
+    central_slope = central_curve[-1] / central_curve[0]
+    p2p_slope = p2p_curve[-1] / p2p_curve[0]
+    assert central_slope > p2p_slope
+
+
+def test_central_baseline_is_functionally_complete():
+    """Sanity: the baseline actually disseminates everyone's data."""
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=4, seed=2)
+    central = CentralCollector(
+        cluster, collector=cluster.names[0],
+        config=CentralConfig(metric_subset=METRICS)).start()
+    env.run(until=10.0)
+    last = cluster.names[-1]
+    # The last node has learned the first node's free memory via the
+    # collector's digest.
+    value = central.view(last, cluster.names[0], MetricId.FREEMEM)
+    assert value is not None and value > 0

@@ -1,0 +1,20 @@
+"""Shared plumbing for the figure-reproduction benchmarks.
+
+Every benchmark runs one figure experiment exactly once under
+pytest-benchmark (``pedantic(rounds=1)``) — the interesting output is
+the regenerated series table (printed; visible with ``pytest -s`` or in
+the captured output), and each bench asserts the paper's qualitative
+*shape*: orderings, crossovers, rough factors.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+
+
+def run_once(benchmark, fn) -> ExperimentResult:
+    """Run ``fn`` once under the benchmark fixture and print its table."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(result.table())
+    return result

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""`dtop`: a cluster-wide top(1) built on dproc.
+
+The classic consumer of a monitoring system: a live, whole-cluster
+resource table.  Everything it shows is read through one node's
+/proc/cluster view plus the ClusterView aggregates — no SSH, no
+per-node agents beyond dproc itself, and alarms fire on threshold
+crossings while it runs.
+
+Run:  python examples/cluster_top.py
+"""
+
+from __future__ import annotations
+
+from repro.dproc import MetricId, deploy_dproc
+from repro.dproc.aggregate import ClusterView
+from repro.dproc.alarms import AlarmManager
+from repro.sim import Environment, build_cluster
+from repro.units import MB
+from repro.workloads import AmbientActivity, Linpack
+
+
+def draw(view: ClusterView, env, alarms) -> None:
+    print(f"\n--- dtop @ t={env.now:.0f}s "
+          f"(from {view.dproc.node.name}) ---")
+    print(f"{'node':>8} {'load':>6} {'free MiB':>8} {'disk sec/s':>10} "
+          f"{'avail Mbps':>10}")
+    load = view.snapshot(MetricId.LOADAVG)
+    free = view.snapshot(MetricId.FREEMEM)
+    disk = view.snapshot(MetricId.DISKUSAGE)
+    net = view.snapshot(MetricId.NET_BANDWIDTH)
+    for host in sorted(set(load) | set(free)):
+        print(f"{host:>8} {load.get(host, float('nan')):6.2f} "
+              f"{free.get(host, 0) / 2**20:8.0f} "
+              f"{disk.get(host, float('nan')):10.1f} "
+              f"{net.get(host, 0) * 8 / 1e6:10.1f}")
+    print(f"{'MEAN':>8} {view.mean(MetricId.LOADAVG):6.2f} "
+          f"{view.total(MetricId.FREEMEM) / 2**20:8.0f}")
+    if alarms:
+        for line in alarms:
+            print(f"  ! {line}")
+        alarms.clear()
+
+
+def main() -> None:
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=4, seed=31)
+    dprocs = deploy_dproc(cluster)
+    for node in cluster:
+        AmbientActivity(node, intensity=0.5).start()
+    for dp in dprocs.values():
+        dp.dmon.modules["cpu"].configure("period", 5.0)
+
+    view = ClusterView(dprocs["alan"], staleness=5.0)
+    alarm_lines: list[str] = []
+    manager = AlarmManager(dprocs["alan"].dmon)
+    manager.watch_above(
+        MetricId.LOADAVG, 2.0,
+        lambda a, h, v, t: alarm_lines.append(
+            f"ALARM {h}: loadavg {v:.2f} > 2.0 at t={t:.0f}s"))
+    manager.watch_below(
+        MetricId.FREEMEM, MB(150),
+        lambda a, h, v, t: alarm_lines.append(
+            f"ALARM {h}: free memory down to {v / 2**20:.0f} MiB"))
+
+    # Phase 1: quiet cluster.
+    env.run(until=10.0)
+    draw(view, env, alarm_lines)
+
+    # Phase 2: someone starts a parallel job on maui + kilauea.
+    for name in ("maui", "kilauea"):
+        for _ in range(3):
+            Linpack(cluster[name]).start()
+    env.run(until=60.0)
+    draw(view, env, alarm_lines)
+
+    # Phase 3: etna leaks memory.
+    cluster["etna"].memory.allocate(MB(350), tag="leak")
+    env.run(until=90.0)
+    draw(view, env, alarm_lines)
+
+    print(f"\nleast loaded node right now: {view.least_loaded()}")
+    print(f"most free memory:            {view.most_free_memory()}")
+    print(f"placement candidates (free>200MiB, load<1): "
+          f"{view.placement_candidates(MB(200), 1.0)}")
+
+
+if __name__ == "__main__":
+    main()

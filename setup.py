@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build; this shim lets
+``python setup.py develop`` provide the editable install instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

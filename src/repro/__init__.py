@@ -1,0 +1,44 @@
+"""repro — reproduction of the dproc distributed monitoring system.
+
+"Resource-Aware Stream Management with the Customizable dproc
+Distributed Monitoring Mechanisms", Agarwala, Poellabauer, Kong,
+Schwan, Wolf — HPDC 2003.
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event cluster simulator (CPUs, memory, disks, switched
+    Ethernet, transport) standing in for the paper's physical testbed.
+``repro.ecode``
+    The E-code dynamic filter language: lexer, parser, type checker and
+    code generator (compile-at-the-executing-host).
+``repro.kecho``
+    KECho kernel-level publish/subscribe event channels with a
+    user-level channel registry.
+``repro.dproc``
+    The paper's contribution: the d-mon coordinator, monitoring modules
+    (CPU/MEM/DISK/NET/PMC), parameters, dynamic filters, and the
+    ``/proc/cluster`` pseudo-filesystem interface.
+``repro.smartpointer``
+    The SmartPointer scientific-visualization stream application with
+    resource-aware stream customization.
+``repro.workloads``
+    linpack / Iperf / ambient-activity load generators.
+``repro.harness``
+    One experiment per evaluation figure (4-11) plus ablations.
+
+Quick start::
+
+    from repro.sim import Environment, build_cluster
+    from repro.dproc import deploy_dproc
+
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=8)
+    dprocs = deploy_dproc(cluster)
+    env.run(until=10.0)
+    print(dprocs["alan"].read("/proc/cluster/maui/loadavg"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

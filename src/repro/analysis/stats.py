@@ -1,0 +1,123 @@
+"""Statistics for experiment replication.
+
+The paper reports single-run measurements; for a simulation study we
+can do better.  This module provides the classic small-sample tooling:
+mean with Student-t confidence intervals, cross-seed replication of a
+whole experiment, and warm-up truncation for steady-state series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.harness.experiment import ExperimentResult, SeriesResult
+
+__all__ = ["Summary", "summarize", "replicate", "truncate_warmup"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and confidence half-width of one sample set."""
+
+    n: int
+    mean: float
+    std: float
+    #: Half-width of the two-sided confidence interval.
+    half_width: float
+    confidence: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.half_width:.2g} "
+                f"({self.confidence:.0%}, n={self.n})")
+
+
+def summarize(samples: Sequence[float],
+              confidence: float = 0.95) -> Summary:
+    """Mean with a Student-t confidence interval.
+
+    A single sample yields an infinite interval honestly rather than
+    pretending to certainty.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("no samples to summarize")
+    mean = float(np.mean(data))
+    if data.size == 1:
+        return Summary(n=1, mean=mean, std=0.0,
+                       half_width=math.inf, confidence=confidence)
+    std = float(np.std(data, ddof=1))
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=data.size - 1))
+    half = t * std / math.sqrt(data.size)
+    return Summary(n=int(data.size), mean=mean, std=std,
+                   half_width=half, confidence=confidence)
+
+
+def replicate(experiment: Callable[[int], ExperimentResult],
+              seeds: Sequence[int],
+              confidence: float = 0.95) -> ExperimentResult:
+    """Run ``experiment(seed)`` for every seed and aggregate.
+
+    Returns a new :class:`ExperimentResult` whose series carry the
+    cross-seed *means*; per-point summaries (with confidence intervals)
+    are attached as ``result.summaries[label][x]``.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [experiment(seed) for seed in seeds]
+    first = runs[0]
+    for run in runs[1:]:
+        if [s.label for s in run.series] != \
+                [s.label for s in first.series]:
+            raise ValueError("replications produced different series")
+
+    aggregated = ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=f"{first.title} (mean of {len(runs)} seeds)",
+        xlabel=first.xlabel, ylabel=first.ylabel,
+        expectation=first.expectation,
+        notes=f"seeds={list(seeds)}")
+    summaries: dict[str, dict[float, Summary]] = {}
+    for series in first.series:
+        label = series.label
+        xs = series.x
+        per_point: dict[float, Summary] = {}
+        means = []
+        for x in xs:
+            samples = [run.get(label).y_at(x) for run in runs]
+            summary = summarize(samples, confidence=confidence)
+            per_point[x] = summary
+            means.append(summary.mean)
+        aggregated.add_series(label, xs, means)
+        summaries[label] = per_point
+    aggregated.summaries = summaries  # type: ignore[attr-defined]
+    return aggregated
+
+
+def truncate_warmup(series: SeriesResult,
+                    fraction: float = 0.2) -> SeriesResult:
+    """Drop the leading ``fraction`` of a time series (warm-up period)."""
+    if not 0 <= fraction < 1:
+        raise ValueError("fraction must be in [0, 1)")
+    if not series.x:
+        raise ValueError("empty series")
+    cut = series.x[0] + (series.x[-1] - series.x[0]) * fraction
+    keep = [(x, y) for x, y in zip(series.x, series.y) if x >= cut]
+    if not keep:  # pragma: no cover - fraction < 1 guarantees content
+        keep = [(series.x[-1], series.y[-1])]
+    xs, ys = zip(*keep)
+    return SeriesResult(series.label, tuple(xs), tuple(ys))

@@ -1,0 +1,50 @@
+"""dproc: the paper's customizable distributed monitoring toolkit.
+
+Public surface:
+
+* :func:`deploy_dproc` / :class:`Dproc` — per-node toolkit with the
+  ``/proc/cluster`` interface;
+* :class:`DMon` — the coordinator (register modules, parameters,
+  dynamic filters, channels);
+* :class:`MetricId` and the metric namespace;
+* the parameter engine (:class:`MetricPolicy`, threshold rules);
+* the monitoring modules (CPU/MEM/DISK/NET/PMC).
+"""
+
+from repro.dproc.aggregate import ClusterView
+from repro.dproc.central import CentralCollector, CentralConfig
+from repro.dproc.control_file import parse_control_text
+from repro.dproc.dmon import (DMon, DMonConfig, RemoteMetric,
+                              register_default_modules)
+from repro.dproc.federation import (GridFederation, Site, SiteSummary,
+                                    WanLink)
+from repro.dproc.filters import DeployedFilter, FilterManager
+from repro.dproc.metrics import (METRIC_CONSTANTS, METRIC_FILES,
+                                 MODULE_METRICS, MetricId, metric_by_name,
+                                 module_of)
+from repro.dproc.modules import (BatteryMon, CpuMon, DiskMon, MemMon,
+                                 MetricSample, MonitoringModule, NetMon,
+                                 PmcMon)
+from repro.dproc.params import (AboveThreshold, BelowThreshold,
+                                ChangeThreshold, MetricPolicy,
+                                RangeThreshold, ThresholdRule,
+                                parse_threshold_spec)
+from repro.dproc.procfs import ProcFS, ProcFile
+from repro.dproc.toolkit import Dproc, deploy_dproc
+
+__all__ = [
+    "ClusterView",
+    "CentralCollector", "CentralConfig",
+    "GridFederation", "Site", "SiteSummary", "WanLink",
+    "parse_control_text",
+    "DMon", "DMonConfig", "RemoteMetric", "register_default_modules",
+    "DeployedFilter", "FilterManager",
+    "METRIC_CONSTANTS", "METRIC_FILES", "MODULE_METRICS", "MetricId",
+    "metric_by_name", "module_of",
+    "BatteryMon", "CpuMon", "DiskMon", "MemMon", "MetricSample",
+    "MonitoringModule", "NetMon", "PmcMon",
+    "AboveThreshold", "BelowThreshold", "ChangeThreshold", "MetricPolicy",
+    "RangeThreshold", "ThresholdRule", "parse_threshold_spec",
+    "ProcFS", "ProcFile",
+    "Dproc", "deploy_dproc",
+]

@@ -1,0 +1,115 @@
+"""Parsing of text written to dproc control files.
+
+"For each node entry in /proc/cluster, there is also an associated
+control file, which a user-space application can modify to (a) specify
+monitoring parameters (e.g., thresholds or update periods) and
+(b) deploy dynamically generated filters" (paper §2).
+
+Command grammar (one command per line; ``filter`` consumes the rest of
+the write so multi-line E-code sources pass through verbatim)::
+
+    period    <metric|module|*> <seconds>
+    threshold <metric|module|*> above <v> | below <v>
+                                | change <pct> | range <lo> <hi>
+    clear     <metric|module|*> period|threshold
+    filter    <metric|module|*> [id=<filter-id>] <e-code source ...>
+    unfilter  <filter-id>
+
+Lines starting with ``#`` and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlSyntaxError
+from repro.kecho.control import (ClearParameter, ControlMessage,
+                                 DeployFilter, RemoveFilter, SetParameter)
+
+__all__ = ["parse_control_text"]
+
+
+def parse_control_text(text: str, sender: str,
+                       target: str) -> list[ControlMessage]:
+    """Parse a control-file write into control messages.
+
+    ``sender`` is the writing host, ``target`` the host whose d-mon the
+    commands address (the node the control file belongs to).
+    """
+    messages: list[ControlMessage] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        words = line.split()
+        cmd = words[0].lower()
+
+        if cmd == "period":
+            if len(words) != 3:
+                raise ControlSyntaxError(
+                    "usage: period <metric|*> <seconds>")
+            _require_number(words[2], "period")
+            messages.append(SetParameter(
+                sender=sender, target=target, metric=words[1],
+                parameter="period", spec=words[2]))
+        elif cmd == "threshold":
+            if len(words) < 3:
+                raise ControlSyntaxError(
+                    "usage: threshold <metric|*> <spec...>")
+            # Validate eagerly so bad writes fail at the writer.
+            from repro.dproc.params import parse_threshold_spec
+            parse_threshold_spec(words[2:])
+            messages.append(SetParameter(
+                sender=sender, target=target, metric=words[1],
+                parameter="threshold", spec=" ".join(words[2:])))
+        elif cmd == "clear":
+            if len(words) != 3 or words[2] not in ("period", "threshold"):
+                raise ControlSyntaxError(
+                    "usage: clear <metric|*> period|threshold")
+            messages.append(ClearParameter(
+                sender=sender, target=target, metric=words[1],
+                parameter=words[2]))
+        elif cmd == "filter":
+            if len(words) < 2:
+                raise ControlSyntaxError(
+                    "usage: filter <metric|*> [id=<id>] <source>")
+            metric = words[1]
+            rest = words[2:]
+            filter_id = ""
+            if rest and rest[0].startswith("id="):
+                filter_id = rest[0][3:]
+                if not filter_id:
+                    raise ControlSyntaxError("empty filter id")
+                rest = rest[1:]
+            # The filter source is everything after the header on this
+            # line plus all remaining lines of the write.
+            source = " ".join(rest)
+            if i < len(lines):
+                source = source + "\n" + "\n".join(lines[i:])
+                i = len(lines)
+            if not source.strip():
+                raise ControlSyntaxError("empty filter source")
+            messages.append(DeployFilter(
+                sender=sender, target=target, metric=metric,
+                source=source, filter_id=filter_id))
+        elif cmd == "unfilter":
+            if len(words) != 2:
+                raise ControlSyntaxError("usage: unfilter <filter-id>")
+            messages.append(RemoveFilter(
+                sender=sender, target=target, filter_id=words[1]))
+        else:
+            raise ControlSyntaxError(f"unknown control command {cmd!r}")
+    if not messages:
+        raise ControlSyntaxError("empty control write")
+    return messages
+
+
+def _require_number(text: str, what: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ControlSyntaxError(f"bad {what} {text!r}") from None
+    if value <= 0:
+        raise ControlSyntaxError(f"{what} must be positive")
+    return value

@@ -1,0 +1,404 @@
+"""d-mon: the distributed-monitor coordinator module.
+
+One :class:`DMon` runs per node.  It owns the two KECho channels
+(monitoring + control), polls registered monitoring modules once per
+polling interval, runs parameters and dynamic filters over the sampled
+metrics, publishes the surviving records, and maintains the local cache
+of every *remote* node's metrics (which procfs exposes under
+``/proc/cluster``).
+
+Instrumentation mirrors the paper's measurements:
+
+* ``submit_overhead`` — kernel CPU seconds spent submitting events, one
+  sample per polling iteration (Figures 6 and 7);
+* ``receive_overhead`` — kernel CPU seconds spent receiving events
+  between consecutive polls (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from repro.dproc.filters import FilterManager
+from repro.dproc.metrics import (MODULE_METRICS, MetricId, metric_by_name)
+from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.dproc.params import MetricPolicy, parse_threshold_spec
+from repro.errors import ControlSyntaxError, DprocError
+from repro.kecho import (ChannelEvent, ClearParameter, ControlMessage,
+                         DeployFilter, KechoBus, RemoveFilter,
+                         SetParameter, control_message_size)
+from repro.sim.node import Node
+from repro.sim.trace import CounterTrace, TimeSeries
+
+__all__ = ["DMonConfig", "DMon", "RemoteMetric",
+           "register_default_modules"]
+
+UpdateHook = Callable[[str, MetricId, float, float], None]
+
+
+@dataclass(frozen=True)
+class DMonConfig:
+    """Static d-mon configuration."""
+
+    #: Seconds between polling iterations ("every second, d-mon polls").
+    poll_interval: float = 1.0
+    monitor_channel: str = "dproc.monitor"
+    control_channel: str = "dproc.control"
+    #: Encoded event framing bytes.
+    event_header_bytes: float = 40.0
+    #: Encoded bytes per metric record.
+    bytes_per_record: float = 12.0
+    #: Extra payload bytes per event (the Figure 7 "5 KB events" knob).
+    payload_padding: float = 0.0
+    #: Restrict publication to these metrics (None = all registered).
+    metric_subset: Optional[frozenset[MetricId]] = None
+    #: Subscribe to the monitoring channel at start (import remote data).
+    subscribe_monitoring: bool = True
+
+    def with_padding(self, padding: float) -> "DMonConfig":
+        return replace(self, payload_padding=padding)
+
+
+@dataclass
+class RemoteMetric:
+    """Latest known value of one metric at one remote host."""
+
+    value: float
+    timestamp: float      # when the source sampled it
+    received_at: float    # when this node learned it
+
+
+class DMon:
+    """The per-node distributed monitor."""
+
+    def __init__(self, node: Node, bus: KechoBus,
+                 config: DMonConfig | None = None) -> None:
+        self.node = node
+        self.bus = bus
+        self.config = config or DMonConfig()
+        self.modules: dict[str, MonitoringModule] = {}
+        self.policies: dict[MetricId, MetricPolicy] = {}
+        self.filters = FilterManager(node)
+        self.running = False
+        # publication state ------------------------------------------------
+        self._last_sent: dict[MetricId, float] = {}
+        self._last_sent_at: dict[MetricId, float] = {}
+        # remote cache ------------------------------------------------------
+        self.remote: dict[str, dict[MetricId, RemoteMetric]] = {}
+        self.update_hooks: list[UpdateHook] = []
+        # instrumentation ---------------------------------------------------
+        self.submit_overhead = TimeSeries(f"{node.name}:submit-overhead")
+        self.receive_overhead = TimeSeries(
+            f"{node.name}:receive-overhead")
+        self.events_published = CounterTrace(f"{node.name}:published")
+        self.records_published = CounterTrace(f"{node.name}:records")
+        self.polls = 0
+        #: Most recent local samples (served for the node's own
+        #: /proc/cluster/<self>/ entries).
+        self.last_samples: dict[MetricId, float] = {}
+        self._rx_cost_mark = 0.0
+        self._monitor_ep = None
+        self._control_ep = None
+        self._poll_proc = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def register_service(self, module: MonitoringModule) -> None:
+        """Register a monitoring module (its collect() is the callback).
+
+        Modules can be added at any time, before or after start —
+        dproc's run-time extensibility.
+        """
+        if module.name in self.modules:
+            raise DprocError(
+                f"module {module.name!r} already registered on "
+                f"{self.node.name}")
+        self.modules[module.name] = module
+        for metric in module.metrics():
+            self.policies.setdefault(metric, MetricPolicy())
+        if self.running and not module.started:
+            module.start()
+
+    def start(self) -> None:
+        """Connect channels, start modules, begin the polling loop."""
+        if self.running:
+            raise DprocError(f"d-mon on {self.node.name} already running")
+        self.running = True
+        self._monitor_ep = self.bus.connect(
+            self.node, self.config.monitor_channel)
+        self._control_ep = self.bus.connect(
+            self.node, self.config.control_channel)
+        self._control_ep.subscribe(self._on_control_event)
+        if self.config.subscribe_monitoring:
+            self._monitor_ep.subscribe(self._on_monitor_event)
+        for module in self.modules.values():
+            if not module.started:
+                module.start()
+        self._poll_proc = self.node.spawn(self._poll_loop(), name="d-mon")
+
+    def stop(self) -> None:
+        """Stop polling and detach from the channels."""
+        if not self.running:
+            return
+        self.running = False
+        for module in self.modules.values():
+            module.stop()
+        if self._monitor_ep is not None:
+            self._monitor_ep.close()
+        if self._control_ep is not None:
+            self._control_ep.close()
+
+    # -- the polling loop --------------------------------------------------------
+
+    def _poll_loop(self):
+        env = self.node.env
+        # Small deterministic stagger so an n-node cluster's d-mons do
+        # not submit in lock-step.
+        yield env.timeout(
+            float(self.node.rng.uniform(0, self.config.poll_interval)))
+        while self.running:
+            self.poll_once()
+            yield env.timeout(self.config.poll_interval)
+
+    def poll_once(self) -> float:
+        """One polling iteration; returns its submission overhead (s)."""
+        now = self.node.env.now
+        self.polls += 1
+        costs = self.node.costs
+
+        # 1. Collect from every registered module ("retrieve monitoring
+        #    information from them at regular intervals").
+        samples: dict[MetricId, float] = {}
+        collect_cost = 0.0
+        for module in self.modules.values():
+            collect_cost += costs.module_poll
+            for sample in module.collect(now):
+                samples[sample.metric] = sample.value
+        if self.config.metric_subset is not None:
+            samples = {m: v for m, v in samples.items()
+                       if m in self.config.metric_subset}
+        self.last_samples = dict(samples)
+
+        # 2. Decide what to publish: dynamic filters first, parameters
+        #    for every metric not governed by a filter.
+        to_send, decide_cost = self._decide(samples, now)
+        self.node.charge_kernel_seconds(collect_cost + decide_cost)
+
+        # 3. Publish.
+        submit_cost = 0.0
+        if to_send and self._monitor_ep is not None:
+            has_audience = bool(
+                self.bus.remote_subscribers(
+                    self.config.monitor_channel, self.node.name)
+                or self._monitor_ep.is_subscriber)
+            if has_audience:
+                size = (self.config.event_header_bytes
+                        + self.config.bytes_per_record * len(to_send)
+                        + self.config.payload_padding)
+                payload = {
+                    "host": self.node.name,
+                    "metrics": {m: (v, now) for m, v in to_send.items()},
+                }
+                receipt = self._monitor_ep.submit(payload, size=size)
+                submit_cost = receipt.cpu_seconds
+                self.events_published.add(now, 1.0)
+                self.records_published.add(now, float(len(to_send)))
+                for metric, value in to_send.items():
+                    self._last_sent[metric] = value
+                    self._last_sent_at[metric] = now
+
+        # 4. Instrumentation (the paper's rdtsc-style measurements).
+        self.submit_overhead.record(now, submit_cost)
+        if self._monitor_ep is not None:
+            rx = self._monitor_ep.receive_cpu_seconds
+            self.receive_overhead.record(now, rx - self._rx_cost_mark)
+            self._rx_cost_mark = rx
+        return submit_cost
+
+    def _decide(self, samples: dict[MetricId, float],
+                now: float) -> tuple[dict[MetricId, float], float]:
+        """Apply filters/parameters; returns (metrics to send, cpu cost)."""
+        costs = self.node.costs
+        cost = 0.0
+        to_send: dict[MetricId, float] = {}
+
+        global_filter = self.filters.global_filter
+        if global_filter is not None:
+            records = self.filters.input_array(samples, self._last_sent,
+                                               now)
+            outputs = self.filters.run(global_filter, records)
+            cost += costs.filter_exec
+            for record in outputs:
+                metric = metric_by_name(record.name)
+                if metric in samples:
+                    to_send[metric] = record.value
+            return to_send, cost
+
+        filter_input: Optional[list] = None
+        for module in self.modules.values():
+            scoped = self.filters.filter_for(module.name)
+            if scoped is not None:
+                if filter_input is None:
+                    filter_input = self.filters.input_array(
+                        samples, self._last_sent, now)
+                outputs = self.filters.run(scoped, filter_input)
+                cost += costs.filter_exec
+                module_metrics = set(module.metrics())
+                for record in outputs:
+                    metric = metric_by_name(record.name)
+                    if metric in module_metrics and metric in samples:
+                        to_send[metric] = record.value
+            else:
+                for metric in module.metrics():
+                    if metric not in samples:
+                        continue
+                    cost += costs.param_check
+                    policy = self.policies[metric]
+                    if policy.should_send(
+                            samples[metric], now,
+                            self._last_sent.get(metric),
+                            self._last_sent_at.get(metric)):
+                        to_send[metric] = samples[metric]
+        return to_send, cost
+
+    # -- receiving remote monitoring data ------------------------------------------
+
+    def _on_monitor_event(self, event: ChannelEvent) -> None:
+        payload = event.payload
+        host = payload["host"]
+        if host == self.node.name:
+            return
+        store = self.remote.setdefault(host, {})
+        now = self.node.env.now
+        for metric, (value, ts) in payload["metrics"].items():
+            store[metric] = RemoteMetric(value=value, timestamp=ts,
+                                         received_at=now)
+            for hook in self.update_hooks:
+                hook(host, metric, value, ts)
+
+    def remote_value(self, host: str,
+                     metric: MetricId) -> Optional[RemoteMetric]:
+        """Latest cached value of ``metric`` at ``host`` (None if unseen)."""
+        return self.remote.get(host, {}).get(metric)
+
+    # -- local customization API ----------------------------------------------------
+
+    def resolve_metrics(self, spec: str) -> list[MetricId]:
+        """Resolve a control-file metric spec to concrete metric ids.
+
+        ``spec`` may be '*' (all resources), a module name ('cpu'),
+        or one metric name ('loadavg').
+        """
+        spec = spec.strip().lower()
+        if spec == "*":
+            return [m for module in self.modules.values()
+                    for m in module.metrics()]
+        if spec in self.modules:
+            return list(self.modules[spec].metrics())
+        if spec in MODULE_METRICS:
+            return list(MODULE_METRICS[spec])
+        return [metric_by_name(spec)]
+
+    def apply_control(self, msg: ControlMessage) -> None:
+        """Apply a control message to this d-mon (local or remote origin)."""
+        if isinstance(msg, SetParameter):
+            metrics = self.resolve_metrics(msg.metric)
+            if msg.parameter == "period":
+                try:
+                    seconds = float(msg.spec)
+                except ValueError:
+                    raise ControlSyntaxError(
+                        f"bad period {msg.spec!r}") from None
+                for metric in metrics:
+                    self.policies.setdefault(
+                        metric, MetricPolicy()).set_period(seconds)
+            elif msg.parameter == "threshold":
+                rule = parse_threshold_spec(msg.spec.split())
+                for metric in metrics:
+                    self.policies.setdefault(
+                        metric, MetricPolicy()).add_threshold(rule)
+            else:
+                raise ControlSyntaxError(
+                    f"unknown parameter {msg.parameter!r}")
+        elif isinstance(msg, ClearParameter):
+            metrics = self.resolve_metrics(msg.metric)
+            for metric in metrics:
+                policy = self.policies.get(metric)
+                if policy is None:
+                    continue
+                if msg.parameter == "period":
+                    policy.clear_period()
+                elif msg.parameter == "threshold":
+                    policy.clear_thresholds()
+                else:
+                    raise ControlSyntaxError(
+                        f"unknown parameter {msg.parameter!r}")
+        elif isinstance(msg, DeployFilter):
+            scope = msg.metric if msg.metric in ("*", *self.modules) \
+                else self._scope_of(msg.metric)
+            self.filters.deploy(msg.source, scope=scope,
+                                filter_id=msg.filter_id or None)
+        elif isinstance(msg, RemoveFilter):
+            self.filters.remove(msg.filter_id)
+        else:
+            raise DprocError(
+                f"unsupported control message {type(msg).__name__}")
+
+    def _scope_of(self, metric_spec: str) -> str:
+        metric = metric_by_name(metric_spec)
+        for name, module in self.modules.items():
+            if metric in module.metrics():
+                return name
+        raise DprocError(
+            f"metric {metric_spec!r} is not produced by any registered "
+            f"module")
+
+    def send_control(self, msg: ControlMessage) -> None:
+        """Distribute a control message over the control channel.
+
+        Messages addressed to this host are also applied locally.
+        """
+        if self._control_ep is None:
+            raise DprocError("d-mon not started: no control channel")
+        self._control_ep.submit(msg, size=control_message_size(msg))
+        if msg.addressed_to(self.node.name):
+            self.apply_control(msg)
+
+    def _on_control_event(self, event: ChannelEvent) -> None:
+        msg = event.payload
+        if not isinstance(msg, ControlMessage):
+            raise DprocError(
+                f"non-control payload on control channel: {msg!r}")
+        if msg.sender == self.node.name:
+            return  # we applied our own message at send time
+        if msg.addressed_to(self.node.name):
+            self.apply_control(msg)
+
+    # -- instrumentation helpers ----------------------------------------------------
+
+    def mean_submit_overhead(self, since: float = 0.0) -> float:
+        """Average submission overhead per polling iteration (seconds)."""
+        return self.submit_overhead.mean(since)
+
+    def mean_receive_overhead(self, since: float = 0.0) -> float:
+        """Average receive overhead per polling iteration (seconds)."""
+        return self.receive_overhead.mean(since)
+
+
+def register_default_modules(dmon: DMon,
+                             names: Iterable[str] = ("cpu", "mem",
+                                                     "disk", "net",
+                                                     "pmc")) -> None:
+    """Attach the standard module set (or a named subset) to a d-mon."""
+    from repro.dproc.modules import (CpuMon, DiskMon, MemMon, NetMon,
+                                     PmcMon)
+    factory = {"cpu": CpuMon, "mem": MemMon, "disk": DiskMon,
+               "net": NetMon, "pmc": PmcMon}
+    for name in names:
+        try:
+            cls = factory[name]
+        except KeyError:
+            raise DprocError(f"no standard module named {name!r}") \
+                from None
+        dmon.register_service(cls(dmon.node))

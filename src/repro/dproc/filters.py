@@ -1,0 +1,155 @@
+"""Dynamic filter lifecycle: deploy, compile-at-host, execute, remove.
+
+"An application can deploy filters by writing the filter code as string
+to the control file in /proc.  It is d-mon's responsibility to
+distribute the string to the corresponding hosts via KECho's control
+channel.  Incoming filter strings are received by d-mon, which then
+dynamically generates binary code.  The resulting filters are executed
+by d-mon before any information is submitted to the channel, allowing
+the filters to customize (or block) the monitoring information."
+(paper §3)
+
+A filter's *scope* is either one resource module ("cpu", "disk", ...)
+or "*" for all resources together.  Every filter sees the full metric
+record array (so cross-resource conditions work); its scope determines
+which metrics it is responsible for publishing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dproc.metrics import METRIC_CONSTANTS, MetricId
+from repro.ecode import CompiledFilter, MetricRecord, compile_filter
+from repro.errors import EcodeError, FilterDeploymentError
+from repro.sim.node import Node
+
+__all__ = ["DeployedFilter", "FilterManager"]
+
+_filter_seq = itertools.count(1)
+
+
+@dataclass
+class DeployedFilter:
+    """One live filter at a publishing host."""
+
+    filter_id: str
+    scope: str                    # module name or '*'
+    source: str
+    compiled: CompiledFilter
+    deployed_at: float
+    invocations: int = 0
+    total_outputs: int = 0
+    errors: int = 0
+    compile_cpu_seconds: float = field(default=0.0)
+
+
+class FilterManager:
+    """Per-node registry of deployed dynamic filters."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self._by_id: dict[str, DeployedFilter] = {}
+        self._by_scope: dict[str, DeployedFilter] = {}
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, source: str, scope: str = "*",
+               filter_id: Optional[str] = None) -> DeployedFilter:
+        """Compile ``source`` at this host and install it.
+
+        Compilation cost is charged to this node's CPU — dynamic code
+        generation happens *at the publisher*, preserving the paper's
+        heterogeneity argument.  An existing filter with the same scope
+        is replaced.
+        """
+        if filter_id is None:
+            filter_id = f"{self.node.name}-f{next(_filter_seq)}"
+        if filter_id in self._by_id:
+            raise FilterDeploymentError(
+                f"filter id {filter_id!r} already deployed")
+        try:
+            compiled = compile_filter(source, constants=METRIC_CONSTANTS)
+        except EcodeError as exc:
+            raise FilterDeploymentError(
+                f"filter {filter_id!r} failed to compile: {exc}") from exc
+        cost = self.node.costs.filter_compile
+        self.node.charge_kernel_seconds(cost)
+        deployed = DeployedFilter(
+            filter_id=filter_id, scope=scope, source=source,
+            compiled=compiled, deployed_at=self.node.env.now,
+            compile_cpu_seconds=cost)
+        old = self._by_scope.get(scope)
+        if old is not None:
+            del self._by_id[old.filter_id]
+        self._by_scope[scope] = deployed
+        self._by_id[filter_id] = deployed
+        return deployed
+
+    def remove(self, filter_id: str) -> None:
+        """Tear a filter down (error if unknown)."""
+        deployed = self._by_id.pop(filter_id, None)
+        if deployed is None:
+            raise FilterDeploymentError(
+                f"no deployed filter with id {filter_id!r}")
+        self._by_scope.pop(deployed.scope, None)
+
+    def clear(self) -> None:
+        self._by_id.clear()
+        self._by_scope.clear()
+
+    # -- lookup ---------------------------------------------------------------
+
+    def filter_for(self, scope: str) -> Optional[DeployedFilter]:
+        return self._by_scope.get(scope)
+
+    @property
+    def global_filter(self) -> Optional[DeployedFilter]:
+        return self._by_scope.get("*")
+
+    def deployed(self) -> list[DeployedFilter]:
+        return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, deployed: DeployedFilter,
+            records: list[MetricRecord]) -> list[MetricRecord]:
+        """Execute one filter over the full record array.
+
+        The caller (d-mon) accounts for the execution cost.  A filter
+        that raises is counted and treated as "publish nothing" — a
+        broken filter must not take d-mon down (the paper's in-kernel
+        safety requirement).
+        """
+        deployed.invocations += 1
+        try:
+            result = deployed.compiled.run(records)
+        except EcodeError:
+            deployed.errors += 1
+            return []
+        deployed.total_outputs += len(result.outputs)
+        return result.outputs
+
+    def input_array(self, samples: dict[MetricId, float],
+                    last_sent: dict[MetricId, float],
+                    now: float) -> list[MetricRecord]:
+        """Build the dense ``input[]`` record array for filters.
+
+        Metrics not collected this round appear as zero-valued records
+        so that fixed metric indices always resolve.
+        """
+        size = max(int(m) for m in MetricId) + 1
+        array: list[MetricRecord] = []
+        for i in range(size):
+            metric = MetricId(i)
+            value = samples.get(metric, 0.0)
+            array.append(MetricRecord(
+                name=metric.name.lower(), value=float(value),
+                last_value_sent=float(last_sent.get(metric, 0.0)),
+                timestamp=now))
+        return array

@@ -1,0 +1,18 @@
+"""dproc monitoring modules (CPU, MEM, DISK, NET, PMC, BATTERY)."""
+
+from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.dproc.modules.battery_mon import BatteryMon
+from repro.dproc.modules.cpu_mon import CpuMon
+from repro.dproc.modules.disk_mon import DiskMon
+from repro.dproc.modules.mem_mon import MemMon
+from repro.dproc.modules.net_mon import NetMon
+from repro.dproc.modules.pmc_mon import PmcMon
+
+__all__ = ["MetricSample", "MonitoringModule", "BatteryMon", "CpuMon",
+           "DiskMon", "MemMon", "NetMon", "PmcMon"]
+
+
+def default_modules(node):
+    """The paper's standard module set for one node."""
+    return [CpuMon(node), MemMon(node), DiskMon(node), NetMon(node),
+            PmcMon(node)]

@@ -1,0 +1,64 @@
+"""Monitoring-module protocol.
+
+d-mon "maintains a list of all registered services and uses this
+callback function to retrieve monitoring information from them at
+regular intervals" (paper §2).  A module is registered with
+:meth:`~repro.dproc.dmon.DMon.register_service`; its :meth:`collect`
+callback is invoked once per polling iteration.
+
+Modules are dynamically addable: new ones can be registered at run time
+without restarting d-mon (the paper's loadable-kernel-module
+extensibility).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.dproc.metrics import MetricId
+from repro.errors import DprocError
+from repro.sim.node import Node
+
+__all__ = ["MetricSample", "MonitoringModule"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One collected metric reading."""
+
+    metric: MetricId
+    value: float
+    timestamp: float
+
+
+class MonitoringModule(ABC):
+    """Base class for d-mon monitoring services."""
+
+    #: Module name ('cpu', 'mem', 'disk', 'net', 'pmc', ...).
+    name: str = "?"
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.started = False
+
+    def start(self) -> None:
+        """Begin any background activity (kernel threads)."""
+        self.started = True
+
+    def stop(self) -> None:
+        """Stop background activity."""
+        self.started = False
+
+    @abstractmethod
+    def metrics(self) -> tuple[MetricId, ...]:
+        """The metric ids this module produces."""
+
+    @abstractmethod
+    def collect(self, now: float) -> list[MetricSample]:
+        """d-mon's registered callback: sample all metrics now."""
+
+    def configure(self, key: str, value: float) -> None:
+        """Adjust a module option (unknown keys are an error)."""
+        raise DprocError(
+            f"module {self.name!r} has no option {key!r}")

@@ -1,0 +1,91 @@
+"""NET_MON: connection round-trip times, bandwidths, losses.
+
+"This module monitors the round-trip times of established network
+connections, the used bandwidth of all connections at a node and of all
+individual connections, the number of re-transmissions (for TCP), the
+number of lost messages (for UDP), and the end-to-end delay for both
+TCP and UDP connections." (paper §2.1)
+
+Additionally reports *available* bandwidth — the residual capacity of
+the node's access links (and shared segment, if any) — which is the
+signal the SmartPointer server adapts to in Figure 10.
+"""
+
+from __future__ import annotations
+
+from repro.dproc.metrics import MetricId
+from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.errors import DprocError
+from repro.sim.node import Node
+
+__all__ = ["NetMon"]
+
+
+class NetMon(MonitoringModule):
+    """Network statistics sampler."""
+
+    name = "net"
+
+    def __init__(self, node: Node, window: float = 1.0) -> None:
+        super().__init__(node)
+        if window <= 0:
+            raise DprocError("net window must be positive")
+        self.window = float(window)
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return (MetricId.NET_BANDWIDTH, MetricId.NET_RTT,
+                MetricId.NET_RETX, MetricId.NET_LOST, MetricId.NET_USED,
+                MetricId.NET_DELAY)
+
+    def configure(self, key: str, value: float) -> None:
+        if key != "period":
+            super().configure(key, value)
+        if value <= 0:
+            raise DprocError("net window must be positive")
+        self.window = float(value)
+
+    # -- sampling ------------------------------------------------------------
+
+    def available_bandwidth(self) -> float:
+        """Residual capacity on this node's attachment links (bytes/s).
+
+        Uses the tightest of the TX, RX and (when present) shared
+        segment links — the bandwidth a new flow to/from this node
+        could still get.
+        """
+        fabric = self.node.stack.fabric
+        fabric.settle()
+        port = self.node.port
+        links = [port.tx, port.rx]
+        if port.segment is not None:
+            links.append(port.segment.link)
+        best = float("inf")
+        for link in links:
+            used = sum(f.rate for f in fabric.flows_through(link))
+            best = min(best, max(0.0, link.capacity - used))
+        return best
+
+    def collect(self, now: float) -> list[MetricSample]:
+        stack = self.node.stack
+        w = self.window
+        rtts = [c.rtt.last() for c in stack.connections if len(c.rtt)]
+        mean_rtt = sum(rtts) / len(rtts) if rtts else 0.0
+        retx = sum(c.retransmissions.rate(now, w)
+                   for c in stack.connections)
+        lost = sum(c.losses.rate(now, w) for c in stack.connections)
+        # End-to-end delay: mean over each connection's most recent
+        # delivered-message delay ("the end-to-end delay for both TCP
+        # and UDP connections", §2.1).
+        delays = [c.delays.last() for c in stack.connections
+                  if len(c.delays)]
+        mean_delay = sum(delays) / len(delays) if delays else 0.0
+        return [
+            MetricSample(MetricId.NET_BANDWIDTH,
+                         self.available_bandwidth(), now),
+            MetricSample(MetricId.NET_RTT, mean_rtt, now),
+            MetricSample(MetricId.NET_RETX, retx, now),
+            MetricSample(MetricId.NET_LOST, lost, now),
+            MetricSample(MetricId.NET_USED,
+                         stack.bytes_out.rate(now, w), now),
+            MetricSample(MetricId.NET_DELAY, mean_delay, now),
+        ]

@@ -1,0 +1,121 @@
+"""Pseudo-filesystem plumbing for the dproc /proc interface.
+
+A minimal in-memory procfs: directories are implicit, files are
+callback-backed (reads compute fresh content; writes invoke a handler).
+The dproc toolkit mounts its tree here::
+
+    /proc/loadavg                      (standard Linux entry)
+    /proc/cluster/<node>/loadavg       (remote monitoring data)
+    /proc/cluster/<node>/freemem
+    ...
+    /proc/cluster/<node>/control       (parameters + filter deployment)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ProcfsError
+
+__all__ = ["ProcFS", "ProcFile"]
+
+ReadFn = Callable[[], str]
+WriteFn = Callable[[str], None]
+
+
+class ProcFile:
+    """One pseudo-file: read callback plus optional write handler."""
+
+    def __init__(self, read_fn: ReadFn,
+                 write_fn: Optional[WriteFn] = None) -> None:
+        self._read = read_fn
+        self._write = write_fn
+
+    @property
+    def writable(self) -> bool:
+        return self._write is not None
+
+    def read(self) -> str:
+        return self._read()
+
+    def write(self, text: str) -> None:
+        if self._write is None:
+            raise ProcfsError("file is read-only")
+        self._write(text)
+
+
+def _split(path: str) -> tuple[str, ...]:
+    parts = tuple(p for p in path.strip().split("/") if p)
+    if not parts:
+        raise ProcfsError(f"bad path {path!r}")
+    return parts
+
+
+class ProcFS:
+    """In-memory pseudo-filesystem with callback-backed files."""
+
+    def __init__(self) -> None:
+        self._files: dict[tuple[str, ...], ProcFile] = {}
+
+    # -- mounting ------------------------------------------------------------
+
+    def mount(self, path: str, file: ProcFile) -> None:
+        """Install a file at ``path`` (intermediate dirs are implicit)."""
+        key = _split(path)
+        if key in self._files:
+            raise ProcfsError(f"{path!r} already mounted")
+        # A file cannot also be a directory prefix of another file.
+        for existing in self._files:
+            if existing[:len(key)] == key or key[:len(existing)] == \
+                    existing:
+                raise ProcfsError(
+                    f"{path!r} conflicts with existing mount "
+                    f"{'/' + '/'.join(existing)!r}")
+        self._files[key] = file
+
+    def unmount(self, path: str) -> None:
+        key = _split(path)
+        if self._files.pop(key, None) is None:
+            raise ProcfsError(f"{path!r} is not mounted")
+
+    # -- access ---------------------------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a file's current content."""
+        return self._lookup(path).read()
+
+    def write(self, path: str, text: str) -> None:
+        """Write ``text`` to a file (its handler interprets it)."""
+        self._lookup(path).write(text)
+
+    def exists(self, path: str) -> bool:
+        """True for both files and (implicit) directories."""
+        key = _split(path)
+        if key in self._files:
+            return True
+        return any(existing[:len(key)] == key for existing in self._files)
+
+    def is_dir(self, path: str) -> bool:
+        key = _split(path)
+        if key in self._files:
+            return False
+        return self.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        """Names directly under a directory."""
+        key = _split(path) if path.strip("/") else ()
+        if key in self._files:
+            raise ProcfsError(f"{path!r} is a file, not a directory")
+        names = {existing[len(key)]
+                 for existing in self._files
+                 if existing[:len(key)] == key and len(existing) > len(key)}
+        if not names and key:
+            raise ProcfsError(f"no such directory {path!r}")
+        return sorted(names)
+
+    def _lookup(self, path: str) -> ProcFile:
+        key = _split(path)
+        file = self._files.get(key)
+        if file is None:
+            raise ProcfsError(f"no such file {path!r}")
+        return file

@@ -1,0 +1,174 @@
+"""The Dproc toolkit facade: one object per node, /proc included.
+
+This is the user-visible surface of the reproduction: deploy dproc on a
+cluster, then read remote resource data through the familiar /proc
+hierarchy and customize monitoring by writing to control files —
+exactly the workflow of the paper's §2.
+
+Example::
+
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=3)
+    dprocs = deploy_dproc(cluster)
+    env.run(until=5.0)
+    loadavg = dprocs["alan"].read("/proc/cluster/maui/loadavg")
+    dprocs["alan"].write("/proc/cluster/maui/control",
+                         "period cpu 2\\nthreshold cpu above 0.8")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.dproc.control_file import parse_control_text
+from repro.dproc.dmon import DMon, DMonConfig, register_default_modules
+from repro.dproc.metrics import METRIC_FILES, MetricId
+from repro.dproc.procfs import ProcFS, ProcFile
+from repro.errors import DprocError
+from repro.kecho import KechoBus
+from repro.sim.cluster import Cluster
+from repro.sim.node import Node
+
+__all__ = ["Dproc", "deploy_dproc"]
+
+DEFAULT_MODULES = ("cpu", "mem", "disk", "net", "pmc")
+
+
+class Dproc:
+    """Per-node dproc instance: d-mon + the /proc view."""
+
+    def __init__(self, node: Node, bus: KechoBus,
+                 config: DMonConfig | None = None,
+                 modules: Sequence[str] = DEFAULT_MODULES) -> None:
+        self.node = node
+        self.bus = bus
+        self.dmon = DMon(node, bus, config)
+        register_default_modules(self.dmon, modules)
+        self.procfs = ProcFS()
+        self._control_log: dict[str, list[str]] = {}
+        self._mounted_hosts: set[str] = set()
+        self._mount_standard()
+        node.attach_service("dproc", self)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start d-mon (channels, modules, polling)."""
+        self.dmon.start()
+
+    def stop(self) -> None:
+        self.dmon.stop()
+
+    # -- the /proc interface -----------------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a pseudo-file (e.g. ``/proc/cluster/maui/loadavg``)."""
+        return self.procfs.read(path)
+
+    def write(self, path: str, text: str) -> None:
+        """Write to a pseudo-file (only ``control`` files accept writes)."""
+        self.procfs.write(path, text)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.procfs.listdir(path)
+
+    def add_cluster_node(self, host: str) -> None:
+        """Expose ``/proc/cluster/<host>/`` for a (possibly remote) node."""
+        if host in self._mounted_hosts:
+            raise DprocError(f"{host!r} already in /proc/cluster")
+        self._mounted_hosts.add(host)
+        base = f"/proc/cluster/{host}"
+        local = host == self.node.name
+        for metric, fname in METRIC_FILES.items():
+            self.procfs.mount(
+                f"{base}/{fname}",
+                ProcFile(self._metric_reader(host, metric, local)))
+        self.procfs.mount(
+            f"{base}/control",
+            ProcFile(read_fn=lambda h=host: self._control_read(h),
+                     write_fn=lambda text, h=host:
+                     self._control_write(h, text)))
+
+    def hosts(self) -> list[str]:
+        """Nodes visible under /proc/cluster."""
+        return sorted(self._mounted_hosts)
+
+    # -- convenience accessors -----------------------------------------------------
+
+    def metric(self, host: str, metric: MetricId) -> float:
+        """Numeric value of a metric for ``host`` (NaN until known)."""
+        if host == self.node.name:
+            return self.dmon.last_samples.get(metric, math.nan)
+        remote = self.dmon.remote_value(host, metric)
+        return remote.value if remote is not None else math.nan
+
+    def loadavg(self, host: str) -> float:
+        return self.metric(host, MetricId.LOADAVG)
+
+    def freemem(self, host: str) -> float:
+        return self.metric(host, MetricId.FREEMEM)
+
+    # -- internals ------------------------------------------------------------
+
+    def _mount_standard(self) -> None:
+        # The stock /proc/loadavg with 1/5/15-minute averages.
+        def read_loadavg() -> str:
+            self.node.cpu.loadavg.update(
+                self.node.env.now, self.node.cpu.run_queue_length)
+            one, five, fifteen = self.node.cpu.loadavg.as_tuple()
+            return f"{one:.2f} {five:.2f} {fifteen:.2f}\n"
+
+        self.procfs.mount("/proc/loadavg", ProcFile(read_loadavg))
+
+        def read_meminfo() -> str:
+            mem = self.node.memory
+            return (f"MemTotal: {int(mem.capacity_bytes / 1024)} kB\n"
+                    f"MemFree:  {int(mem.free_bytes / 1024)} kB\n")
+
+        self.procfs.mount("/proc/meminfo", ProcFile(read_meminfo))
+
+    def _metric_reader(self, host: str, metric: MetricId, local: bool):
+        def read() -> str:
+            value = self.metric(host, metric)
+            return f"{value:.6g}\n"
+        return read
+
+    def _control_read(self, host: str) -> str:
+        """Control files read back the accepted command log."""
+        log = self._control_log.get(host, [])
+        return "".join(f"{line}\n" for line in log)
+
+    def _control_write(self, host: str, text: str) -> None:
+        """Parse commands and distribute them via the control channel."""
+        messages = parse_control_text(text, sender=self.node.name,
+                                      target=host)
+        for msg in messages:
+            self.dmon.send_control(msg)
+        self._control_log.setdefault(host, []).extend(
+            line for line in text.splitlines() if line.strip())
+
+
+def deploy_dproc(cluster: Cluster,
+                 config: DMonConfig | None = None,
+                 modules: Sequence[str] = DEFAULT_MODULES,
+                 bus: Optional[KechoBus] = None,
+                 hosts: Optional[Iterable[str]] = None,
+                 start: bool = True) -> dict[str, Dproc]:
+    """Deploy dproc on every node (or a subset) of a cluster.
+
+    All instances share one KECho bus/registry; each node's /proc tree
+    shows every participating host, as in the paper's Figure 1.
+    """
+    bus = bus or KechoBus()
+    names = list(hosts) if hosts is not None else cluster.names
+    instances: dict[str, Dproc] = {}
+    for name in names:
+        instances[name] = Dproc(cluster[name], bus, config, modules)
+    for dproc in instances.values():
+        for name in names:
+            dproc.add_cluster_node(name)
+    if start:
+        for dproc in instances.values():
+            dproc.start()
+    return instances

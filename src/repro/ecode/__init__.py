@@ -1,0 +1,41 @@
+"""E-code: the dynamic filter language substrate.
+
+A from-scratch implementation of the C subset the paper uses for
+dynamically generated monitoring filters (operators, ``for`` loops,
+``if`` statements, ``return`` statements), with dynamic compilation at
+the executing host.  Public entry point: :func:`compile_filter`.
+
+Example (the paper's Figure 3 filter)::
+
+    from repro.ecode import compile_filter, MetricRecord
+
+    src = '''
+    {
+        int i = 0;
+        if (input[LOADAVG].value > 2) {
+            output[i] = input[LOADAVG];
+            i = i + 1;
+        }
+    }
+    '''
+    filt = compile_filter(src, constants={"LOADAVG": 0})
+    result = filt([MetricRecord("loadavg", value=3.0)])
+    assert len(result.outputs) == 1
+"""
+
+from repro.ecode.analyzer import AnalysisResult, EType, Symbol, analyze
+from repro.ecode.codegen import (CompiledFilter, DEFAULT_MAX_STEPS,
+                                 compile_filter)
+from repro.ecode.lexer import tokenize
+from repro.ecode.parser import parse
+from repro.ecode.runtime import (BUILTINS, FilterResult, InputView,
+                                 MetricRecord, OutputArray, RECORD_FIELDS)
+from repro.ecode.unparse import unparse
+
+__all__ = [
+    "AnalysisResult", "EType", "Symbol", "analyze",
+    "CompiledFilter", "DEFAULT_MAX_STEPS", "compile_filter",
+    "tokenize", "parse", "unparse",
+    "BUILTINS", "FilterResult", "InputView", "MetricRecord",
+    "OutputArray", "RECORD_FIELDS",
+]

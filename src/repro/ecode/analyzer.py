@@ -1,0 +1,373 @@
+"""Semantic analysis for E-code: symbol tables and type checking.
+
+The analyzer walks the AST once, attaching an inferred :class:`EType`
+to every expression node (``node._etype``) which the code generator
+then consumes.  All errors are :class:`EcodeTypeError` with positions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Mapping
+
+from repro.ecode import ast_nodes as A
+from repro.ecode.runtime import BUILTINS, RECORD_FIELDS
+from repro.errors import EcodeTypeError
+
+__all__ = ["EType", "Symbol", "analyze", "AnalysisResult"]
+
+
+class EType(Enum):
+    """E-code static types."""
+
+    INT = auto()
+    DOUBLE = auto()
+    RECORD = auto()
+    INPUT_ARRAY = auto()
+    OUTPUT_ARRAY = auto()
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (EType.INT, EType.DOUBLE)
+
+
+_CTYPE_MAP = {
+    "int": EType.INT,
+    "long": EType.INT,
+    "double": EType.DOUBLE,
+    "float": EType.DOUBLE,
+}
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A declared variable: its type plus a unique mangled Python name.
+
+    Mangling per-declaration (not per-name) preserves C block scoping —
+    two sibling blocks may each declare their own ``i`` — when the code
+    generator flattens blocks into one Python function body.
+    """
+
+    name: str
+    etype: EType
+    mangled: str
+
+
+_sym_ids = itertools.count(1)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def declare(self, name: str, etype: EType, node: A.Node) -> Symbol:
+        if name in self.symbols:
+            raise EcodeTypeError(f"redeclaration of {name!r}",
+                                 node.line, node.column)
+        sym = Symbol(name, etype, f"_v{next(_sym_ids)}_{name}")
+        self.symbols[name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class AnalysisResult:
+    """What the analyzer hands to the code generator."""
+
+    def __init__(self, program: A.Program,
+                 constants: Mapping[str, float]) -> None:
+        self.program = program
+        self.constants = dict(constants)
+        #: Names of all user variables declared anywhere in the filter.
+        self.variables: set[str] = set()
+        #: True when the filter contains loops (ablation statistic).
+        self.has_loops: bool = False
+
+
+class _Analyzer:
+    def __init__(self, constants: Mapping[str, float]) -> None:
+        self.constants = dict(constants)
+        self.result: AnalysisResult | None = None
+        self._loop_depth = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def err(message: str, node: A.Node) -> EcodeTypeError:
+        return EcodeTypeError(message, node.line, node.column)
+
+    def analyze(self, program: A.Program) -> AnalysisResult:
+        self.result = AnalysisResult(program, self.constants)
+        root = _Scope()
+        root.symbols["input"] = Symbol(
+            "input", EType.INPUT_ARRAY, "__input__")
+        root.symbols["output"] = Symbol(
+            "output", EType.OUTPUT_ARRAY, "__output__")
+        self.block(program.body, _Scope(root))
+        return self.result
+
+    # -- statements -----------------------------------------------------------
+
+    def block(self, block: A.Block, scope: _Scope) -> None:
+        for stmt in block.statements:
+            self.statement(stmt, scope)
+
+    def statement(self, stmt: A.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, A.VarDecl):
+            self.var_decl(stmt, scope)
+        elif isinstance(stmt, A.Assign):
+            self.assign(stmt, scope)
+        elif isinstance(stmt, A.IncDec):
+            if stmt.target.ident in self.constants:
+                raise self.err(
+                    f"cannot modify constant {stmt.target.ident!r}", stmt)
+            t = self.expr(stmt.target, scope)
+            if not t.is_numeric:
+                raise self.err(f"'{stmt.op}' needs a numeric variable",
+                               stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self.expr(stmt.expr, scope)
+        elif isinstance(stmt, A.If):
+            self.condition(stmt.cond, scope)
+            self.block(stmt.then_body, _Scope(scope))
+            if stmt.else_body is not None:
+                self.block(stmt.else_body, _Scope(scope))
+        elif isinstance(stmt, A.For):
+            assert self.result is not None
+            self.result.has_loops = True
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self.condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.statement(stmt.step, inner)
+            self._loop_depth += 1
+            try:
+                self.block(stmt.body, _Scope(inner))
+            finally:
+                self._loop_depth -= 1
+        elif isinstance(stmt, A.While):
+            assert self.result is not None
+            self.result.has_loops = True
+            self.condition(stmt.cond, scope)
+            self._loop_depth += 1
+            try:
+                self.block(stmt.body, _Scope(scope))
+            finally:
+                self._loop_depth -= 1
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self._loop_depth == 0:
+                word = "break" if isinstance(stmt, A.Break) \
+                    else "continue"
+                raise self.err(f"'{word}' outside of a loop", stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                t = self.expr(stmt.value, scope)
+                if not t.is_numeric:
+                    raise self.err("return value must be numeric", stmt)
+        elif isinstance(stmt, A.Block):
+            self.block(stmt, _Scope(scope))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.err(f"unsupported statement {type(stmt).__name__}",
+                           stmt)
+
+    def var_decl(self, decl: A.VarDecl, scope: _Scope) -> None:
+        if decl.name in ("input", "output"):
+            raise self.err(f"cannot shadow builtin {decl.name!r}", decl)
+        if decl.name in self.constants:
+            raise self.err(
+                f"{decl.name!r} is a predefined constant", decl)
+        etype = _CTYPE_MAP[decl.ctype]
+        if decl.init is not None:
+            it = self.expr(decl.init, scope)
+            if not it.is_numeric:
+                raise self.err(
+                    f"cannot initialise {decl.ctype} {decl.name!r} from "
+                    f"a non-numeric expression", decl)
+        sym = scope.declare(decl.name, etype, decl)
+        decl._symbol = sym  # type: ignore[attr-defined]
+        assert self.result is not None
+        self.result.variables.add(decl.name)
+
+    def assign(self, stmt: A.Assign, scope: _Scope) -> None:
+        target = stmt.target
+        vt = self.expr(stmt.value, scope)
+        if isinstance(target, A.Name):
+            if target.ident in self.constants:
+                raise self.err(
+                    f"cannot assign to constant {target.ident!r}", stmt)
+            tt = self.expr(target, scope)
+            if not tt.is_numeric:
+                raise self.err(
+                    f"cannot assign to {target.ident!r}", stmt)
+            if not vt.is_numeric:
+                raise self.err("assigned value must be numeric", stmt)
+            if stmt.op == "%=" and not (
+                    tt is EType.INT and vt is EType.INT):
+                raise self.err("'%=' needs integer operands", stmt)
+        elif isinstance(target, A.Index):
+            bt = self.expr(target.base, scope)
+            self._index_expr(target, scope)
+            if bt is not EType.OUTPUT_ARRAY:
+                raise self.err("only output[] slots can be assigned",
+                               stmt)
+            if stmt.op != "=":
+                raise self.err(
+                    f"'{stmt.op}' not supported on output[] slots", stmt)
+            if vt is not EType.RECORD:
+                raise self.err(
+                    "output[] slots hold monitoring records "
+                    "(e.g. output[i] = input[LOADAVG])", stmt)
+        elif isinstance(target, A.Attribute):
+            base = target.base
+            if not (isinstance(base, A.Index)
+                    and self.expr(base.base, scope)
+                    is EType.OUTPUT_ARRAY):
+                raise self.err(
+                    "record fields are writable only on output[] slots",
+                    stmt)
+            self._index_expr(base, scope)
+            if target.name not in RECORD_FIELDS:
+                raise self.err(
+                    f"unknown record field {target.name!r}", stmt)
+            if stmt.op != "=":
+                raise self.err(
+                    f"'{stmt.op}' not supported on record fields", stmt)
+            if not vt.is_numeric:
+                raise self.err("record fields are numeric", stmt)
+        else:  # pragma: no cover - parser enforces target kinds
+            raise self.err("invalid assignment target", stmt)
+
+    def condition(self, expr: A.Expr, scope: _Scope) -> None:
+        t = self.expr(expr, scope)
+        if not t.is_numeric:
+            raise self.err("condition must be numeric", expr)
+
+    # -- expressions ------------------------------------------------------------
+
+    def expr(self, node: A.Expr, scope: _Scope) -> EType:
+        etype = self._expr(node, scope)
+        node._etype = etype  # type: ignore[attr-defined]
+        return etype
+
+    def _expr(self, node: A.Expr, scope: _Scope) -> EType:
+        if isinstance(node, A.IntLiteral):
+            return EType.INT
+        if isinstance(node, A.FloatLiteral):
+            return EType.DOUBLE
+        if isinstance(node, A.Name):
+            if node.ident in self.constants:
+                value = self.constants[node.ident]
+                node._const = value  # type: ignore[attr-defined]
+                return (EType.INT if float(value).is_integer()
+                        else EType.DOUBLE)
+            found = scope.lookup(node.ident)
+            if found is None:
+                raise self.err(f"undeclared identifier {node.ident!r}",
+                               node)
+            node._symbol = found  # type: ignore[attr-defined]
+            return found.etype
+        if isinstance(node, A.Binary):
+            return self.binary(node, scope)
+        if isinstance(node, A.Unary):
+            t = self.expr(node.operand, scope)
+            if not t.is_numeric:
+                raise self.err(
+                    f"unary '{node.op}' needs a numeric operand", node)
+            return EType.INT if node.op == "!" else t
+        if isinstance(node, A.Index):
+            etype = self._index_expr(node, scope)
+            base_t = node.base._etype  # type: ignore[attr-defined]
+            if base_t is EType.OUTPUT_ARRAY:
+                # Reads reach here; assignment targets are checked in
+                # assign() which calls _index_expr directly.
+                raise self.err("output[] is write-only", node)
+            return etype
+        if isinstance(node, A.Attribute):
+            bt = self.expr(node.base, scope)
+            if bt is not EType.RECORD:
+                raise self.err(
+                    "field access requires a monitoring record "
+                    "(e.g. input[LOADAVG].value)", node)
+            if node.name not in RECORD_FIELDS:
+                raise self.err(
+                    f"unknown record field {node.name!r} "
+                    f"(have {', '.join(RECORD_FIELDS)})", node)
+            return EType.DOUBLE
+        if isinstance(node, A.Call):
+            return self.call(node, scope)
+        raise self.err(  # pragma: no cover - exhaustive
+            f"unsupported expression {type(node).__name__}", node)
+
+    def _index_expr(self, node: A.Index, scope: _Scope) -> EType:
+        bt = self.expr(node.base, scope)
+        it = self.expr(node.index, scope)
+        if bt not in (EType.INPUT_ARRAY, EType.OUTPUT_ARRAY):
+            raise self.err("only input[] and output[] can be indexed",
+                           node)
+        if it is not EType.INT:
+            raise self.err("array index must be an integer expression",
+                           node)
+        if bt is EType.OUTPUT_ARRAY:
+            return EType.RECORD  # meaningful only as assignment target
+        return EType.RECORD
+
+    def binary(self, node: A.Binary, scope: _Scope) -> EType:
+        lt = self.expr(node.left, scope)
+        rt = self.expr(node.right, scope)
+        op = node.op
+        if op in ("&&", "||"):
+            if not (lt.is_numeric and rt.is_numeric):
+                raise self.err(f"'{op}' needs numeric operands", node)
+            return EType.INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if not (lt.is_numeric and rt.is_numeric):
+                raise self.err(
+                    f"comparison '{op}' needs numeric operands", node)
+            return EType.INT
+        if op in ("+", "-", "*", "/"):
+            if not (lt.is_numeric and rt.is_numeric):
+                raise self.err(
+                    f"arithmetic '{op}' needs numeric operands", node)
+            if lt is EType.DOUBLE or rt is EType.DOUBLE:
+                return EType.DOUBLE
+            return EType.INT
+        if op == "%":
+            if lt is not EType.INT or rt is not EType.INT:
+                raise self.err("'%' needs integer operands", node)
+            return EType.INT
+        raise self.err(f"unknown operator {op!r}", node)  # pragma: no cover
+
+    def call(self, node: A.Call, scope: _Scope) -> EType:
+        if node.func not in BUILTINS:
+            raise self.err(f"unknown function {node.func!r}", node)
+        arity, _impl = BUILTINS[node.func]
+        if len(node.args) != arity:
+            raise self.err(
+                f"{node.func}() takes {arity} argument(s), "
+                f"got {len(node.args)}", node)
+        arg_types = [self.expr(a, scope) for a in node.args]
+        for t in arg_types:
+            if not t.is_numeric:
+                raise self.err(
+                    f"{node.func}() arguments must be numeric", node)
+        if node.func in ("abs", "min", "max") and \
+                all(t is EType.INT for t in arg_types):
+            return EType.INT
+        return EType.DOUBLE
+
+
+def analyze(program: A.Program,
+            constants: Mapping[str, float] | None = None) -> AnalysisResult:
+    """Type-check ``program`` against the given named constants."""
+    return _Analyzer(constants or {}).analyze(program)

@@ -1,0 +1,180 @@
+"""AST node definitions for the E-code language.
+
+Nodes are plain dataclasses carrying source positions so that the
+analyzer and code generator can report precise errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLiteral", "FloatLiteral", "Name", "Binary", "Unary",
+    "Index", "Attribute", "Call",
+    "VarDecl", "Assign", "IncDec", "ExprStmt", "If", "For", "While",
+    "Return", "Break", "Continue", "Block", "Program",
+]
+
+
+@dataclass
+class Node:
+    """Base class: every node knows its source position."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# --- expressions -----------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation; ``op`` is the C operator text ('+', '&&', ...)."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation; ``op`` is '-', '+' or '!'."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Index(Expr):
+    """Subscript, e.g. ``input[LOADAVG]`` or ``output[i]``."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Attribute(Expr):
+    """Field access, e.g. ``input[LOADAVG].value``."""
+
+    base: Expr = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class Call(Expr):
+    """Builtin function call, e.g. ``fabs(x)``."""
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# --- statements --------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Declaration such as ``int i = 0;`` (``init`` may be None)."""
+
+    ctype: str = "int"            # 'int' | 'long' | 'double' | 'float'
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+AssignTarget = Union[Name, Index, Attribute]
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment statement; ``op`` is '=', '+=', '-=', '*=', '/=', '%='."""
+
+    target: AssignTarget = None  # type: ignore[assignment]
+    op: str = "="
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDec(Stmt):
+    """``i++`` / ``i--`` used as a statement (common in for-steps)."""
+
+    target: Name = None  # type: ignore[assignment]
+    op: str = "++"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: "Block" = None  # type: ignore[assignment]
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class For(Stmt):
+    """C-style for; init/step are optional simple statements."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: "Block" = None  # type: ignore[assignment]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: "Block" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break;`` — exit the innermost loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;`` — next iteration of the innermost loop."""
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A whole filter: the top-level statement list."""
+
+    body: Block = None  # type: ignore[assignment]

@@ -1,0 +1,165 @@
+"""Hand-written lexer for the E-code language."""
+
+from __future__ import annotations
+
+from repro.ecode.tokens import KEYWORDS, Token, TokenType
+from repro.errors import EcodeSyntaxError
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR_OPS: dict[str, TokenType] = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+    "+=": TokenType.PLUS_ASSIGN,
+    "-=": TokenType.MINUS_ASSIGN,
+    "*=": TokenType.STAR_ASSIGN,
+    "/=": TokenType.SLASH_ASSIGN,
+    "%=": TokenType.PERCENT_ASSIGN,
+    "++": TokenType.INCREMENT,
+    "--": TokenType.DECREMENT,
+}
+
+_ONE_CHAR_OPS: dict[str, TokenType] = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMICOLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+}
+
+
+class _Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> EcodeSyntaxError:
+        return EcodeSyntaxError(message, self.line, self.column)
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def advance(self, n: int = 1) -> str:
+        text = self.source[self.pos:self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += n
+        return text
+
+    def skip_trivia(self) -> None:
+        """Skip whitespace and //-style and /* */-style comments."""
+        while self.pos < len(self.source):
+            ch = self.peek()
+            if ch in " \t\r\n":
+                self.advance()
+            elif ch == "/" and self.peek(1) == "/":
+                while self.pos < len(self.source) and self.peek() != "\n":
+                    self.advance()
+            elif ch == "/" and self.peek(1) == "*":
+                self.advance(2)
+                while self.pos < len(self.source):
+                    if self.peek() == "*" and self.peek(1) == "/":
+                        self.advance(2)
+                        break
+                    self.advance()
+                else:
+                    raise self.error("unterminated block comment")
+            else:
+                return
+
+    def lex_number(self) -> Token:
+        line, col = self.line, self.column
+        start = self.pos
+        saw_dot = saw_exp = False
+        while self.pos < len(self.source):
+            ch = self.peek()
+            if ch.isdigit():
+                self.advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self.advance()
+            elif ch in "eE" and not saw_exp:
+                nxt = self.peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self.peek(2).isdigit()):
+                    saw_exp = True
+                    self.advance()
+                    if self.peek() in "+-":
+                        self.advance()
+                else:
+                    break
+            else:
+                break
+        text = self.source[start:self.pos]
+        if text.endswith("."):
+            raise EcodeSyntaxError(
+                f"malformed number {text!r}", line, col)
+        ttype = (TokenType.FLOAT_LITERAL if (saw_dot or saw_exp)
+                 else TokenType.INT_LITERAL)
+        return Token(ttype, text, line, col)
+
+    def lex_word(self) -> Token:
+        line, col = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and \
+                (self.peek().isalnum() or self.peek() == "_"):
+            self.advance()
+        text = self.source[start:self.pos]
+        ttype = KEYWORDS.get(text, TokenType.IDENTIFIER)
+        return Token(ttype, text, line, col)
+
+    def next_token(self) -> Token:
+        self.skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, "", self.line, self.column)
+        ch = self.peek()
+        if ch.isdigit():
+            return self.lex_number()
+        if ch == "." and self.peek(1).isdigit():
+            return self.lex_number()
+        if ch.isalpha() or ch == "_":
+            return self.lex_word()
+        two = self.source[self.pos:self.pos + 2]
+        if two in _TWO_CHAR_OPS:
+            line, col = self.line, self.column
+            self.advance(2)
+            return Token(_TWO_CHAR_OPS[two], two, line, col)
+        if ch in _ONE_CHAR_OPS:
+            line, col = self.line, self.column
+            self.advance()
+            return Token(_ONE_CHAR_OPS[ch], ch, line, col)
+        raise self.error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize E-code ``source`` into a list ending with an EOF token."""
+    lexer = _Lexer(source)
+    tokens: list[Token] = []
+    while True:
+        tok = lexer.next_token()
+        tokens.append(tok)
+        if tok.type is TokenType.EOF:
+            return tokens

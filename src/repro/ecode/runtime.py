@@ -1,0 +1,164 @@
+"""Runtime support for compiled E-code filters.
+
+A filter runs against the *monitoring record array* the paper's example
+shows: ``input[LOADAVG].value``, ``input[X].last_value_sent``, writes to
+``output[i]``.  This module provides those objects plus the execution
+environment (guarded arithmetic, step limits, builtins).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.errors import EcodeLimitError, EcodeRuntimeError
+
+__all__ = ["MetricRecord", "InputView", "OutputArray", "ExecEnv",
+           "FilterResult", "RECORD_FIELDS", "BUILTINS"]
+
+#: Numeric fields available on a record inside a filter.
+RECORD_FIELDS = ("value", "last_value_sent", "timestamp")
+
+#: Builtin functions: name -> (arity, implementation).
+BUILTINS = {
+    "abs": (1, abs),
+    "fabs": (1, lambda x: abs(float(x))),
+    "min": (2, min),
+    "max": (2, max),
+    "floor": (1, math.floor),
+    "ceil": (1, math.ceil),
+    "sqrt": (1, math.sqrt),
+}
+
+
+@dataclass
+class MetricRecord:
+    """One monitored sample as seen by a filter.
+
+    ``last_value_sent`` is the value most recently *published* for this
+    metric — the paper's differential filter compares against it.
+    """
+
+    name: str
+    value: float
+    last_value_sent: float = 0.0
+    timestamp: float = 0.0
+
+    def copy(self) -> "MetricRecord":
+        return replace(self)
+
+
+class InputView:
+    """Read-only indexed view of the input records."""
+
+    def __init__(self, records: Sequence[MetricRecord]) -> None:
+        self._records = list(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def fetch(self, index: object) -> MetricRecord:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise EcodeRuntimeError(
+                f"input index must be an integer, got {index!r}")
+        if not 0 <= index < len(self._records):
+            raise EcodeRuntimeError(
+                f"input index {index} out of range "
+                f"(have {len(self._records)} records)")
+        return self._records[index]
+
+
+class OutputArray:
+    """Write-only sparse output buffer.
+
+    Slots are filled by ``output[i] = record``; the final event payload
+    is the filled slots in index order.  Records are stored as copies so
+    subsequent field writes (``output[i].value = ...``) never alias the
+    inputs.
+    """
+
+    MAX_SLOTS = 4096
+
+    def __init__(self) -> None:
+        self._slots: dict[int, MetricRecord] = {}
+
+    def store(self, index: object, record: object) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise EcodeRuntimeError(
+                f"output index must be an integer, got {index!r}")
+        if index < 0 or index >= self.MAX_SLOTS:
+            raise EcodeRuntimeError(
+                f"output index {index} outside [0, {self.MAX_SLOTS})")
+        if not isinstance(record, MetricRecord):
+            raise EcodeRuntimeError(
+                "only monitoring records can be stored in output[]")
+        self._slots[index] = record.copy()
+
+    def set_field(self, index: object, field: str, value: object) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise EcodeRuntimeError("output index must be an integer")
+        if index not in self._slots:
+            raise EcodeRuntimeError(
+                f"output[{index}] written by field before being assigned "
+                f"a record")
+        if field not in RECORD_FIELDS:
+            raise EcodeRuntimeError(f"unknown record field {field!r}")
+        if not isinstance(value, (int, float)):
+            raise EcodeRuntimeError("record fields are numeric")
+        setattr(self._slots[index], field, float(value))
+
+    def collect(self) -> list[MetricRecord]:
+        """Filled slots, in ascending index order."""
+        return [self._slots[i] for i in sorted(self._slots)]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class ExecEnv:
+    """Per-invocation execution services (arithmetic guards, limits)."""
+
+    def __init__(self, max_steps: int) -> None:
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def tick(self) -> None:
+        """Loop-iteration guard injected into every loop body."""
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise EcodeLimitError(
+                f"filter exceeded its execution budget of "
+                f"{self.max_steps} loop iterations")
+
+    @staticmethod
+    def idiv(a: int, b: int) -> int:
+        """C-style integer division (truncation toward zero)."""
+        if b == 0:
+            raise EcodeRuntimeError("integer division by zero")
+        return int(math.trunc(a / b))
+
+    @staticmethod
+    def imod(a: int, b: int) -> int:
+        """C-style remainder (sign follows the dividend)."""
+        if b == 0:
+            raise EcodeRuntimeError("integer modulo by zero")
+        return int(math.fmod(a, b))
+
+    @staticmethod
+    def fdiv(a: float, b: float) -> float:
+        if b == 0:
+            raise EcodeRuntimeError("division by zero")
+        return a / b
+
+
+@dataclass
+class FilterResult:
+    """Outcome of running a compiled filter over a record set."""
+
+    #: Records the filter placed in ``output[]``, in slot order.
+    outputs: list[MetricRecord]
+    #: Value of an explicit ``return`` statement (None if absent).
+    returned: Optional[float]
+    #: Loop iterations executed (observability/ablation hook).
+    steps: int

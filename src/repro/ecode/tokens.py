@@ -1,0 +1,103 @@
+"""Token definitions for the E-code language.
+
+E-code (Eisenhauer, GIT-CC-02-42) is a small subset of C used by the
+paper for dynamically generated monitoring filters: C operators, ``for``
+loops, ``if`` statements and ``return`` statements.  This module defines
+the token vocabulary shared by the lexer and parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    # literals and names
+    INT_LITERAL = auto()
+    FLOAT_LITERAL = auto()
+    IDENTIFIER = auto()
+
+    # keywords
+    KW_INT = auto()
+    KW_LONG = auto()
+    KW_DOUBLE = auto()
+    KW_FLOAT = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_FOR = auto()
+    KW_WHILE = auto()
+    KW_RETURN = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+
+    # punctuation
+    LPAREN = auto()      # (
+    RPAREN = auto()      # )
+    LBRACE = auto()      # {
+    RBRACE = auto()      # }
+    LBRACKET = auto()    # [
+    RBRACKET = auto()    # ]
+    SEMICOLON = auto()   # ;
+    COMMA = auto()       # ,
+    DOT = auto()         # .
+
+    # operators
+    ASSIGN = auto()          # =
+    PLUS_ASSIGN = auto()     # +=
+    MINUS_ASSIGN = auto()    # -=
+    STAR_ASSIGN = auto()     # *=
+    SLASH_ASSIGN = auto()    # /=
+    PERCENT_ASSIGN = auto()  # %=
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    EQ = auto()          # ==
+    NE = auto()          # !=
+    AND = auto()         # &&
+    OR = auto()          # ||
+    NOT = auto()         # !
+    INCREMENT = auto()   # ++
+    DECREMENT = auto()   # --
+
+    EOF = auto()
+
+
+#: Reserved words mapped to their token types.
+KEYWORDS: dict[str, TokenType] = {
+    "int": TokenType.KW_INT,
+    "long": TokenType.KW_LONG,
+    "double": TokenType.KW_DOUBLE,
+    "float": TokenType.KW_FLOAT,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "for": TokenType.KW_FOR,
+    "while": TokenType.KW_WHILE,
+    "return": TokenType.KW_RETURN,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, " \
+               f"{self.line}:{self.column})"

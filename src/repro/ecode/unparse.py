@@ -1,0 +1,108 @@
+"""AST → E-code source rendering (unparser).
+
+Used for control-plane observability (showing a deployed filter's
+normalised form) and by the test suite's parse→render→parse round-trip
+properties.  Output is always fully parenthesised in expressions, so it
+re-parses to a structurally identical AST regardless of precedence.
+"""
+
+from __future__ import annotations
+
+from repro.ecode import ast_nodes as A
+from repro.errors import EcodeError
+
+__all__ = ["unparse"]
+
+_INDENT = "    "
+
+
+def _expr(node: A.Expr) -> str:
+    if isinstance(node, A.IntLiteral):
+        return str(node.value)
+    if isinstance(node, A.FloatLiteral):
+        return repr(node.value)
+    if isinstance(node, A.Name):
+        return node.ident
+    if isinstance(node, A.Binary):
+        return f"({_expr(node.left)} {node.op} {_expr(node.right)})"
+    if isinstance(node, A.Unary):
+        return f"({node.op}{_expr(node.operand)})"
+    if isinstance(node, A.Index):
+        return f"{_expr(node.base)}[{_expr(node.index)}]"
+    if isinstance(node, A.Attribute):
+        return f"{_expr(node.base)}.{node.name}"
+    if isinstance(node, A.Call):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{node.func}({args})"
+    raise EcodeError(  # pragma: no cover - exhaustive
+        f"cannot unparse expression {type(node).__name__}")
+
+
+def _simple(stmt: A.Stmt) -> str:
+    """Render a statement without trailing semicolon/newline (for
+    for-loop headers)."""
+    if isinstance(stmt, A.VarDecl):
+        init = f" = {_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{stmt.ctype} {stmt.name}{init}"
+    if isinstance(stmt, A.Assign):
+        return f"{_expr(stmt.target)} {stmt.op} {_expr(stmt.value)}"
+    if isinstance(stmt, A.IncDec):
+        return f"{stmt.target.ident}{stmt.op}"
+    if isinstance(stmt, A.ExprStmt):
+        return _expr(stmt.expr)
+    raise EcodeError(  # pragma: no cover - parser-restricted
+        f"{type(stmt).__name__} is not a simple statement")
+
+
+def _stmt(stmt: A.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, (A.VarDecl, A.Assign, A.IncDec, A.ExprStmt)):
+        return [f"{pad}{_simple(stmt)};"]
+    if isinstance(stmt, A.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {_expr(stmt.value)};"]
+    if isinstance(stmt, A.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, A.Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, A.If):
+        lines = [f"{pad}if ({_expr(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.then_body, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_block_lines(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.For):
+        init = _simple(stmt.init) if stmt.init is not None else ""
+        cond = _expr(stmt.cond) if stmt.cond is not None else ""
+        step = _simple(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.While):
+        lines = [f"{pad}while ({_expr(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.Block):
+        lines = [f"{pad}{{"]
+        lines.extend(_block_lines(stmt, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise EcodeError(  # pragma: no cover - exhaustive
+        f"cannot unparse statement {type(stmt).__name__}")
+
+
+def _block_lines(block: A.Block, depth: int) -> list[str]:
+    lines: list[str] = []
+    for stmt in block.statements:
+        lines.extend(_stmt(stmt, depth))
+    return lines
+
+
+def unparse(program: A.Program) -> str:
+    """Render a parsed program back to E-code source."""
+    return "\n".join(_block_lines(program.body, 0)) + "\n"

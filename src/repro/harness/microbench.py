@@ -1,0 +1,209 @@
+"""Microbenchmark experiments: Figures 4-8 of the paper.
+
+All five experiments share the paper's setup: an 8-node cluster with
+dproc "monitoring CPU load, disk usage, memory usage, and network
+traffic, resulting in monitoring events of about 50-100 bytes", run in
+three configurations:
+
+* ``period=1s`` — every metric published each polling iteration;
+* ``period=2s`` — update period of two seconds;
+* ``differential`` — the 15 % change threshold ("monitoring
+  information is sent only if the utilization of a resource varies by
+  at least 15 % from the last measured result").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dproc import DMonConfig, MetricId, deploy_dproc
+from repro.dproc.params import ChangeThreshold
+from repro.harness.experiment import ExperimentResult
+from repro.sim import Cluster, Environment, build_cluster
+from repro.units import KB, to_usec
+from repro.workloads import AmbientActivity, IperfMeasure, Linpack
+
+#: Background activity level on every node.  The paper's testbed nodes
+#: ran a full Linux userland, so resource metrics fluctuate a little;
+#: without this the differential filter would (unrealistically) never
+#: fire.  Kept small enough not to disturb linpack/iperf measurably.
+AMBIENT_INTENSITY = 0.25
+
+__all__ = [
+    "MICROBENCH_METRICS", "CONFIG_LABELS",
+    "fig4_cpu_perturbation", "fig5_network_perturbation",
+    "fig6_submission_overhead", "fig7_submission_overhead_large",
+    "fig8_receive_overhead",
+]
+
+#: The four monitored quantities of the microbenchmarks (≈88 B events).
+MICROBENCH_METRICS = frozenset({
+    MetricId.LOADAVG, MetricId.FREEMEM, MetricId.DISKUSAGE,
+    MetricId.NET_BANDWIDTH,
+})
+
+#: The three monitoring configurations compared throughout §4.1.
+CONFIG_LABELS = ("update period=1s", "update period=2s",
+                 "differential filter")
+
+
+def _deploy(cluster: Cluster, n_nodes: int, mode: str,
+            padding: float = 0.0,
+            ambient: float = AMBIENT_INTENSITY) -> dict:
+    """Deploy dproc on the first ``n_nodes`` nodes in one of the three
+    §4.1 configurations."""
+    if ambient > 0:
+        for node in cluster:
+            AmbientActivity(node, intensity=ambient).start()
+    if n_nodes == 0:
+        return {}
+    config = DMonConfig(poll_interval=1.0,
+                        metric_subset=MICROBENCH_METRICS,
+                        payload_padding=padding)
+    hosts = cluster.names[:n_nodes]
+    dprocs = deploy_dproc(cluster, config=config,
+                          modules=("cpu", "mem", "disk", "net"),
+                          hosts=hosts)
+    for dproc in dprocs.values():
+        for policy in dproc.dmon.policies.values():
+            if mode == "period2":
+                policy.set_period(2.0)
+            elif mode == "differential":
+                policy.add_threshold(ChangeThreshold(15.0))
+            elif mode != "period1":
+                raise ValueError(f"unknown configuration {mode!r}")
+    return dprocs
+
+_MODES = {"update period=1s": "period1",
+          "update period=2s": "period2",
+          "differential filter": "differential"}
+
+
+def fig4_cpu_perturbation(nodes: Iterable[int] = range(0, 9),
+                          duration: float = 60.0,
+                          seed: int = 0) -> ExperimentResult:
+    """Figure 4: linpack MFLOPS on node0 vs number of dproc nodes."""
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="CPU perturbation analysis (linpack)",
+        xlabel="nodes", ylabel="available CPU (Mflops)",
+        expectation="Mflops decrease only slightly with cluster size; "
+                    "the differential filter perturbs least "
+                    "(paper: 17.4 -> ~16.6 at 8 nodes for 1s period)")
+    nodes = list(nodes)
+    for label in CONFIG_LABELS:
+        ys = []
+        for n in nodes:
+            env = Environment()
+            cluster = build_cluster(env, n_nodes=max(n, 1), seed=seed)
+            _deploy(cluster, n, _MODES[label])
+            linpack = Linpack(cluster.nodes[cluster.names[0]]).start()
+            env.run(until=duration)
+            ys.append(linpack.mflops(since=duration * 0.1))
+        result.add_series(label, nodes, ys)
+    return result
+
+
+def fig5_network_perturbation(nodes: Iterable[int] = range(0, 9),
+                              duration: float = 60.0,
+                              seed: int = 0) -> ExperimentResult:
+    """Figure 5: Iperf available bandwidth vs number of dproc nodes."""
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Network perturbation analysis (Iperf UDP)",
+        xlabel="nodes", ylabel="available bandwidth (Mbps)",
+        expectation="bandwidth drops by <0.5% for a 1s update period "
+                    "and stays ~constant for 2s and the differential "
+                    "filter (paper: ~96 -> ~95.5 Mbps)")
+    nodes = list(nodes)
+    for label in CONFIG_LABELS:
+        ys = []
+        for n in nodes:
+            env = Environment()
+            cluster = build_cluster(env, n_nodes=max(n, 2), seed=seed)
+            _deploy(cluster, n, _MODES[label])
+            iperf = IperfMeasure(cluster[cluster.names[0]],
+                                 cluster[cluster.names[1]]).start()
+            env.run(until=duration)
+            ys.append(iperf.bandwidth_mbps(since=duration * 0.1))
+        result.add_series(label, nodes, ys)
+    return result
+
+
+def _submission_overhead(nodes: Sequence[int], duration: float,
+                         seed: int, padding: float,
+                         experiment_id: str,
+                         title: str,
+                         expectation: str) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title,
+        xlabel="nodes", ylabel="submission overhead (usec/iteration)",
+        expectation=expectation)
+    for label in CONFIG_LABELS:
+        ys = []
+        for n in nodes:
+            env = Environment()
+            cluster = build_cluster(env, n_nodes=n, seed=seed)
+            dprocs = _deploy(cluster, n, _MODES[label],
+                             padding=padding)
+            env.run(until=duration)
+            dmon = dprocs[cluster.names[0]].dmon
+            ys.append(to_usec(dmon.mean_submit_overhead(
+                since=duration * 0.1)))
+        result.add_series(label, nodes, ys)
+    return result
+
+
+def fig6_submission_overhead(nodes: Iterable[int] = range(1, 9),
+                             duration: float = 100.0,
+                             seed: int = 0) -> ExperimentResult:
+    """Figure 6: event submission overhead per polling iteration.
+
+    "The overhead is calculated by timing 100 polling iterations and
+    taking the average" — ``duration=100`` at a 1 s poll interval does
+    exactly that.
+    """
+    return _submission_overhead(
+        list(nodes), duration, seed, padding=0.0,
+        experiment_id="fig6",
+        title="Event submission overhead (50-100 B events)",
+        expectation="grows with cluster size; <100 usec with the "
+                    "differential filter even at 8 nodes; ~1.8 ms at "
+                    "8 nodes for the 1 s period")
+
+
+def fig7_submission_overhead_large(nodes: Iterable[int] = range(1, 9),
+                                   duration: float = 100.0,
+                                   seed: int = 0) -> ExperimentResult:
+    """Figure 7: the same with ~5 KB monitoring events."""
+    return _submission_overhead(
+        list(nodes), duration, seed, padding=KB(5) - 88.0,
+        experiment_id="fig7",
+        title="Event submission overhead (5 KB events)",
+        expectation="same shape as Fig 6 with larger magnitudes "
+                    "(~5 ms at 8 nodes for the 1 s period)")
+
+
+def fig8_receive_overhead(nodes: Iterable[int] = range(1, 9),
+                          duration: float = 100.0,
+                          seed: int = 0) -> ExperimentResult:
+    """Figure 8: overhead of handling incoming events per iteration."""
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Overhead in receiving incoming events",
+        xlabel="nodes", ylabel="receive overhead (usec/iteration)",
+        expectation="<1 ms at 8 nodes for the 2 s period and the "
+                    "differential filter; <2.2 ms for the 1 s period")
+    nodes = list(nodes)
+    for label in CONFIG_LABELS:
+        ys = []
+        for n in nodes:
+            env = Environment()
+            cluster = build_cluster(env, n_nodes=n, seed=seed)
+            dprocs = _deploy(cluster, n, _MODES[label])
+            env.run(until=duration)
+            dmon = dprocs[cluster.names[0]].dmon
+            ys.append(to_usec(dmon.mean_receive_overhead(
+                since=duration * 0.1)))
+        result.add_series(label, nodes, ys)
+    return result

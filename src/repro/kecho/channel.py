@@ -1,0 +1,322 @@
+"""KECho channels: kernel-level publish/subscribe over the fabric.
+
+The paper's KECho provides direct kernel-kernel communication: every
+node's kernel connects to a channel; ``submit`` pushes an event from
+the publisher's kernel straight to every subscriber's kernel with no
+central collection point.  Here a :class:`KechoBus` wires per-node
+:class:`ChannelEndpoint` objects over the simulated transport.
+
+Cost accounting mirrors the paper's ``rdtsc`` measurements: every
+``submit`` returns a :class:`SubmitReceipt` with the kernel CPU seconds
+spent encoding and pushing the event (the quantity plotted in Figures
+6-7), and endpoints accumulate the receive-path cost (Figure 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ChannelError
+from repro.kecho.event import ChannelEvent
+from repro.kecho.registry import ChannelInfo, ChannelRegistry
+from repro.sim.core import SimEvent
+from repro.sim.node import Node
+from repro.sim.trace import CounterTrace
+
+__all__ = ["KechoBus", "ChannelEndpoint", "Subscription", "SubmitReceipt"]
+
+Handler = Callable[[ChannelEvent], None]
+
+_sub_ids = itertools.count(1)
+
+
+@dataclass
+class Subscription:
+    """Handle for one registered handler on one endpoint."""
+
+    sid: int
+    endpoint: "ChannelEndpoint"
+    handler: Handler
+    active: bool = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.endpoint._drop_subscription(self)
+            self.active = False
+
+
+@dataclass
+class SubmitReceipt:
+    """Accounting for one submit call (the paper's cycle counts)."""
+
+    event: ChannelEvent
+    #: Kernel CPU seconds spent on this submission (encode + sends).
+    cpu_seconds: float
+    #: Remote subscriber hosts the event was pushed to.
+    remote_targets: list[str]
+    #: Per-target delivery events (for tests / synchronisation).
+    deliveries: list[SimEvent] = field(default_factory=list)
+
+
+class ChannelEndpoint:
+    """One node's kernel-level attachment to a channel."""
+
+    def __init__(self, bus: "KechoBus", node: Node,
+                 info: ChannelInfo) -> None:
+        self.bus = bus
+        self.node = node
+        self.info = info
+        self.subscriptions: list[Subscription] = []
+        self.closed = False
+        self._tag = f"kecho:{info.name}"
+        self._conns: dict[str, Any] = {}
+        # observability ---------------------------------------------------
+        self.submitted = CounterTrace(f"{node.name}:{info.name}:submits")
+        self.received = CounterTrace(f"{node.name}:{info.name}:receives")
+        self.bytes_out = CounterTrace(f"{node.name}:{info.name}:tx")
+        self.bytes_in = CounterTrace(f"{node.name}:{info.name}:rx")
+        #: Cumulative receive-path kernel CPU seconds (Figure 8 metric).
+        self.receive_cpu_seconds = 0.0
+        node.stack.bind(self._tag, self._on_message)
+
+    # -- subscription ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def is_subscriber(self) -> bool:
+        return bool(self.subscriptions)
+
+    def subscribe(self, handler: Handler) -> Subscription:
+        """Register a handler; the node becomes a sink for this channel.
+
+        Per the paper, "the exchange of data is triggered only when an
+        application registers interest" — publishers push only to nodes
+        with at least one live subscription.
+        """
+        self._ensure_open()
+        sub = Subscription(sid=next(_sub_ids), endpoint=self,
+                           handler=handler)
+        self.subscriptions.append(sub)
+        return sub
+
+    def _drop_subscription(self, sub: Subscription) -> None:
+        try:
+            self.subscriptions.remove(sub)
+        except ValueError:
+            raise ChannelError("subscription is not active") from None
+
+    # -- publication ---------------------------------------------------------------
+
+    def submit(self, payload: Any, size: float,
+               attributes: Optional[dict[str, Any]] = None,
+               ) -> SubmitReceipt:
+        """Publish an event to every subscriber on the channel.
+
+        Local subscribers are dispatched synchronously (kernel upcall);
+        remote subscribers receive the event over the network.  Kernel
+        CPU for encoding and per-subscriber pushes is charged to this
+        node and reported in the receipt.
+        """
+        self._ensure_open()
+        if size <= 0:
+            raise ChannelError("event size must be positive")
+        now = self.node.env.now
+        event = ChannelEvent(channel=self.name, source=self.node.name,
+                             payload=payload, size=float(size),
+                             attributes=dict(attributes or {}),
+                             submitted_at=now)
+        costs = self.node.costs
+        cpu = costs.encode_cost(size)
+        targets = self.bus.remote_subscribers(self.name, self.node.name)
+        cpu += costs.send_cost(size, len(targets))
+        self.node.charge_kernel_seconds(cpu)
+        self.submitted.add(now, 1.0)
+        self.bytes_out.add(now, size * len(targets))
+
+        deliveries: list[SimEvent] = []
+        for host in targets:
+            conn = self._connection_to(host)
+            deliveries.append(conn.send(event, size))
+        # Local subscribers see the event immediately.
+        local = self.bus.endpoint(self.name, self.node.name)
+        if local is self and self.is_subscriber:
+            delivered = ChannelEvent(
+                channel=event.channel, source=event.source,
+                payload=event.payload, size=event.size,
+                attributes=dict(event.attributes),
+                submitted_at=event.submitted_at)
+            delivered.delivered_at = now
+            self._dispatch(delivered, charge=False)
+        # Derived channels: run each derivation at this publisher and
+        # re-submit its output on the derived channel (recursively
+        # handles chains; the bus rejects cycles at registration).
+        for derivation in self.bus.derivations_of(self.name):
+            if not self.bus.has_audience(derivation.derived,
+                                         self.node.name):
+                continue
+            self.node.charge_kernel_seconds(costs.filter_exec)
+            result = derivation.apply(event, now)
+            if result is None:
+                continue
+            derived_payload, derived_size = result
+            derived_ep = self.bus.connect(self.node,
+                                          derivation.derived)
+            derived_ep.submit(derived_payload, derived_size,
+                              attributes={"derived_from": self.name})
+        return SubmitReceipt(event=event, cpu_seconds=cpu,
+                             remote_targets=targets,
+                             deliveries=deliveries)
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the channel (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.subscriptions.clear()
+        self.node.stack.unbind(self._tag)
+        self.bus._detach(self)
+
+    # -- internals ------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise ChannelError(
+                f"endpoint {self.node.name}:{self.name} is closed")
+
+    def _connection_to(self, host: str):
+        conn = self._conns.get(host)
+        if conn is None:
+            conn = self.node.stack.connect(host, tag=self._tag)
+            self._conns[host] = conn
+        return conn
+
+    def _on_message(self, msg) -> None:
+        event: ChannelEvent = msg.payload
+        delivered = ChannelEvent(
+            channel=event.channel, source=event.source,
+            payload=event.payload, size=event.size,
+            attributes=dict(event.attributes),
+            submitted_at=event.submitted_at)
+        delivered.delivered_at = self.node.env.now
+        self._dispatch(delivered, charge=True)
+
+    def _dispatch(self, event: ChannelEvent, charge: bool) -> None:
+        now = self.node.env.now
+        self.received.add(now, 1.0)
+        self.bytes_in.add(now, event.size)
+        if charge:
+            # The NetStack already charged the kernel; record it here
+            # for the Figure 8 per-channel measurement.
+            self.receive_cpu_seconds += \
+                self.node.costs.receive_cost(event.size)
+        for sub in list(self.subscriptions):
+            if sub.active:
+                sub.handler(event)
+
+
+class KechoBus:
+    """Cluster-wide channel wiring: registry + endpoint map."""
+
+    def __init__(self, registry: Optional[ChannelRegistry] = None) -> None:
+        self.registry = registry or ChannelRegistry()
+        self._endpoints: dict[tuple[str, str], ChannelEndpoint] = {}
+        self._derivations: dict[str, list] = {}
+
+    def connect(self, node: Node, name: str) -> ChannelEndpoint:
+        """Open (or find) channel ``name`` and attach ``node`` to it.
+
+        Mirrors the paper's flow: contact the registry; the first
+        caller creates the channel, later callers retrieve it.
+        """
+        key = (name, node.name)
+        existing = self._endpoints.get(key)
+        if existing is not None and not existing.closed:
+            return existing
+        info, _created = self.registry.open(name, node.name)
+        endpoint = ChannelEndpoint(self, node, info)
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str, host: str) -> Optional[ChannelEndpoint]:
+        ep = self._endpoints.get((name, host))
+        if ep is not None and ep.closed:
+            return None
+        return ep
+
+    def remote_subscribers(self, name: str, source: str) -> list[str]:
+        """Hosts (other than ``source``) with live subscriptions."""
+        info = self.registry.lookup(name)
+        out = []
+        for host in info.members:
+            if host == source:
+                continue
+            ep = self.endpoint(name, host)
+            if ep is not None and ep.is_subscriber:
+                out.append(host)
+        return out
+
+    def has_audience(self, name: str, source: str) -> bool:
+        """True when anyone (remote or local) subscribes to ``name``."""
+        try:
+            self.registry.lookup(name)
+        except Exception:
+            return False
+        if self.remote_subscribers(name, source):
+            return True
+        local = self.endpoint(name, source)
+        return local is not None and local.is_subscriber
+
+    # -- derived channels ---------------------------------------------------------
+
+    def derive(self, source: str, derived: str, transform):
+        """Register ``derived`` as a derivation of ``source``.
+
+        The transform runs at each publisher of ``source``; its output
+        is submitted on ``derived``.  Chains are allowed; cycles are
+        rejected.
+        """
+        from repro.kecho.derived import Derivation
+        if source == derived:
+            raise ChannelError("a channel cannot derive from itself")
+        # Walk the ancestry of `source`: if `derived` appears, the new
+        # edge would close a cycle.
+        parents = {d.derived: d.source
+                   for specs in self._derivations.values()
+                   for d in specs}
+        ancestor = source
+        seen = {source}
+        while ancestor in parents:
+            ancestor = parents[ancestor]
+            if ancestor == derived:
+                raise ChannelError(
+                    f"derivation {derived!r} <- {source!r} would "
+                    f"create a cycle")
+            if ancestor in seen:  # pragma: no cover - defensive
+                break
+            seen.add(ancestor)
+        spec = Derivation(source=source, derived=derived,
+                          transform=transform)
+        self._derivations.setdefault(source, []).append(spec)
+        return spec
+
+    def derivations_of(self, source: str) -> list:
+        """Live derivations registered on ``source``."""
+        return list(self._derivations.get(source, ()))
+
+    def remove_derivation(self, spec) -> None:
+        specs = self._derivations.get(spec.source, [])
+        try:
+            specs.remove(spec)
+        except ValueError:
+            raise ChannelError("derivation is not registered") from None
+
+    def _detach(self, endpoint: ChannelEndpoint) -> None:
+        self.registry.leave(endpoint.name, endpoint.node.name)
+        self._endpoints.pop((endpoint.name, endpoint.node.name), None)

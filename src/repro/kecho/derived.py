@@ -1,0 +1,90 @@
+"""Derived event channels (the ECho derivation concept).
+
+ECho — and the paper's SmartPointer on top of it — lets clients
+"subscribe to any of a number of different derivations of that data,
+ranging from a straight data feed, to down-sampled data … to a stream
+of images".  A *derived channel* is a channel whose events are computed
+from a source channel's events by a transform that runs **at the
+publisher**, so non-subscribed derivations cost nothing downstream.
+
+Transforms are Python callables ``(ChannelEvent) -> (payload, size) |
+None`` (None drops the event for that derivation).  dproc's E-code
+filters plug in directly for record-array payloads via
+:func:`ecode_transform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ecode import CompiledFilter, MetricRecord
+from repro.errors import ChannelError, EcodeError
+from repro.kecho.event import ChannelEvent
+from repro.sim.trace import CounterTrace
+
+__all__ = ["Derivation", "ecode_transform"]
+
+Transform = Callable[[ChannelEvent], Optional[tuple[object, float]]]
+
+
+@dataclass
+class Derivation:
+    """One registered derivation: source channel → derived channel."""
+
+    source: str
+    derived: str
+    transform: Transform
+    #: Events offered / passed through (observability).
+    offered: CounterTrace = field(default_factory=lambda:
+                                  CounterTrace("offered"))
+    passed: CounterTrace = field(default_factory=lambda:
+                                 CounterTrace("passed"))
+    errors: int = 0
+
+    def apply(self, event: ChannelEvent,
+              now: float) -> Optional[tuple[object, float]]:
+        """Run the transform, tolerating transform failures."""
+        self.offered.add(now, 1.0)
+        try:
+            result = self.transform(event)
+        except EcodeError:
+            self.errors += 1
+            return None
+        if result is None:
+            return None
+        payload, size = result
+        if size <= 0:
+            raise ChannelError(
+                f"derivation {self.derived!r} produced a non-positive "
+                f"event size")
+        self.passed.add(now, 1.0)
+        return payload, float(size)
+
+
+def ecode_transform(compiled: CompiledFilter,
+                    bytes_per_record: float = 12.0,
+                    header_bytes: float = 40.0) -> Transform:
+    """Adapt a compiled E-code filter into a channel transform.
+
+    The source event's payload must be a sequence of
+    :class:`~repro.ecode.MetricRecord`; the derived payload is the
+    filter's output records, sized by the standard record encoding.
+    An empty output drops the event (the paper's "customize (or
+    block)").
+    """
+
+    def transform(event: ChannelEvent
+                  ) -> Optional[tuple[object, float]]:
+        payload = event.payload
+        if not isinstance(payload, Sequence) or not all(
+                isinstance(r, MetricRecord) for r in payload):
+            raise ChannelError(
+                "ecode_transform needs MetricRecord sequences")
+        result = compiled.run(list(payload))
+        if not result.outputs:
+            return None
+        size = header_bytes + bytes_per_record * len(result.outputs)
+        return result.outputs, size
+
+    return transform

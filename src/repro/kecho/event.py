@@ -1,0 +1,38 @@
+"""KECho events.
+
+An event is an opaque payload plus attributes, submitted to a channel
+and delivered to every subscriber's handler.  Sizes are explicit
+(bytes): the publisher declares how large the encoded event is, and the
+cost model charges encode/send/receive CPU accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["ChannelEvent"]
+
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class ChannelEvent:
+    """One event flowing through a KECho channel."""
+
+    channel: str                 #: channel name
+    source: str                  #: publishing host name
+    payload: Any                 #: application data (opaque)
+    size: float                  #: encoded size in bytes
+    attributes: dict[str, Any] = field(default_factory=dict)
+    submitted_at: float = 0.0    #: simulation time of submission
+    delivered_at: Optional[float] = None
+    eid: int = field(default_factory=lambda: next(_event_ids))
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-delivery latency, once delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.submitted_at

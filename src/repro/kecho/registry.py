@@ -1,0 +1,76 @@
+"""The channel registry — KECho's user-level directory server.
+
+Per the paper: "D-mon modules use a channel registry, which is a
+user-level channel directory server, to register new channels and to
+find existing channels.  The first d-mon module to contact the registry
+will create the two channels.  All other d-mon modules in the cluster
+will retrieve the channel identifiers from the registry and subscribe."
+
+The registry is control-plane only: it never touches event data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError
+
+__all__ = ["ChannelInfo", "ChannelRegistry"]
+
+
+@dataclass
+class ChannelInfo:
+    """Directory entry for one channel."""
+
+    name: str
+    channel_id: int
+    creator: str
+    members: list[str] = field(default_factory=list)
+
+
+class ChannelRegistry:
+    """Cluster-wide channel directory."""
+
+    def __init__(self) -> None:
+        self._channels: dict[str, ChannelInfo] = {}
+        self._ids = itertools.count(1)
+
+    def open(self, name: str, host: str) -> tuple[ChannelInfo, bool]:
+        """Find or create the channel ``name``.
+
+        Returns ``(info, created)`` where ``created`` says whether this
+        call created the channel (i.e. ``host`` was first).
+        """
+        if not name:
+            raise RegistryError("channel name cannot be empty")
+        info = self._channels.get(name)
+        created = False
+        if info is None:
+            info = ChannelInfo(name=name, channel_id=next(self._ids),
+                               creator=host)
+            self._channels[name] = info
+            created = True
+        if host not in info.members:
+            info.members.append(host)
+        return info, created
+
+    def lookup(self, name: str) -> ChannelInfo:
+        """Return the entry for ``name`` (raises if absent)."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise RegistryError(f"no channel named {name!r}") from None
+
+    def leave(self, name: str, host: str) -> None:
+        """Remove ``host`` from the channel's membership."""
+        info = self.lookup(name)
+        try:
+            info.members.remove(host)
+        except ValueError:
+            raise RegistryError(
+                f"{host!r} is not a member of channel {name!r}") from None
+
+    def channels(self) -> list[str]:
+        """All registered channel names."""
+        return sorted(self._channels)

@@ -1,0 +1,43 @@
+"""Discrete-event cluster simulator substrate.
+
+Replaces the paper's physical testbed (8 × quad Pentium Pro / switched
+100 Mbps Ethernet / Linux 2.4) for the reproduction.  See DESIGN.md §2
+for the substitution rationale.
+"""
+
+from repro.sim.core import (AllOf, AnyOf, Condition, Environment, Process,
+                            SimEvent, Timeout)
+from repro.sim.cluster import Cluster, PAPER_NODE_NAMES, build_cluster
+from repro.sim.cpu import CPU, CpuJob
+from repro.sim.disk import Disk
+from repro.sim.link import Flow, FlowKind, Link
+from repro.sim.memory import Allocation, Memory
+from repro.sim.network import Fabric, FixedFlowHandle, HostPort, \
+    SharedSegment, TransferHandle
+from repro.sim.node import KernelCostModel, Node, NodeConfig
+from repro.sim.power import Battery
+from repro.sim.rng import RngHub
+from repro.sim.stores import Container, PriorityItem, PriorityStore, \
+    Resource, Store
+from repro.sim.topology import (GraphFabric, build_graph_cluster,
+                                line_topology, tree_topology)
+from repro.sim.transport import Connection, Message, NetStack, Protocol
+from repro.sim.trace import CounterTrace, EwmaLoad, TimeSeries, \
+    WindowAverage
+
+__all__ = [
+    "AllOf", "AnyOf", "Condition", "Environment", "Process", "SimEvent",
+    "Timeout",
+    "Cluster", "PAPER_NODE_NAMES", "build_cluster",
+    "CPU", "CpuJob", "Disk", "Memory", "Allocation",
+    "Flow", "FlowKind", "Link",
+    "Fabric", "FixedFlowHandle", "HostPort", "SharedSegment",
+    "TransferHandle",
+    "KernelCostModel", "Node", "NodeConfig",
+    "Battery", "RngHub",
+    "Container", "PriorityItem", "PriorityStore", "Resource", "Store",
+    "GraphFabric", "build_graph_cluster", "line_topology",
+    "tree_topology",
+    "Connection", "Message", "NetStack", "Protocol",
+    "CounterTrace", "EwmaLoad", "TimeSeries", "WindowAverage",
+]

@@ -1,0 +1,200 @@
+"""Multi-CPU processor-sharing model.
+
+A :class:`CPU` models an SMP node (the paper's quad Pentium Pro) as a
+work-conserving processor-sharing server:
+
+* ``n_cpus`` processors, each delivering ``mflops_per_cpu`` Mflop/s;
+* with ``k`` runnable jobs, each receives
+  ``mflops_per_cpu * min(1, n_cpus / k)`` — no job exceeds one CPU and
+  jobs share fairly when oversubscribed.
+
+The model is **event-driven**: rates are recomputed only when the job
+set changes, and the next completion is scheduled analytically, so a
+simulated hour of steady load costs a handful of events.
+
+Jobs submitted via :meth:`execute` are *runnable processes* and count
+toward the run-queue length seen by CPU_MON; jobs submitted via
+:meth:`kernel_work` consume cycles (they contend for capacity) but do
+not appear in the run queue, mirroring in-kernel softirq/handler work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, SimEvent
+from repro.sim.trace import EwmaLoad, TimeSeries
+
+__all__ = ["CPU", "CpuJob"]
+
+#: Relative tolerance for declaring a job's remaining work complete.
+_EPS = 1e-9
+
+
+@dataclass
+class CpuJob:
+    """One unit of CPU work executing under processor sharing."""
+
+    jid: int
+    name: str
+    work: float                      # total Mflop requested
+    remaining: float                 # Mflop still to run
+    runnable: bool                   # counts in the run queue?
+    done: SimEvent = field(repr=False, default=None)  # type: ignore[assignment]
+    started_at: float = 0.0
+    cancelled: bool = False
+
+
+class CPU:
+    """Work-conserving multi-processor with processor-sharing scheduling."""
+
+    def __init__(self, env: Environment, n_cpus: int = 4,
+                 mflops_per_cpu: float = 17.4,
+                 track_runqueue: bool = True) -> None:
+        if n_cpus < 1:
+            raise SimulationError("need at least one CPU")
+        if mflops_per_cpu <= 0:
+            raise SimulationError("CPU capacity must be positive")
+        self.env = env
+        self.n_cpus = int(n_cpus)
+        self.mflops_per_cpu = float(mflops_per_cpu)
+        self._jobs: dict[int, CpuJob] = {}
+        self._ids = itertools.count(1)
+        self._last_update = env.now
+        self._timer_generation = 0
+        #: Cumulative CPU-seconds actually consumed (all processors).
+        self.busy_cpu_seconds = 0.0
+        #: Classic /proc/loadavg exponential averages, fed on job churn.
+        self.loadavg = EwmaLoad()
+        #: Optional full trace of run-queue length transitions.
+        self.runqueue_trace: Optional[TimeSeries] = (
+            TimeSeries("runqueue") if track_runqueue else None)
+        if self.runqueue_trace is not None:
+            self.runqueue_trace.record(env.now, 0)
+
+    # -- public interface --------------------------------------------------
+
+    @property
+    def run_queue_length(self) -> int:
+        """Number of runnable jobs (running + waiting for a processor)."""
+        return sum(1 for j in self._jobs.values() if j.runnable)
+
+    @property
+    def active_jobs(self) -> int:
+        """All jobs currently consuming cycles (incl. kernel work)."""
+        return len(self._jobs)
+
+    def per_job_rate(self) -> float:
+        """Current Mflop/s granted to each active job."""
+        k = len(self._jobs)
+        if k == 0:
+            return self.mflops_per_cpu
+        return self.mflops_per_cpu * min(1.0, self.n_cpus / k)
+
+    def execute(self, work_mflop: float, name: str = "job") -> SimEvent:
+        """Run ``work_mflop`` of application work; yields when finished."""
+        return self._submit(work_mflop, name, runnable=True).done
+
+    def kernel_work(self, work_mflop: float,
+                    name: str = "kernel") -> SimEvent:
+        """Run in-kernel work that uses cycles without being 'runnable'."""
+        return self._submit(work_mflop, name, runnable=False).done
+
+    def submit(self, work_mflop: float, name: str = "job",
+               runnable: bool = True) -> CpuJob:
+        """Lower-level entry returning the :class:`CpuJob` handle."""
+        return self._submit(work_mflop, name, runnable)
+
+    def cancel(self, job: CpuJob) -> None:
+        """Abort a job; its event fails with :class:`SimulationError`."""
+        if job.jid not in self._jobs:
+            return
+        self._settle()
+        del self._jobs[job.jid]
+        job.cancelled = True
+        job.done.fail(SimulationError(f"job {job.name!r} cancelled"))
+        job.done.defused = True
+        self._changed()
+
+    def utilization(self, since: float, now: float | None = None) -> float:
+        """Mean fraction of total capacity used since ``since``.
+
+        Call :meth:`settle` first for an up-to-the-instant reading.
+        """
+        now = self.env.now if now is None else now
+        span = now - since
+        if span <= 0:
+            raise SimulationError("empty utilization window")
+        # busy_cpu_seconds is cumulative from t=0; caller is expected to
+        # difference readings; here we provide the simple global mean.
+        return self.busy_cpu_seconds / (self.n_cpus * now) if now > 0 else 0.0
+
+    def settle(self) -> None:
+        """Bring accounting (remaining work, busy time) up to ``env.now``."""
+        self._settle()
+
+    # -- internals -----------------------------------------------------------
+
+    def _submit(self, work: float, name: str, runnable: bool) -> CpuJob:
+        if work < 0:
+            raise SimulationError("work must be non-negative")
+        self._settle()
+        job = CpuJob(jid=next(self._ids), name=name, work=float(work),
+                     remaining=float(work), runnable=runnable,
+                     done=self.env.event(), started_at=self.env.now)
+        if work == 0.0:
+            job.done.succeed(job)
+            return job
+        self._jobs[job.jid] = job
+        self._changed()
+        return job
+
+    def _settle(self) -> None:
+        """Advance every job's remaining work to the current instant."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        k = len(self._jobs)
+        if k:
+            rate = self.per_job_rate()
+            burn = rate * dt
+            for job in self._jobs.values():
+                job.remaining = max(0.0, job.remaining - burn)
+            self.busy_cpu_seconds += min(k, self.n_cpus) * dt
+        self._last_update = now
+
+    def _changed(self) -> None:
+        """Job set changed: complete finished jobs, reschedule the timer."""
+        now = self.env.now
+        # Complete any job that has (numerically) finished.
+        finished = [j for j in self._jobs.values()
+                    if j.remaining <= _EPS * max(1.0, j.work)]
+        for job in finished:
+            del self._jobs[job.jid]
+            job.done.succeed(job)
+        self.loadavg.update(now, self.run_queue_length)
+        if self.runqueue_trace is not None:
+            self.runqueue_trace.record(now, self.run_queue_length)
+        self._timer_generation += 1
+        if not self._jobs:
+            return
+        rate = self.per_job_rate()
+        next_remaining = min(j.remaining for j in self._jobs.values())
+        eta = next_remaining / rate
+        if not math.isfinite(eta):
+            raise SimulationError("non-finite completion time")
+        generation = self._timer_generation
+        timer = self.env.timeout(eta)
+        timer.add_callback(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # stale timer; the job set changed since it was armed
+        self._settle()
+        self._changed()

@@ -1,0 +1,212 @@
+"""Link and flow primitives for the fluid network model.
+
+The network is modelled with *fluid flows* over capacitated links:
+
+* A :class:`Link` is a unidirectional capacity (bytes/s) with a
+  propagation latency and a carried-bytes counter.
+* A :class:`Flow` is either **fixed-rate** (open-loop UDP-style traffic
+  that does not back off; it is scaled down only when its links cannot
+  carry the offered load, the excess being *lost*) or **elastic**
+  (a discrete reliable transfer of ``remaining`` bytes that takes a
+  max-min fair share of whatever the fixed flows leave over).
+
+The allocator in :func:`allocate_rates` implements the classic two-stage
+scheme: proportional scaling for fixed flows, then progressive filling
+(water-filling) for elastic flows on the residual capacities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.sim.core import SimEvent
+from repro.sim.trace import CounterTrace
+
+__all__ = ["Link", "Flow", "FlowKind", "allocate_rates", "settle_flows",
+           "ELASTIC_FLOOR_FRACTION"]
+
+_link_ids = itertools.count(1)
+_flow_ids = itertools.count(1)
+
+#: Minimum share of a link's capacity an elastic flow can be squeezed to.
+#: Models the trickle a reliable stream still achieves under open-loop
+#: overload (header compression, retries); prevents infinite stalls.
+ELASTIC_FLOOR_FRACTION = 0.01
+
+
+class FlowKind(Enum):
+    """Traffic classes distinguished by the allocator."""
+
+    FIXED = "fixed"       # open-loop, rate-limited at the source (UDP)
+    ELASTIC = "elastic"   # closed-loop reliable transfer (TCP-like)
+
+
+class Link:
+    """One direction of a physical link (or a shared segment)."""
+
+    def __init__(self, name: str, capacity: float,
+                 latency: float = 0.0) -> None:
+        if capacity <= 0:
+            raise NetworkError(f"link {name!r} needs positive capacity")
+        if latency < 0:
+            raise NetworkError(f"link {name!r} latency cannot be negative")
+        self.lid = next(_link_ids)
+        self.name = name
+        self.capacity = float(capacity)   # bytes per second
+        self.latency = float(latency)     # seconds, one-way
+        self.carried = CounterTrace(f"link:{name}:bytes")
+        #: Bytes offered by fixed flows but not carried (dropped).
+        self.dropped = CounterTrace(f"link:{name}:dropped")
+
+    def utilization(self, now: float, window: float) -> float:
+        """Recent carried load as a fraction of capacity."""
+        return self.carried.rate(now, window) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.capacity * 8 / 1e6:.0f}Mbps>"
+
+
+@dataclass
+class Flow:
+    """A unidirectional traffic flow across a path of links."""
+
+    path: tuple[Link, ...]
+    kind: FlowKind
+    #: Offered rate for FIXED flows (bytes/s); ignored for ELASTIC.
+    demand: float = 0.0
+    #: Bytes still to move for ELASTIC flows; ignored for FIXED.
+    remaining: float = 0.0
+    name: str = "flow"
+    #: Completion event (ELASTIC only).
+    done: Optional[SimEvent] = None
+    #: Current allocated rate (bytes/s), set by the allocator.
+    rate: float = field(default=0.0, init=False)
+    fid: int = field(default_factory=lambda: next(_flow_ids), init=False)
+    #: Cumulative bytes actually carried.
+    carried_bytes: float = field(default=0.0, init=False)
+    #: Cumulative bytes lost (FIXED flows under overload).
+    lost_bytes: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise NetworkError(f"flow {self.name!r} has an empty path")
+        if self.kind is FlowKind.FIXED and self.demand <= 0:
+            raise NetworkError("fixed flow needs a positive demand")
+        if self.kind is FlowKind.ELASTIC and self.remaining <= 0:
+            raise NetworkError("elastic flow needs positive bytes")
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the offered fixed-rate load currently being lost."""
+        if self.kind is not FlowKind.FIXED or self.demand <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.rate / self.demand)
+
+    @property
+    def path_latency(self) -> float:
+        """Sum of one-way propagation latencies along the path."""
+        return sum(link.latency for link in self.path)
+
+
+def allocate_rates(flows: Iterable[Flow]) -> None:
+    """Assign ``flow.rate`` for every flow, in place.
+
+    Stage 1 — fixed flows: each starts at its demand and is repeatedly
+    scaled down on every oversubscribed link (a few iterations converge
+    for practical topologies; fixed flows never use more than demand).
+
+    Stage 2 — elastic flows: progressive filling of the residual
+    capacity.  Repeatedly find the bottleneck link (smallest equal
+    share), freeze its flows at that share, and continue with the rest.
+    Every elastic flow additionally receives at least
+    ``ELASTIC_FLOOR_FRACTION`` of its tightest link's capacity.
+    """
+    flows = list(flows)
+    fixed = [f for f in flows if f.kind is FlowKind.FIXED]
+    elastic = [f for f in flows if f.kind is FlowKind.ELASTIC]
+
+    # -- stage 1: fixed flows ------------------------------------------------
+    for f in fixed:
+        f.rate = f.demand
+    for _ in range(64):  # iterative proportional scaling
+        load: dict[int, float] = {}
+        by_link: dict[int, list[Flow]] = {}
+        caps: dict[int, float] = {}
+        for f in fixed:
+            for link in f.path:
+                load[link.lid] = load.get(link.lid, 0.0) + f.rate
+                by_link.setdefault(link.lid, []).append(f)
+                caps[link.lid] = link.capacity
+        # Scale the single most-oversubscribed link, then re-derive the
+        # load map — scaling several links in one pass would shrink a
+        # flow once per link it crosses instead of once overall.
+        worst_lid, worst_ratio = None, 1.0 + 1e-12
+        for lid, total in load.items():
+            ratio = total / caps[lid]
+            if ratio > worst_ratio:
+                worst_lid, worst_ratio = lid, ratio
+        if worst_lid is None:
+            break
+        for f in by_link[worst_lid]:
+            f.rate /= worst_ratio
+
+    # -- stage 2: elastic flows on the residual -----------------------------
+    residual: dict[int, float] = {}
+    count: dict[int, int] = {}
+    links: dict[int, Link] = {}
+    for f in flows:
+        for link in f.path:
+            links[link.lid] = link
+            residual.setdefault(link.lid, link.capacity)
+            count.setdefault(link.lid, 0)
+    for f in fixed:
+        for link in f.path:
+            residual[link.lid] = max(0.0, residual[link.lid] - f.rate)
+    for f in elastic:
+        for link in f.path:
+            count[link.lid] += 1
+
+    active = set(f.fid for f in elastic)
+    by_fid = {f.fid: f for f in elastic}
+    while active:
+        # Equal share offered by each link to its remaining elastic flows.
+        shares = {lid: residual[lid] / count[lid]
+                  for lid in residual if count.get(lid, 0) > 0}
+        if not shares:
+            break
+        bottleneck = min(shares, key=lambda lid: shares[lid])
+        share = shares[bottleneck]
+        frozen = [fid for fid in active
+                  if any(l.lid == bottleneck for l in by_fid[fid].path)]
+        if not frozen:  # pragma: no cover - defensive
+            break
+        for fid in frozen:
+            flow = by_fid[fid]
+            floor = ELASTIC_FLOOR_FRACTION * min(
+                l.capacity for l in flow.path)
+            flow.rate = max(share, floor)
+            active.discard(fid)
+            for link in flow.path:
+                residual[link.lid] = max(
+                    0.0, residual[link.lid] - share)
+                count[link.lid] -= 1
+
+
+def settle_flows(flows: Sequence[Flow], dt: float) -> None:
+    """Advance byte accounting for ``dt`` seconds at current rates."""
+    if dt < 0:
+        raise NetworkError("cannot settle a negative interval")
+    if dt == 0:
+        return
+    for f in flows:
+        moved = f.rate * dt
+        if f.kind is FlowKind.ELASTIC:
+            moved = min(moved, f.remaining)
+            f.remaining -= moved
+        else:
+            f.lost_bytes += max(0.0, (f.demand - f.rate)) * dt
+        f.carried_bytes += moved

@@ -1,0 +1,301 @@
+"""Switched-Ethernet fabric built on the fluid link model.
+
+Topology (matching the paper's testbed): every host has a full-duplex
+access link (TX + RX, 100 Mbps each) into an ideal switch.  Hosts can
+optionally sit behind a *shared segment* — an extra link that all their
+traffic traverses — which is how the Fig 10 experiment ("two nodes
+sharing a link between client and server") is reproduced.
+
+The fabric is event-driven: whenever the flow set changes it settles
+byte progress, recomputes all rates with the max-min allocator, and
+re-arms a single completion timer for the earliest-finishing elastic
+flow.  Elastic transfers complete their ``done`` event after the path's
+propagation latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NetworkError, RoutingError
+from repro.sim.core import Environment, SimEvent
+from repro.sim.link import (Flow, FlowKind, Link, allocate_rates,
+                            settle_flows)
+from repro.units import mbps, usec
+
+__all__ = ["Fabric", "HostPort", "SharedSegment", "FixedFlowHandle",
+           "TransferHandle"]
+
+
+@dataclass
+class SharedSegment:
+    """A shared collision/backbone domain hosts can be attached behind."""
+
+    name: str
+    link: Link
+
+
+class HostPort:
+    """A host's attachment point: one TX and one RX link to the switch."""
+
+    def __init__(self, name: str, tx: Link, rx: Link,
+                 segment: Optional[SharedSegment] = None) -> None:
+        self.name = name
+        self.tx = tx
+        self.rx = rx
+        self.segment = segment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        seg = f" via {self.segment.name}" if self.segment else ""
+        return f"<HostPort {self.name}{seg}>"
+
+
+class FixedFlowHandle:
+    """Handle for an open-loop fixed-rate flow (close it to stop)."""
+
+    def __init__(self, fabric: "Fabric", flow: Flow) -> None:
+        self._fabric = fabric
+        self.flow = flow
+        self.opened_at = fabric.env.now
+        self.closed = False
+
+    @property
+    def rate(self) -> float:
+        """Currently carried rate (bytes/s)."""
+        self._fabric._settle()
+        return self.flow.rate
+
+    @property
+    def loss_fraction(self) -> float:
+        self._fabric._settle()
+        return self.flow.loss_fraction
+
+    @property
+    def lost_bytes(self) -> float:
+        """Cumulative bytes offered but dropped."""
+        self._fabric._settle()
+        return self.flow.lost_bytes
+
+    @property
+    def carried_bytes(self) -> float:
+        """Cumulative bytes actually delivered."""
+        self._fabric._settle()
+        return self.flow.carried_bytes
+
+    def set_demand(self, demand: float) -> None:
+        """Change the offered rate without tearing the flow down."""
+        if self.closed:
+            raise NetworkError("flow already closed")
+        if demand <= 0:
+            raise NetworkError("demand must be positive")
+        self._fabric._settle()
+        self.flow.demand = float(demand)
+        self._fabric._reallocate()
+
+    def close(self) -> None:
+        """Stop offering traffic (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self._fabric._remove_flow(self.flow)
+
+
+class TransferHandle:
+    """Handle for an in-flight elastic transfer."""
+
+    def __init__(self, flow: Flow, done: SimEvent) -> None:
+        self.flow = flow
+        self.done = done
+
+    @property
+    def rate(self) -> float:
+        return self.flow.rate
+
+    @property
+    def remaining(self) -> float:
+        return self.flow.remaining
+
+
+class Fabric:
+    """The cluster's switched network."""
+
+    def __init__(self, env: Environment,
+                 access_capacity: float = mbps(100),
+                 access_latency: float = usec(50),
+                 switch_latency: float = usec(10)) -> None:
+        self.env = env
+        self.access_capacity = float(access_capacity)
+        self.access_latency = float(access_latency)
+        self.switch_latency = float(switch_latency)
+        self.hosts: dict[str, HostPort] = {}
+        self.segments: dict[str, SharedSegment] = {}
+        self._flows: list[Flow] = []
+        self._last_settle = env.now
+        self._timer_generation = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_segment(self, name: str,
+                    capacity: float | None = None,
+                    latency: float = 0.0) -> SharedSegment:
+        """Create a shared segment hosts can be attached behind."""
+        if name in self.segments:
+            raise NetworkError(f"segment {name!r} already exists")
+        cap = self.access_capacity if capacity is None else capacity
+        seg = SharedSegment(name, Link(f"seg:{name}", cap, latency))
+        self.segments[name] = seg
+        return seg
+
+    def add_host(self, name: str,
+                 capacity: float | None = None,
+                 segment: SharedSegment | str | None = None) -> HostPort:
+        """Attach a host with a full-duplex access link."""
+        if name in self.hosts:
+            raise NetworkError(f"host {name!r} already attached")
+        cap = self.access_capacity if capacity is None else capacity
+        if isinstance(segment, str):
+            try:
+                segment = self.segments[segment]
+            except KeyError:
+                raise RoutingError(f"unknown segment {segment!r}") from None
+        port = HostPort(
+            name,
+            tx=Link(f"{name}:tx", cap, self.access_latency),
+            rx=Link(f"{name}:rx", cap, self.access_latency),
+            segment=segment,
+        )
+        self.hosts[name] = port
+        return port
+
+    def path(self, src: str, dst: str) -> tuple[Link, ...]:
+        """Links traversed from ``src`` to ``dst`` (TX, segments, RX)."""
+        if src == dst:
+            raise RoutingError(f"no self-path for host {src!r}")
+        try:
+            sport, dport = self.hosts[src], self.hosts[dst]
+        except KeyError as exc:
+            raise RoutingError(f"unknown host {exc.args[0]!r}") from None
+        links: list[Link] = [sport.tx]
+        # Traffic crossing in or out of a segment traverses it once; two
+        # hosts on the same segment also share it.
+        segs = []
+        if sport.segment is not None:
+            segs.append(sport.segment.link)
+        if dport.segment is not None and (
+                sport.segment is None
+                or dport.segment.link is not sport.segment.link):
+            segs.append(dport.segment.link)
+        links.extend(segs)
+        links.append(dport.rx)
+        return tuple(links)
+
+    # -- traffic -------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 name: str = "xfer") -> TransferHandle:
+        """Start a reliable elastic transfer of ``nbytes``.
+
+        Returns a handle whose ``done`` event fires once the last byte
+        has been serialised *and* propagated (path latency + switch).
+        """
+        if nbytes <= 0:
+            raise NetworkError("transfer size must be positive")
+        links = self.path(src, dst)
+        done = self.env.event()
+        flow = Flow(path=links, kind=FlowKind.ELASTIC,
+                    remaining=float(nbytes), name=name, done=done)
+        self._settle()
+        self._flows.append(flow)
+        self._reallocate()
+        return TransferHandle(flow, done)
+
+    def open_fixed_flow(self, src: str, dst: str, demand: float,
+                        name: str = "udp") -> FixedFlowHandle:
+        """Open an open-loop fixed-rate flow (UDP-style perturbation)."""
+        links = self.path(src, dst)
+        flow = Flow(path=links, kind=FlowKind.FIXED,
+                    demand=float(demand), name=name)
+        self._settle()
+        self._flows.append(flow)
+        self._reallocate()
+        return FixedFlowHandle(self, flow)
+
+    def flows_through(self, link: Link) -> list[Flow]:
+        """All live flows whose path includes ``link``."""
+        return [f for f in self._flows if link in f.path]
+
+    def available_bandwidth(self, src: str, dst: str) -> float:
+        """Instantaneous residual capacity on the src→dst path.
+
+        This is what NET_MON reports as 'available bandwidth': the
+        tightest link's capacity minus its currently allocated rates.
+        """
+        self._settle()
+        best = math.inf
+        for link in self.path(src, dst):
+            used = sum(f.rate for f in self._flows if link in f.path)
+            best = min(best, max(0.0, link.capacity - used))
+        return best
+
+    def settle(self) -> None:
+        """Bring all flow/link byte accounting up to the current instant."""
+        self._settle()
+
+    # -- internals ------------------------------------------------------------
+
+    def _remove_flow(self, flow: Flow) -> None:
+        self._settle()
+        try:
+            self._flows.remove(flow)
+        except ValueError:
+            raise NetworkError("flow is not live") from None
+        self._reallocate()
+
+    def _settle(self) -> None:
+        """Advance all flow byte counters to ``env.now``."""
+        now = self.env.now
+        dt = now - self._last_settle
+        if dt <= 0:
+            self._last_settle = now
+            return
+        settle_flows(self._flows, dt)
+        for f in self._flows:
+            carried = f.rate * dt
+            for link in f.path:
+                link.carried.add(now, carried)
+                if f.kind is FlowKind.FIXED and f.demand > f.rate:
+                    link.dropped.add(now, (f.demand - f.rate) * dt)
+        self._last_settle = now
+
+    def _reallocate(self) -> None:
+        """Recompute rates and re-arm the completion timer."""
+        allocate_rates(self._flows)
+        # Finish elastic flows that have drained.
+        finished = [f for f in self._flows
+                    if f.kind is FlowKind.ELASTIC and f.remaining <= 1e-6]
+        for f in finished:
+            self._flows.remove(f)
+            latency = f.path_latency + self.switch_latency
+            delivery = self.env.timeout(latency)
+            done = f.done
+            assert done is not None
+            delivery.add_callback(lambda _ev, d=done, fl=f: d.succeed(fl))
+        if finished:
+            allocate_rates(self._flows)
+
+        self._timer_generation += 1
+        etas = [f.remaining / f.rate
+                for f in self._flows
+                if f.kind is FlowKind.ELASTIC and f.rate > 0]
+        if not etas:
+            return
+        generation = self._timer_generation
+        timer = self.env.timeout(min(etas))
+        timer.add_callback(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return
+        self._settle()
+        self._reallocate()

@@ -1,0 +1,240 @@
+"""Message transport over the fabric: connections, delivery, statistics.
+
+This is the layer NET_MON observes.  A :class:`Connection` is a
+unidirectional logical stream between two hosts carrying discrete
+messages.  TCP-like connections are reliable (elastic flows; congestion
+shows up as *retransmissions* and stretched delivery); UDP-like
+connections sample *loss* from path congestion and drop messages.
+
+Each connection keeps the statistics the paper lists for NET_MON:
+round-trip times, used bandwidth (per connection and per node), TCP
+retransmission counts, UDP loss counts, and end-to-end delays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.sim.core import Environment, SimEvent
+from repro.sim.network import Fabric
+from repro.sim.trace import CounterTrace, TimeSeries
+
+__all__ = ["Message", "Connection", "NetStack", "Protocol"]
+
+_msg_ids = itertools.count(1)
+
+
+class Protocol:
+    """Transport protocol names."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+@dataclass
+class Message:
+    """One application message in flight."""
+
+    mid: int
+    src: str
+    dst: str
+    tag: str
+    payload: Any
+    size: float
+    sent_at: float
+    proto: str = Protocol.TCP
+    delivered_at: Optional[float] = None
+    retransmissions: int = 0
+    lost: bool = False
+
+
+class Connection:
+    """A unidirectional logical message stream between two hosts."""
+
+    def __init__(self, stack: "NetStack", dst: str, tag: str,
+                 proto: str = Protocol.TCP) -> None:
+        if proto not in (Protocol.TCP, Protocol.UDP):
+            raise TransportError(f"unknown protocol {proto!r}")
+        self.stack = stack
+        self.src = stack.host
+        self.dst = dst
+        self.tag = tag
+        self.proto = proto
+        self.closed = False
+        # statistics ----------------------------------------------------
+        self.bytes_sent = CounterTrace(f"{self.src}->{dst}:bytes")
+        self.bytes_delivered = CounterTrace(f"{self.src}->{dst}:delivered")
+        self.retransmissions = CounterTrace(f"{self.src}->{dst}:retx")
+        self.losses = CounterTrace(f"{self.src}->{dst}:loss")
+        self.delays = TimeSeries(f"{self.src}->{dst}:delay")
+        self.rtt = TimeSeries(f"{self.src}->{dst}:rtt")
+
+    def send(self, payload: Any, size: float) -> SimEvent:
+        """Send one message; event succeeds with the delivered Message.
+
+        For UDP, a dropped message *fails* the event with
+        :class:`TransportError` after the would-be delivery time.
+        """
+        if self.closed:
+            raise TransportError("send on closed connection")
+        return self.stack._send(self, payload, size)
+
+    def used_bandwidth(self, window: float = 1.0) -> float:
+        """Recent sending rate in bytes/s."""
+        return self.bytes_sent.rate(self.stack.env.now, window)
+
+    def mean_rtt(self, since: float = 0.0) -> float:
+        """Mean observed round-trip time (seconds)."""
+        return self.rtt.mean(since)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class NetStack:
+    """Per-node transport endpoint.
+
+    Handlers are registered per *tag* (a logical port).  Incoming
+    messages charge the node's kernel receive cost before dispatch —
+    this is how network activity perturbs co-located computation.
+    """
+
+    def __init__(self, env: Environment, host: str, fabric: Fabric,
+                 rng: np.random.Generator,
+                 kernel_charge: Callable[[float], Any] | None = None,
+                 receive_cost: Callable[[float], float] | None = None)\
+            -> None:
+        self.env = env
+        self.host = host
+        self.fabric = fabric
+        self.rng = rng
+        #: Charges ``seconds`` of kernel CPU time (set by Node).
+        self.kernel_charge = kernel_charge or (lambda seconds: None)
+        #: Maps message size -> kernel seconds for the receive path.
+        self.receive_cost = receive_cost or (lambda size: 0.0)
+        self.handlers: dict[str, Callable[[Message], None]] = {}
+        self.connections: list[Connection] = []
+        self.bytes_in = CounterTrace(f"{host}:rx-bytes")
+        self.bytes_out = CounterTrace(f"{host}:tx-bytes")
+        #: Other stacks, keyed by host name; filled in by the cluster.
+        self.peers: dict[str, "NetStack"] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_peer(self, stack: "NetStack") -> None:
+        self.peers[stack.host] = stack
+
+    def bind(self, tag: str, handler: Callable[[Message], None]) -> None:
+        """Register the receive handler for a message tag."""
+        if tag in self.handlers:
+            raise TransportError(f"tag {tag!r} already bound on {self.host}")
+        self.handlers[tag] = handler
+
+    def unbind(self, tag: str) -> None:
+        self.handlers.pop(tag, None)
+
+    def connect(self, dst: str, tag: str,
+                proto: str = Protocol.TCP) -> Connection:
+        """Open a logical connection to ``dst``."""
+        if dst not in self.fabric.hosts:
+            raise TransportError(f"unknown destination host {dst!r}")
+        conn = Connection(self, dst, tag, proto)
+        self.connections.append(conn)
+        return conn
+
+    # -- data path -----------------------------------------------------------
+
+    def _send(self, conn: Connection, payload: Any,
+              size: float) -> SimEvent:
+        if size <= 0:
+            raise TransportError("message size must be positive")
+        now = self.env.now
+        msg = Message(mid=next(_msg_ids), src=self.host, dst=conn.dst,
+                      tag=conn.tag, payload=payload, size=float(size),
+                      sent_at=now, proto=conn.proto)
+        conn.bytes_sent.add(now, size)
+        self.bytes_out.add(now, size)
+
+        congestion = self._path_congestion(conn.dst)
+        if conn.proto == Protocol.UDP:
+            p_loss = min(0.9, max(0.0, congestion - 0.9) * 5.0)
+            if self.rng.random() < p_loss:
+                msg.lost = True
+                conn.losses.add(now, 1.0)
+                done = self.env.event()
+                fail = self.env.timeout(0.0)
+                fail.add_callback(
+                    lambda _ev: (done.fail(
+                        TransportError(f"udp message {msg.mid} lost")),
+                        setattr(done, "defused", True)))
+                return done
+        else:
+            # TCP: congestion manifests as retransmissions once the
+            # path nears saturation.
+            mean_retx = max(0.0, congestion - 0.9) * 3.0
+            msg.retransmissions = int(self.rng.poisson(mean_retx))
+            if msg.retransmissions:
+                conn.retransmissions.add(now, msg.retransmissions)
+
+        effective = size * (1 + msg.retransmissions)
+        handle = self.fabric.transfer(self.host, conn.dst, effective,
+                                      name=f"{conn.tag}:{msg.mid}")
+        done = self.env.event()
+        handle.done.add_callback(
+            lambda _ev, m=msg, c=conn, d=done: self._delivered(m, c, d))
+        return done
+
+    def _delivered(self, msg: Message, conn: Connection,
+                   done: SimEvent) -> None:
+        now = self.env.now
+        msg.delivered_at = now
+        delay = now - msg.sent_at
+        conn.bytes_delivered.add(now, msg.size)
+        conn.delays.record(now, delay)
+        path_lat = sum(l.latency for l in
+                       self.fabric.path(msg.src, msg.dst))
+        conn.rtt.record(now, 2 * path_lat + self.fabric.switch_latency)
+        peer = self.peers.get(msg.dst)
+        if peer is None:
+            raise TransportError(
+                f"no stack registered for host {msg.dst!r}")
+        peer._receive(msg)
+        done.succeed(msg)
+
+    def _receive(self, msg: Message) -> None:
+        now = self.env.now
+        self.bytes_in.add(now, msg.size)
+        cost = self.receive_cost(msg.size)
+        if cost > 0:
+            self.kernel_charge(cost)
+        handler = self.handlers.get(msg.tag)
+        if handler is not None:
+            handler(msg)
+
+    # -- observations ---------------------------------------------------------
+
+    def _path_congestion(self, dst: str) -> float:
+        """Max fractional utilisation along the path to ``dst`` (0..1+)."""
+        self.fabric._settle()
+        worst = 0.0
+        for link in self.fabric.path(self.host, dst):
+            used = sum(f.rate for f in self.fabric._flows
+                       if link in f.path)
+            offered = sum(
+                f.demand for f in self.fabric._flows
+                if link in f.path and f.demand > 0)
+            worst = max(worst, max(used, offered) / link.capacity)
+        return worst
+
+    def total_bandwidth(self, window: float = 1.0) -> float:
+        """Total outbound rate across all connections (bytes/s)."""
+        return self.bytes_out.rate(self.env.now, window)
+
+    def total_receive_bandwidth(self, window: float = 1.0) -> float:
+        """Total inbound rate (bytes/s)."""
+        return self.bytes_in.rate(self.env.now, window)

@@ -1,0 +1,156 @@
+"""The SmartPointer stream server.
+
+Delivers molecular-dynamics frames to subscribed clients at a constant
+event rate, applying a per-client transform chosen by that client's
+adaptation policy.  With a :class:`~repro.dproc.toolkit.Dproc` attached,
+dynamic policies read the client's CPU/network/disk state from the
+server's local ``/proc/cluster`` view — the paper's headline loop:
+
+    client resources → dproc → server → customized stream → client
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dproc.metrics import MetricId
+from repro.dproc.toolkit import Dproc
+from repro.errors import SimulationError
+from repro.sim.node import Node
+from repro.sim.trace import CounterTrace, TimeSeries
+from repro.smartpointer.adaptation import (AdaptationPolicy,
+                                           ClientCapabilities)
+from repro.smartpointer.data import MDFrameGenerator, StreamProfile
+from repro.smartpointer.transforms import Transform
+
+__all__ = ["StreamEvent", "ServerStream", "SmartPointerServer"]
+
+
+@dataclass
+class StreamEvent:
+    """Wire representation of one customized frame."""
+
+    seq: int
+    sent_at: float
+    size: float               #: bytes on the wire
+    client_cost: float        #: Mflop the client must spend to render
+    transform: Transform
+    frame_time: float
+
+
+class ServerStream:
+    """One client's customized event stream."""
+
+    def __init__(self, server: "SmartPointerServer", client_name: str,
+                 profile: StreamProfile, rate: float,
+                 policy: AdaptationPolicy,
+                 caps: ClientCapabilities) -> None:
+        if rate <= 0:
+            raise SimulationError("event rate must be positive")
+        self.server = server
+        self.client_name = client_name
+        self.profile = profile
+        self.rate = float(rate)
+        self.policy = policy
+        self.caps = caps
+        self.running = False
+        self.generator = MDFrameGenerator(
+            profile, seed=int(server.node.rng.integers(2**31)))
+        self._conn = server.node.stack.connect(
+            client_name, tag=f"smartptr:{client_name}")
+        # statistics ---------------------------------------------------------
+        self.events_sent = CounterTrace(f"stream:{client_name}:sent")
+        self.bytes_sent = CounterTrace(f"stream:{client_name}:bytes")
+        self.quality = TimeSeries(f"stream:{client_name}:quality")
+
+    def start(self) -> "ServerStream":
+        if self.running:
+            raise SimulationError("stream already running")
+        self.running = True
+        self.server.node.spawn(self._send_loop(),
+                               name=f"stream:{self.client_name}")
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _send_loop(self):
+        env = self.server.node.env
+        interval = 1.0 / self.rate
+        while self.running:
+            now = env.now
+            observations = dict(
+                self.server.observations(self.client_name))
+            # The policy needs to know how much of the (residual)
+            # bandwidth this stream itself is consuming.
+            observations["stream_rate"] = self._conn.used_bandwidth(
+                window=max(4.0, 4.0 * interval))
+            transform = self.policy.choose(
+                observations, self.profile, self.rate, self.caps)
+            frame = self.generator.next_frame(now)
+            size = transform.wire_size(self.profile)
+            event = StreamEvent(
+                seq=frame.seq, sent_at=now, size=size,
+                client_cost=transform.client_cost(self.profile),
+                transform=transform, frame_time=frame.time)
+            # Server-side preprocessing consumes server CPU, but the
+            # send pipeline stays non-blocking: the server emits at a
+            # constant rate regardless of downstream congestion.
+            server_cost = transform.server_cost(self.profile)
+            if server_cost > 0:
+                self.server.node.cpu.execute(server_cost,
+                                             name="preprocess")
+            self._conn.send(event, size=size)
+            self.events_sent.add(now, 1.0)
+            self.bytes_sent.add(now, size)
+            self.quality.record(now, transform.quality())
+            yield env.timeout(interval)
+
+
+class SmartPointerServer:
+    """The stream server application on one node."""
+
+    def __init__(self, node: Node, dproc: Optional[Dproc] = None) -> None:
+        self.node = node
+        self.dproc = dproc
+        self.streams: dict[str, ServerStream] = {}
+
+    def add_client(self, client_name: str, profile: StreamProfile,
+                   rate: float, policy: AdaptationPolicy,
+                   caps: ClientCapabilities | None = None,
+                   start: bool = True) -> ServerStream:
+        """Subscribe a client with its own derivation of the data."""
+        if client_name in self.streams:
+            raise SimulationError(
+                f"client {client_name!r} already subscribed")
+        stream = ServerStream(self, client_name, profile, rate, policy,
+                              caps or ClientCapabilities())
+        self.streams[client_name] = stream
+        if start:
+            stream.start()
+        return stream
+
+    def remove_client(self, client_name: str) -> None:
+        stream = self.streams.pop(client_name, None)
+        if stream is None:
+            raise SimulationError(f"no stream for {client_name!r}")
+        stream.stop()
+
+    def observations(self, client_name: str) -> dict[str, float]:
+        """Latest dproc view of a client's resources (NaN = unknown)."""
+        if self.dproc is None:
+            return {}
+        return {
+            "loadavg": self.dproc.metric(client_name, MetricId.LOADAVG),
+            "net_bandwidth": self.dproc.metric(
+                client_name, MetricId.NET_BANDWIDTH),
+            "diskusage": self.dproc.metric(client_name,
+                                           MetricId.DISKUSAGE),
+        }
+
+    def has_fresh_data(self, client_name: str) -> bool:
+        """True once at least one monitored metric has been received."""
+        obs = self.observations(client_name)
+        return any(not math.isnan(v) for v in obs.values())

@@ -1,0 +1,7 @@
+"""Workload generators used by the paper's evaluation."""
+
+from repro.workloads.ambient import AmbientActivity
+from repro.workloads.iperf import IperfMeasure, IperfPerturb
+from repro.workloads.linpack import Linpack
+
+__all__ = ["AmbientActivity", "IperfMeasure", "IperfPerturb", "Linpack"]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the dproc reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, build_cluster
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def cluster3(env):
+    """A small 3-node cluster (alan/maui/etna, as in the paper)."""
+    return build_cluster(env, n_nodes=3, seed=42)
+
+
+@pytest.fixture
+def cluster8(env):
+    """The paper's full 8-node cluster."""
+    return build_cluster(env, n_nodes=8, seed=42)
+
+
+def run_process(env: Environment, gen, until: float | None = None):
+    """Run ``gen`` as a process and return its result."""
+    proc = env.process(gen)
+    if until is None:
+        return env.run(proc)
+    env.run(until)
+    return proc

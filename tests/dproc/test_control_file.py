@@ -1,0 +1,143 @@
+"""Unit tests for control-file command parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dproc import parse_control_text
+from repro.errors import ControlSyntaxError
+from repro.kecho import (ClearParameter, DeployFilter, RemoveFilter,
+                         SetParameter)
+
+
+def parse(text):
+    return parse_control_text(text, sender="alan", target="maui")
+
+
+class TestPeriod:
+    def test_simple(self):
+        (msg,) = parse("period cpu 2")
+        assert isinstance(msg, SetParameter)
+        assert msg.metric == "cpu" and msg.parameter == "period"
+        assert msg.spec == "2"
+        assert msg.sender == "alan" and msg.target == "maui"
+
+    def test_wildcard_metric(self):
+        (msg,) = parse("period * 0.5")
+        assert msg.metric == "*"
+
+    def test_bad_period_value(self):
+        with pytest.raises(ControlSyntaxError):
+            parse("period cpu fast")
+        with pytest.raises(ControlSyntaxError):
+            parse("period cpu 0")
+        with pytest.raises(ControlSyntaxError):
+            parse("period cpu")
+
+
+class TestThreshold:
+    def test_above(self):
+        (msg,) = parse("threshold loadavg above 0.8")
+        assert msg.parameter == "threshold"
+        assert msg.spec == "above 0.8"
+
+    def test_range(self):
+        (msg,) = parse("threshold freemem range 1e6 5e7")
+        assert msg.spec == "range 1e6 5e7"
+
+    def test_change(self):
+        (msg,) = parse("threshold * change 15")
+        assert msg.spec == "change 15"
+
+    def test_invalid_spec_fails_at_writer(self):
+        with pytest.raises(ControlSyntaxError):
+            parse("threshold cpu sideways 5")
+        with pytest.raises(ControlSyntaxError):
+            parse("threshold cpu")
+
+
+class TestClear:
+    def test_clear_period(self):
+        (msg,) = parse("clear cpu period")
+        assert isinstance(msg, ClearParameter)
+        assert msg.parameter == "period"
+
+    def test_clear_threshold(self):
+        (msg,) = parse("clear * threshold")
+        assert msg.parameter == "threshold"
+
+    def test_bad_clear(self):
+        with pytest.raises(ControlSyntaxError):
+            parse("clear cpu everything")
+
+
+class TestFilter:
+    def test_single_line_filter(self):
+        (msg,) = parse("filter * { output[0] = input[LOADAVG]; }")
+        assert isinstance(msg, DeployFilter)
+        assert msg.metric == "*"
+        assert "output[0]" in msg.source
+
+    def test_multiline_filter_consumes_rest(self):
+        text = """filter cpu id=f9
+{
+    int i = 0;
+    if (input[LOADAVG].value > 2) {
+        output[i] = input[LOADAVG];
+    }
+}"""
+        (msg,) = parse(text)
+        assert msg.filter_id == "f9"
+        assert msg.metric == "cpu"
+        assert "int i = 0;" in msg.source
+        assert msg.source.count("{") == msg.source.count("}")
+
+    def test_filter_id_optional(self):
+        (msg,) = parse("filter mem { output[0] = input[FREEMEM]; }")
+        assert msg.filter_id == ""
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ControlSyntaxError, match="empty"):
+            parse("filter *")
+        with pytest.raises(ControlSyntaxError, match="empty"):
+            parse("filter * id=x")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ControlSyntaxError, match="empty filter id"):
+            parse("filter * id= { }")
+
+    def test_unfilter(self):
+        (msg,) = parse("unfilter f9")
+        assert isinstance(msg, RemoveFilter)
+        assert msg.filter_id == "f9"
+
+    def test_unfilter_needs_id(self):
+        with pytest.raises(ControlSyntaxError):
+            parse("unfilter")
+
+
+class TestGeneral:
+    def test_multiple_commands(self):
+        msgs = parse("period cpu 2\nthreshold cpu above 0.8")
+        assert len(msgs) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        msgs = parse("# tune cpu\n\nperiod cpu 2\n# done\n")
+        assert len(msgs) == 1
+
+    def test_empty_write_rejected(self):
+        with pytest.raises(ControlSyntaxError, match="empty control"):
+            parse("")
+        with pytest.raises(ControlSyntaxError):
+            parse("# only a comment")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ControlSyntaxError, match="unknown"):
+            parse("frobnicate cpu 2")
+
+    def test_commands_after_filter_belong_to_source(self):
+        # Everything after `filter` is E-code, even things that look
+        # like commands.
+        (msg,) = parse("filter *\nperiod cpu 2")
+        assert isinstance(msg, DeployFilter)
+        assert "period cpu 2" in msg.source

@@ -1,0 +1,293 @@
+"""Unit and integration tests for the d-mon coordinator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dproc import (DMon, DMonConfig, MetricId, MetricPolicy,
+                         register_default_modules)
+from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.errors import ControlSyntaxError, DprocError
+from repro.kecho import (ClearParameter, DeployFilter, KechoBus,
+                         RemoveFilter, SetParameter)
+
+
+def make_dmon(cluster, name, bus=None, config=None,
+              modules=("cpu", "mem", "disk", "net", "pmc")):
+    dmon = DMon(cluster[name], bus or KechoBus(), config)
+    register_default_modules(dmon, modules)
+    return dmon
+
+
+def deploy_pair(cluster, bus=None, config=None):
+    bus = bus or KechoBus()
+    a = make_dmon(cluster, "alan", bus, config)
+    b = make_dmon(cluster, "maui", bus, config)
+    a.start()
+    b.start()
+    return a, b
+
+
+class TestRegistration:
+    def test_register_all_default_modules(self, cluster3):
+        dmon = make_dmon(cluster3, "alan")
+        assert set(dmon.modules) == {"cpu", "mem", "disk", "net", "pmc"}
+        # Every metric of the default modules gets a policy (BATTERY
+        # belongs to the optional battery module).
+        assert set(dmon.policies) == set(MetricId) - {MetricId.BATTERY}
+
+    def test_duplicate_module_rejected(self, cluster3):
+        dmon = make_dmon(cluster3, "alan")
+        with pytest.raises(DprocError, match="already registered"):
+            register_default_modules(dmon, ("cpu",))
+
+    def test_unknown_module_name_rejected(self, cluster3):
+        dmon = DMon(cluster3["alan"], KechoBus())
+        with pytest.raises(DprocError):
+            register_default_modules(dmon, ("gpu",))
+
+    def test_runtime_module_registration(self, env, cluster3):
+        """Modules can be added while d-mon runs (extensibility)."""
+
+        class BatteryMon(MonitoringModule):
+            name = "battery"
+
+            def metrics(self):
+                return (MetricId.INSTRUCTIONS,)  # reuse an id for test
+
+            def collect(self, now):
+                return [MetricSample(MetricId.INSTRUCTIONS, 42.0, now)]
+
+        dmon = make_dmon(cluster3, "alan", modules=("cpu",))
+        dmon.start()
+        env.run(until=2.0)
+        dmon.register_service(BatteryMon(cluster3["alan"]))
+        assert dmon.modules["battery"].started
+        env.run(until=4.0)
+        assert dmon.last_samples[MetricId.INSTRUCTIONS] == 42.0
+
+    def test_double_start_rejected(self, cluster3):
+        dmon = make_dmon(cluster3, "alan")
+        dmon.start()
+        with pytest.raises(DprocError):
+            dmon.start()
+
+
+class TestPollingAndPublication:
+    def test_polls_happen_once_per_interval(self, env, cluster3):
+        dmon = make_dmon(cluster3, "alan",
+                         config=DMonConfig(poll_interval=1.0))
+        dmon.start()
+        env.run(until=10.5)
+        assert dmon.polls == pytest.approx(10, abs=1)
+
+    def test_remote_cache_fills(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=3.0)
+        remote = a.remote_value("maui", MetricId.FREEMEM)
+        assert remote is not None
+        assert remote.value > 0
+        assert remote.received_at >= remote.timestamp
+
+    def test_no_publication_without_subscribers(self, env, cluster3):
+        config = DMonConfig(subscribe_monitoring=False)
+        a = make_dmon(cluster3, "alan", config=config)
+        a.start()
+        env.run(until=5.0)
+        assert a.events_published.total == 0
+        assert a.submit_overhead.mean() == 0.0
+
+    def test_publication_with_subscriber(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=5.0)
+        assert a.events_published.total >= 4
+        assert a.mean_submit_overhead() > 0
+
+    def test_update_hooks_fire(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        seen = []
+        a.update_hooks.append(
+            lambda host, metric, value, ts: seen.append((host, metric)))
+        env.run(until=3.0)
+        assert ("maui", MetricId.LOADAVG) in seen
+
+    def test_metric_subset_restricts_payload(self, env, cluster3):
+        config = DMonConfig(metric_subset=frozenset(
+            {MetricId.LOADAVG, MetricId.FREEMEM}))
+        bus = KechoBus()
+        a = make_dmon(cluster3, "alan", bus, config)
+        b = make_dmon(cluster3, "maui", bus, config)
+        a.start()
+        b.start()
+        env.run(until=3.0)
+        assert set(a.last_samples) == {MetricId.LOADAVG,
+                                       MetricId.FREEMEM}
+        assert b.remote_value("alan", MetricId.DISKUSAGE) is None
+
+    def test_event_size_model(self, env, cluster3):
+        config = DMonConfig(
+            metric_subset=frozenset({MetricId.LOADAVG, MetricId.FREEMEM,
+                                     MetricId.DISKUSAGE,
+                                     MetricId.NET_BANDWIDTH}))
+        a, b = deploy_pair(cluster3, config=config)
+        env.run(until=3.0)
+        # 40 header + 4 * 12 per record = 88 bytes -> within the
+        # paper's 50-100 B band.
+        ep = a._monitor_ep
+        per_event = ep.bytes_out.total / ep.submitted.total
+        assert 50 <= per_event <= 100
+
+    def test_padding_inflates_events(self, env, cluster3):
+        config = DMonConfig().with_padding(5000.0)
+        a, b = deploy_pair(cluster3, config=config)
+        env.run(until=3.0)
+        ep = a._monitor_ep
+        per_event = ep.bytes_out.total / ep.submitted.total
+        assert per_event > 5000
+
+    def test_stop_ends_polling(self, env, cluster3):
+        a = make_dmon(cluster3, "alan")
+        a.start()
+        env.run(until=2.0)
+        a.stop()
+        polls = a.polls
+        env.run(until=10.0)
+        assert a.polls <= polls + 1
+
+
+class TestParameters:
+    def test_period_halves_publications(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=2.0)
+        a.apply_control(SetParameter(sender="x", target="alan",
+                                     metric="*", parameter="period",
+                                     spec="2"))
+        start = env.now
+        records_before = a.records_published.total
+        env.run(until=start + 20.0)
+        sent = a.records_published.total - records_before
+        # ~10 publication rounds of ~12 metrics at period 2 in 20s.
+        full_rate = 20 * len(a.last_samples)
+        assert sent == pytest.approx(full_rate / 2, rel=0.2)
+
+    def test_threshold_blocks_metrics(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        a.apply_control(SetParameter(sender="x", target="alan",
+                                     metric="loadavg",
+                                     parameter="threshold",
+                                     spec="above 100"))
+        env.run(until=5.0)
+        assert b.remote_value("alan", MetricId.LOADAVG) is None
+        assert b.remote_value("alan", MetricId.FREEMEM) is not None
+
+    def test_clear_parameter(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        a.apply_control(SetParameter(sender="x", target="alan",
+                                     metric="loadavg",
+                                     parameter="threshold",
+                                     spec="above 100"))
+        a.apply_control(ClearParameter(sender="x", target="alan",
+                                       metric="loadavg",
+                                       parameter="threshold"))
+        env.run(until=5.0)
+        assert b.remote_value("alan", MetricId.LOADAVG) is not None
+
+    def test_bad_parameter_rejected(self, cluster3):
+        a = make_dmon(cluster3, "alan")
+        with pytest.raises(ControlSyntaxError):
+            a.apply_control(SetParameter(sender="x", metric="cpu",
+                                         parameter="period", spec="NaNy"))
+        with pytest.raises(ControlSyntaxError):
+            a.apply_control(SetParameter(sender="x", metric="cpu",
+                                         parameter="frobs", spec="1"))
+
+    def test_resolve_metrics(self, cluster3):
+        a = make_dmon(cluster3, "alan")
+        assert a.resolve_metrics("cpu") == [MetricId.LOADAVG]
+        assert a.resolve_metrics("loadavg") == [MetricId.LOADAVG]
+        assert set(a.resolve_metrics("*")) \
+            == set(MetricId) - {MetricId.BATTERY}
+        assert set(a.resolve_metrics("net")) == {
+            MetricId.NET_BANDWIDTH, MetricId.NET_RTT, MetricId.NET_RETX,
+            MetricId.NET_LOST, MetricId.NET_USED, MetricId.NET_DELAY}
+
+
+class TestRemoteControl:
+    def test_control_message_reaches_remote_dmon(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=1.0)
+        a.send_control(SetParameter(sender="alan", target="maui",
+                                    metric="cpu", parameter="period",
+                                    spec="3"))
+        env.run(until=2.0)
+        assert b.policies[MetricId.LOADAVG].period == 3.0
+        # Not applied to the sender or other nodes:
+        assert a.policies[MetricId.LOADAVG].period is None
+
+    def test_broadcast_control(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=1.0)
+        a.send_control(SetParameter(sender="alan", target=None,
+                                    metric="mem", parameter="period",
+                                    spec="5"))
+        env.run(until=2.0)
+        assert a.policies[MetricId.FREEMEM].period == 5.0
+        assert b.policies[MetricId.FREEMEM].period == 5.0
+
+    def test_remote_filter_deploy_and_remove(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=1.0)
+        a.send_control(DeployFilter(
+            sender="alan", target="maui", metric="*",
+            source="{ output[0] = input[LOADAVG]; }", filter_id="f1"))
+        env.run(until=2.0)
+        assert b.filters.global_filter is not None
+        assert b.filters.global_filter.filter_id == "f1"
+        a.send_control(RemoveFilter(sender="alan", target="maui",
+                                    filter_id="f1"))
+        env.run(until=3.0)
+        assert b.filters.global_filter is None
+
+    def test_send_control_requires_started(self, cluster3):
+        a = make_dmon(cluster3, "alan")
+        with pytest.raises(DprocError, match="not started"):
+            a.send_control(SetParameter(sender="alan", metric="cpu",
+                                        parameter="period", spec="1"))
+
+
+class TestFiltersInPolling:
+    def test_global_filter_governs_publication(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        a.filters.deploy("""
+        {
+            int i = 0;
+            if (input[LOADAVG].value > 99) {
+                output[i] = input[LOADAVG];
+                i = i + 1;
+            }
+        }
+        """, scope="*")
+        env.run(until=5.0)
+        # load is ~0, so the filter blocks everything.
+        assert b.remote_value("alan", MetricId.LOADAVG) is None
+        assert b.remote_value("alan", MetricId.FREEMEM) is None
+
+    def test_scoped_filter_blocks_only_its_module(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        a.filters.deploy("{ int i = 0; }", scope="cpu")  # block cpu
+        env.run(until=5.0)
+        assert b.remote_value("alan", MetricId.LOADAVG) is None
+        assert b.remote_value("alan", MetricId.FREEMEM) is not None
+
+    def test_filter_can_transform_values(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        a.filters.deploy("""
+        {
+            output[0] = input[FREEMEM];
+            output[0].value = input[FREEMEM].value / 2.0;
+        }
+        """, scope="mem")
+        env.run(until=5.0)
+        remote = b.remote_value("alan", MetricId.FREEMEM)
+        local = a.last_samples[MetricId.FREEMEM]
+        assert remote.value == pytest.approx(local / 2.0, rel=0.05)

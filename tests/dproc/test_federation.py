@@ -1,0 +1,164 @@
+"""Integration tests for wide-area grid federation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dproc import deploy_dproc
+from repro.dproc.federation import GridFederation, SiteSummary, WanLink
+from repro.errors import DprocError, NetworkError
+from repro.sim import Environment, build_cluster
+from repro.units import mbps, msec
+from repro.workloads import Linpack
+
+
+def make_site(env, federation, site_name, prefix, n_nodes=3):
+    names = [f"{prefix}{i}" for i in range(n_nodes)]
+    cluster = build_cluster(env, n_nodes=n_nodes, seed=7, names=names)
+    dprocs = deploy_dproc(cluster)
+    for dp in dprocs.values():
+        dp.dmon.modules["cpu"].configure("period", 4.0)
+    return federation.add_site(site_name, cluster, dprocs,
+                               gateway=names[0])
+
+
+@pytest.fixture
+def grid(env):
+    """Two 3-node sites joined by a 10 Mbps / 40 ms WAN link."""
+    federation = GridFederation(env, summary_period=2.0)
+    east = make_site(env, federation, "east", "e")
+    west = make_site(env, federation, "west", "w")
+    federation.connect("east", "west")
+    federation.start()
+    return federation, east, west
+
+
+class TestWanLink:
+    def test_same_name_endpoints_rejected(self, env):
+        c1 = build_cluster(env, 1, names=["gw"])
+        c2 = Environment()  # separate env irrelevant; reuse c1 node
+        with pytest.raises(NetworkError, match="distinct"):
+            WanLink(env, c1["gw"], c1["gw"])
+
+    def test_delivery_includes_latency(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"],
+                       bandwidth=mbps(10), latency=msec(40))
+        got = []
+        link.bind("gb", lambda p: got.append((env.now, p)))
+        link.send("ga", "hello", size=1250.0)  # 1 ms at 10 Mbps
+        env.run(until=1.0)
+        assert len(got) == 1
+        t, payload = got[0]
+        assert payload == "hello"
+        assert t == pytest.approx(0.041, abs=0.002)
+
+    def test_fifo_serialisation(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"],
+                       bandwidth=1000.0, latency=0.0)  # 1 KB/s
+        got = []
+        link.bind("gb", lambda p: got.append((env.now, p)))
+        link.send("ga", "first", size=1000.0)
+        link.send("ga", "second", size=1000.0)
+        env.run(until=5.0)
+        assert [p for _t, p in got] == ["first", "second"]
+        assert got[1][0] - got[0][0] == pytest.approx(1.0, abs=0.01)
+
+    def test_unknown_endpoint_rejected(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"])
+        with pytest.raises(NetworkError):
+            link.send("zz", "x")
+        with pytest.raises(NetworkError):
+            link.bind("zz", lambda p: None)
+
+    def test_bytes_counted(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"])
+        link.send("ga", "x", size=500.0)
+        env.run(until=1.0)
+        assert link.bytes_carried.total == pytest.approx(500.0)
+
+
+class TestFederation:
+    def test_summaries_cross_the_wan(self, env, grid):
+        federation, east, west = grid
+        env.run(until=10.0)
+        summary = federation.summary("east", "west")
+        assert isinstance(summary, SiteSummary)
+        assert summary.n_nodes == 3
+        assert summary.total_free_bytes > 0
+        assert summary.received_at > summary.generated_at
+
+    def test_wan_latency_visible_in_summary_age(self, env, grid):
+        federation, _east, _west = grid
+        env.run(until=10.0)
+        summary = federation.summary("west", "east")
+        delay = summary.received_at - summary.generated_at
+        assert delay >= 0.04  # at least the 40 ms WAN latency
+
+    def test_local_summary_known_immediately(self, env, grid):
+        federation, _e, _w = grid
+        env.run(until=5.0)
+        assert federation.summary("east", "east") is not None
+
+    def test_grid_procfs_tree(self, env, grid):
+        federation, east, _west = grid
+        env.run(until=10.0)
+        gw = east.gateway_dproc
+        assert gw.listdir("/proc/grid") == ["east", "west"]
+        free = float(gw.read("/proc/grid/west/total_free_bytes"))
+        assert free > 0
+        load = float(gw.read("/proc/grid/west/mean_loadavg"))
+        assert not math.isnan(load)
+
+    def test_unknown_site_reads_nan_before_data(self, env):
+        federation = GridFederation(env, summary_period=2.0)
+        east = make_site(env, federation, "east", "e")
+        make_site(env, federation, "west", "w")
+        federation.connect("east", "west")
+        federation.start()
+        # read before any summary period elapsed
+        text = east.gateway_dproc.read("/proc/grid/west/mean_loadavg")
+        assert math.isnan(float(text))
+
+    def test_least_loaded_site_for_grid_scheduling(self, env, grid):
+        federation, east, west = grid
+        # Load every west node.
+        for node in west.cluster:
+            for _ in range(3):
+                Linpack(node).start()
+        env.run(until=40.0)
+        assert federation.least_loaded_site("east") == "east"
+
+    def test_intra_site_traffic_stays_local(self, env, grid):
+        """Only summaries cross the WAN — a few hundred bytes per
+        period, not the per-node monitoring streams."""
+        federation, east, west = grid
+        env.run(until=20.0)
+        link = federation._links["east"][0]
+        # ~2 summaries per period (one per direction) of 160 B each.
+        expected = 2 * (20.0 / 2.0) * 160.0
+        assert link.bytes_carried.total <= expected * 1.2
+        # Meanwhile the intra-site monitoring moved far more data.
+        intra = east.cluster["e0"].stack.bytes_in.total
+        assert intra > link.bytes_carried.total
+
+    def test_validation(self, env):
+        federation = GridFederation(env)
+        with pytest.raises(DprocError):
+            federation.start()  # no sites
+        east = make_site(env, federation, "east", "e")
+        with pytest.raises(DprocError):
+            federation.add_site("east", east.cluster, east.dprocs,
+                                gateway="e0")
+        with pytest.raises(DprocError):
+            federation.connect("east", "nowhere")
+        with pytest.raises(DprocError):
+            GridFederation(env, summary_period=0)
+        with pytest.raises(DprocError):
+            federation.add_site("bad", east.cluster, east.dprocs,
+                                gateway="ghost")

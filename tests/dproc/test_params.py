@@ -1,0 +1,158 @@
+"""Unit tests for the parameter engine (periods + thresholds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dproc import (AboveThreshold, BelowThreshold, ChangeThreshold,
+                         MetricPolicy, RangeThreshold,
+                         parse_threshold_spec)
+from repro.errors import ControlSyntaxError
+
+
+class TestThresholdRules:
+    def test_above(self):
+        rule = AboveThreshold(0.8)
+        assert rule.should_send(0.9, None)
+        assert not rule.should_send(0.8, None)
+        assert not rule.should_send(0.1, None)
+
+    def test_below(self):
+        rule = BelowThreshold(4.0)  # "loadavg < number of CPUs"
+        assert rule.should_send(3.9, None)
+        assert not rule.should_send(4.0, None)
+
+    def test_change_first_sample_always_sends(self):
+        assert ChangeThreshold(15.0).should_send(0.0, None)
+
+    def test_change_differential_filter(self):
+        """The evaluation's 15% differential filter."""
+        rule = ChangeThreshold(15.0)
+        assert not rule.should_send(1.10, last_sent=1.0)
+        assert rule.should_send(1.15, last_sent=1.0)
+        assert rule.should_send(0.84, last_sent=1.0)
+        assert not rule.should_send(0.90, last_sent=1.0)
+
+    def test_change_relative_to_magnitude(self):
+        rule = ChangeThreshold(10.0)
+        assert rule.should_send(110.1, last_sent=100.0)
+        assert not rule.should_send(109.0, last_sent=100.0)
+
+    def test_change_from_zero(self):
+        rule = ChangeThreshold(15.0)
+        assert not rule.should_send(0.0, last_sent=0.0)
+        assert rule.should_send(0.5, last_sent=0.0)
+
+    def test_range(self):
+        rule = RangeThreshold(2.0, 4.0)
+        assert rule.should_send(3.0, None)
+        assert rule.should_send(2.0, None)
+        assert rule.should_send(4.0, None)
+        assert not rule.should_send(1.9, None)
+        assert not rule.should_send(4.1, None)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ControlSyntaxError):
+            RangeThreshold(5.0, 1.0)
+
+    def test_specs_roundtrip_through_parser(self):
+        for rule in (AboveThreshold(1.5), BelowThreshold(2),
+                     ChangeThreshold(15), RangeThreshold(1, 9)):
+            reparsed = parse_threshold_spec(rule.spec().split())
+            assert reparsed == rule
+
+
+class TestSpecParsing:
+    def test_above_below(self):
+        assert parse_threshold_spec(["above", "0.8"]) \
+            == AboveThreshold(0.8)
+        assert parse_threshold_spec(["below", "4"]) == BelowThreshold(4.0)
+
+    def test_change_accepts_percent_sign(self):
+        assert parse_threshold_spec(["change", "15%"]) \
+            == ChangeThreshold(15.0)
+
+    def test_range(self):
+        assert parse_threshold_spec(["range", "1", "2"]) \
+            == RangeThreshold(1.0, 2.0)
+
+    @pytest.mark.parametrize("words", [
+        [], ["above"], ["above", "x"], ["above", "1", "2"],
+        ["change", "-5"], ["change", "0"], ["range", "1"],
+        ["sideways", "1"],
+    ])
+    def test_bad_specs_rejected(self, words):
+        with pytest.raises(ControlSyntaxError):
+            parse_threshold_spec(words)
+
+
+class TestMetricPolicy:
+    def test_default_sends_always(self):
+        policy = MetricPolicy()
+        assert policy.is_default
+        assert policy.should_send(1.0, now=0.0, last_sent=None,
+                                  last_sent_at=None)
+        assert policy.should_send(1.0, now=0.1, last_sent=1.0,
+                                  last_sent_at=0.0)
+
+    def test_period_gates_sends(self):
+        policy = MetricPolicy()
+        policy.set_period(2.0)
+        assert policy.should_send(1.0, now=0.0, last_sent=None,
+                                  last_sent_at=None)
+        assert not policy.should_send(1.0, now=1.0, last_sent=1.0,
+                                      last_sent_at=0.0)
+        assert policy.should_send(1.0, now=2.0, last_sent=1.0,
+                                  last_sent_at=0.0)
+
+    def test_period_tolerates_jitter(self):
+        policy = MetricPolicy()
+        policy.set_period(1.0)
+        assert policy.should_send(1.0, now=0.9999999,
+                                  last_sent=1.0, last_sent_at=0.0)
+
+    def test_combined_period_and_threshold(self):
+        """Paper: 'update CPU info once every 2 seconds IF the CPU
+        utilization is above 80%'."""
+        policy = MetricPolicy()
+        policy.set_period(2.0)
+        policy.add_threshold(AboveThreshold(0.8))
+        # period satisfied but threshold not:
+        assert not policy.should_send(0.5, now=5.0, last_sent=0.9,
+                                      last_sent_at=0.0)
+        # threshold satisfied but period not:
+        assert not policy.should_send(0.9, now=1.0, last_sent=0.9,
+                                      last_sent_at=0.0)
+        # both satisfied:
+        assert policy.should_send(0.9, now=2.0, last_sent=0.9,
+                                  last_sent_at=0.0)
+
+    def test_multiple_thresholds_conjoin(self):
+        policy = MetricPolicy()
+        policy.add_threshold(AboveThreshold(1.0))
+        policy.add_threshold(BelowThreshold(2.0))
+        assert policy.should_send(1.5, 0.0, None, None)
+        assert not policy.should_send(2.5, 0.0, None, None)
+        assert not policy.should_send(0.5, 0.0, None, None)
+
+    def test_clear_period_and_thresholds(self):
+        policy = MetricPolicy()
+        policy.set_period(5.0)
+        policy.add_threshold(AboveThreshold(1.0))
+        policy.clear_period()
+        policy.clear_thresholds()
+        assert policy.is_default
+
+    def test_invalid_period_rejected(self):
+        policy = MetricPolicy()
+        with pytest.raises(ControlSyntaxError):
+            policy.set_period(0)
+        with pytest.raises(ControlSyntaxError):
+            policy.set_period(float("inf"))
+
+    def test_describe(self):
+        policy = MetricPolicy()
+        assert policy.describe() == "default"
+        policy.set_period(2.0)
+        policy.add_threshold(ChangeThreshold(15))
+        assert policy.describe() == "period 2; change 15"

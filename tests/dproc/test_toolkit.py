@@ -1,0 +1,178 @@
+"""Integration tests for the Dproc toolkit facade and /proc interface."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dproc import MetricId, deploy_dproc
+from repro.errors import ControlSyntaxError, DprocError, ProcfsError
+
+
+@pytest.fixture
+def dprocs(env, cluster3):
+    return deploy_dproc(cluster3)
+
+
+class TestDeployment:
+    def test_every_node_gets_instance(self, dprocs, cluster3):
+        assert set(dprocs) == set(cluster3.names)
+        for name, dp in dprocs.items():
+            assert dp.node.name == name
+            assert dp.dmon.running
+
+    def test_proc_cluster_shows_all_hosts(self, dprocs):
+        for dp in dprocs.values():
+            assert dp.listdir("/proc/cluster") == ["alan", "etna", "maui"]
+
+    def test_figure1_hierarchy(self, dprocs):
+        """The paper's Figure 1: metric files under each node dir."""
+        files = dprocs["alan"].listdir("/proc/cluster/maui")
+        for expected in ("loadavg", "freemem", "diskusage", "control",
+                         "net_bandwidth", "cache_miss"):
+            assert expected in files
+
+    def test_subset_deployment(self, env, cluster8):
+        dprocs = deploy_dproc(cluster8, hosts=["alan", "maui"])
+        assert set(dprocs) == {"alan", "maui"}
+        assert dprocs["alan"].listdir("/proc/cluster") == ["alan", "maui"]
+
+    def test_duplicate_host_mount_rejected(self, dprocs):
+        with pytest.raises(DprocError):
+            dprocs["alan"].add_cluster_node("maui")
+
+    def test_service_attached_to_node(self, dprocs, cluster3):
+        assert cluster3["alan"].services["dproc"] is dprocs["alan"]
+
+
+class TestReading:
+    def test_remote_metric_via_procfs(self, env, dprocs):
+        env.run(until=3.0)
+        text = dprocs["alan"].read("/proc/cluster/maui/freemem")
+        assert float(text) > 0
+
+    def test_own_metrics_served_locally(self, env, dprocs):
+        env.run(until=3.0)
+        text = dprocs["alan"].read("/proc/cluster/alan/freemem")
+        assert float(text) > 0
+
+    def test_unknown_value_reads_nan(self, env, dprocs):
+        # before any polling happened
+        text = dprocs["alan"].read("/proc/cluster/maui/loadavg")
+        assert math.isnan(float(text))
+
+    def test_standard_proc_loadavg(self, env, dprocs, cluster3):
+        cluster3["alan"].cpu.execute(1e9)
+        env.run(until=60.0)
+        one, five, fifteen = dprocs["alan"].read("/proc/loadavg").split()
+        assert float(one) > float(fifteen) > 0
+
+    def test_meminfo(self, dprocs):
+        text = dprocs["alan"].read("/proc/meminfo")
+        assert "MemTotal" in text and "MemFree" in text
+
+    def test_metric_helpers(self, env, dprocs):
+        env.run(until=3.0)
+        assert dprocs["alan"].freemem("maui") > 0
+        assert dprocs["alan"].loadavg("maui") >= 0
+        # A metric for an unknown host is NaN.
+        assert math.isnan(dprocs["alan"].metric("vesuvius",
+                                                MetricId.LOADAVG))
+
+    def test_read_missing_path(self, dprocs):
+        with pytest.raises(ProcfsError):
+            dprocs["alan"].read("/proc/cluster/maui/bogus")
+
+
+class TestControlWrites:
+    def test_period_command_reaches_remote(self, env, dprocs):
+        env.run(until=1.0)
+        dprocs["alan"].write("/proc/cluster/maui/control",
+                             "period cpu 2")
+        env.run(until=2.0)
+        maui = dprocs["maui"].dmon
+        assert maui.policies[MetricId.LOADAVG].period == 2.0
+
+    def test_combined_commands(self, env, dprocs):
+        env.run(until=1.0)
+        dprocs["alan"].write(
+            "/proc/cluster/etna/control",
+            "period cpu 2\nthreshold loadavg above 0.8")
+        env.run(until=2.0)
+        policy = dprocs["etna"].dmon.policies[MetricId.LOADAVG]
+        assert policy.period == 2.0
+        assert len(policy.thresholds) == 1
+
+    def test_filter_deploy_via_control_file(self, env, dprocs):
+        env.run(until=1.0)
+        dprocs["alan"].write("/proc/cluster/maui/control", """filter * id=f1
+{
+    int i = 0;
+    if (input[LOADAVG].value > 0.5) {
+        output[i] = input[LOADAVG];
+        i = i + 1;
+    }
+}""")
+        env.run(until=2.0)
+        deployed = dprocs["maui"].dmon.filters.global_filter
+        assert deployed is not None and deployed.filter_id == "f1"
+        dprocs["alan"].write("/proc/cluster/maui/control", "unfilter f1")
+        env.run(until=3.0)
+        assert dprocs["maui"].dmon.filters.global_filter is None
+
+    def test_self_control_applies_locally(self, env, dprocs):
+        env.run(until=1.0)
+        dprocs["alan"].write("/proc/cluster/alan/control",
+                             "period mem 4")
+        assert dprocs["alan"].dmon.policies[MetricId.FREEMEM].period \
+            == 4.0
+
+    def test_control_read_returns_log(self, env, dprocs):
+        env.run(until=1.0)
+        dprocs["alan"].write("/proc/cluster/maui/control",
+                             "period cpu 2")
+        assert "period cpu 2" in \
+            dprocs["alan"].read("/proc/cluster/maui/control")
+
+    def test_bad_command_rejected_locally(self, dprocs):
+        with pytest.raises(ControlSyntaxError):
+            dprocs["alan"].write("/proc/cluster/maui/control",
+                                 "warp cpu 9")
+
+    def test_metric_files_are_read_only(self, dprocs):
+        with pytest.raises(ProcfsError, match="read-only"):
+            dprocs["alan"].write("/proc/cluster/maui/loadavg", "1.0")
+
+
+class TestScenario:
+    def test_batch_scheduler_scenario(self, env, cluster3):
+        """The paper's batch-queue scheduler: free-memory updates only
+        while the load average is below the CPU count."""
+        dprocs = deploy_dproc(cluster3)
+        env.run(until=1.0)
+        n_cpus = cluster3["maui"].cpu.n_cpus
+        dprocs["alan"].write("/proc/cluster/maui/control", f"""filter * id=sched
+{{
+    int i = 0;
+    if (input[LOADAVG].value < {n_cpus}) {{
+        output[i] = input[FREEMEM];
+        i = i + 1;
+    }}
+}}""")
+        env.run(until=6.0)
+        # maui idle -> loadavg < n_cpus -> FREEMEM keeps flowing while
+        # LOADAVG (published before the filter landed) goes stale.
+        alan = dprocs["alan"].dmon
+        fresh = alan.remote_value("maui", MetricId.FREEMEM)
+        assert fresh is not None and fresh.received_at > 2.0
+        stale = alan.remote_value("maui", MetricId.LOADAVG)
+        assert stale is None or stale.received_at < 2.0
+        # Now saturate maui; FREEMEM updates must stop.
+        for _ in range(n_cpus + 2):
+            cluster3["maui"].cpu.execute(1e9)
+        env.run(until=90.0)
+        before = alan.remote_value("maui", MetricId.FREEMEM).received_at
+        env.run(until=110.0)
+        after = alan.remote_value("maui", MetricId.FREEMEM).received_at
+        assert after == before  # no fresh FREEMEM while loaded

@@ -1,0 +1,194 @@
+"""Unit tests for E-code semantic analysis and type checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecode import analyze, parse
+from repro.errors import EcodeTypeError
+
+CONSTS = {"LOADAVG": 0, "FREEMEM": 1, "RATIO": 1.5}
+
+
+def check(source: str, constants=CONSTS):
+    return analyze(parse(source), constants)
+
+
+def fails(source: str, match: str, constants=CONSTS):
+    with pytest.raises(EcodeTypeError, match=match):
+        check(source, constants)
+
+
+class TestDeclarationsAndScope:
+    def test_simple_declaration_ok(self):
+        check("int i = 0;")
+
+    def test_undeclared_identifier(self):
+        fails("x = 1;", "undeclared")
+
+    def test_redeclaration_same_scope(self):
+        fails("int i = 0; int i = 1;", "redeclaration")
+
+    def test_shadowing_in_inner_block_ok(self):
+        check("int i = 0; { double i = 1.0; }")
+
+    def test_sibling_blocks_independent(self):
+        check("{ int i = 0; } { double i = 1.0; }")
+
+    def test_inner_variable_not_visible_outside(self):
+        fails("{ int i = 0; } i = 1;", "undeclared")
+
+    def test_cannot_shadow_input_output(self):
+        fails("int input = 0;", "builtin")
+        fails("int output = 0;", "builtin")
+
+    def test_cannot_redeclare_constant(self):
+        fails("int LOADAVG = 0;", "predefined constant")
+
+    def test_for_header_scope(self):
+        check("for (int i = 0; i < 3; i++) { int j = i; }")
+        fails("for (int i = 0; i < 3; i++) { } i = 1;", "undeclared")
+
+    def test_outer_variable_visible_in_loop(self):
+        check("int total = 0; for (int i = 0; i < 3; i++) total += i;")
+
+
+class TestConstants:
+    def test_constant_usable_as_index(self):
+        check("output[0] = input[LOADAVG];")
+
+    def test_float_constant_not_an_index(self):
+        fails("output[0] = input[RATIO];", "integer")
+
+    def test_assignment_to_constant_rejected(self):
+        fails("LOADAVG = 2;", "constant")
+
+    def test_increment_of_constant_rejected(self):
+        fails("LOADAVG++;", "constant")
+
+    def test_float_constant_in_arithmetic(self):
+        check("double x = RATIO * 2.0;")
+
+
+class TestArraysAndRecords:
+    def test_input_read_ok(self):
+        check("double v = input[0].value;")
+
+    def test_all_record_fields(self):
+        check("double a = input[0].value;"
+              "double b = input[0].last_value_sent;"
+              "double c = input[0].timestamp;")
+
+    def test_unknown_field_rejected(self):
+        fails("double v = input[0].bogus;", "unknown record field")
+
+    def test_field_on_non_record_rejected(self):
+        fails("int i = 0; double v = i.value;", "record")
+
+    def test_index_on_scalar_rejected(self):
+        fails("int i = 0; double v = i[0].value;",
+              "input.. and output")
+
+    def test_output_assignment_requires_record(self):
+        fails("output[0] = 5;", "monitoring records")
+
+    def test_output_augmented_assign_rejected(self):
+        fails("output[0] += input[0];", "not supported")
+
+    def test_output_read_in_expression_rejected(self):
+        # output[] is write-only; reading a slot's field is invalid
+        # because fields are writable only (not readable).
+        fails("double v = output[0].value + 1.0;", "write-only")
+
+    def test_output_field_write_ok(self):
+        check("output[0] = input[0]; output[0].value = 1.0;")
+
+    def test_field_write_on_input_rejected(self):
+        fails("input[0].value = 1.0;", "output")
+
+    def test_output_index_must_be_int(self):
+        fails("double d = 0.5; output[d] = input[0];", "integer")
+
+    def test_record_in_arithmetic_rejected(self):
+        fails("double v = input[0] + 1;", "numeric")
+
+    def test_record_comparison_rejected(self):
+        fails("if (input[0] == input[1]) { return; }", "numeric")
+
+
+class TestOperators:
+    def test_int_int_arith_is_int(self):
+        check("int x = 2 + 3 * 4;")
+
+    def test_mixed_arith_promotes(self):
+        check("double x = 1 + 2.5;")
+
+    def test_modulo_needs_ints(self):
+        fails("double x = 5.0 % 2;", "integer")
+        fails("int x = 5 % 2.0;", "integer")
+        check("int x = 5 % 2;")
+
+    def test_modulo_assign_needs_ints(self):
+        fails("double x = 1.0; x %= 2;", "integer")
+
+    def test_logical_ops_on_numbers(self):
+        check("int x = 1 && 0 || !2;")
+
+    def test_condition_must_be_numeric(self):
+        fails("if (input[0]) { return; }", "numeric")
+
+    def test_return_numeric_ok(self):
+        check("return 1 + 2;")
+
+    def test_return_void_ok(self):
+        check("return;")
+
+    def test_return_record_rejected(self):
+        fails("return input[0];", "numeric")
+
+
+class TestBuiltins:
+    def test_known_builtins(self):
+        check("double x = sqrt(2.0); double y = fabs(-1.0);"
+              "int z = abs(-3); int m = min(1, 2); int n = max(3, 4);"
+              "double f = floor(1.7); double c = ceil(1.2);")
+
+    def test_unknown_function_rejected(self):
+        fails("double x = cos(1.0);", "unknown function")
+
+    def test_wrong_arity_rejected(self):
+        fails("double x = sqrt(1.0, 2.0);", "argument")
+        fails("double x = min(1);", "argument")
+
+    def test_non_numeric_argument_rejected(self):
+        fails("double x = fabs(input[0]);", "numeric")
+
+    def test_int_preserving_builtins_as_index(self):
+        check("output[abs(-1)] = input[0];")
+        check("output[min(0, 1)] = input[0];")
+
+    def test_sqrt_result_not_an_index(self):
+        fails("output[sqrt(4.0)] = input[0];", "integer")
+
+
+class TestAnalysisMetadata:
+    def test_loop_detection(self):
+        assert check("for (int i = 0; i < 2; i++) { }").has_loops
+        assert check("while (0) { }").has_loops
+        assert not check("int i = 0;").has_loops
+
+    def test_variables_collected(self):
+        result = check("int i = 0; { double j = 1.0; }")
+        assert result.variables == {"i", "j"}
+
+    def test_figure3_analyzes_clean(self):
+        src = """
+        {
+            int i = 0;
+            if(input[LOADAVG].value > 2){
+                output[i] = input[LOADAVG];
+                i = i + 1;
+            }
+        }
+        """
+        check(src)

@@ -1,0 +1,116 @@
+"""Unit tests for the E-code lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecode import tokenize
+from repro.ecode.tokens import TokenType as T
+from repro.errors import EcodeSyntaxError
+
+
+def types(source: str) -> list[T]:
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].type is T.EOF
+
+    def test_whitespace_only(self):
+        assert types("  \n\t  ") == []
+
+    def test_identifiers_and_keywords(self):
+        assert types("int foo") == [T.KW_INT, T.IDENTIFIER]
+        assert types("integer") == [T.IDENTIFIER]  # not a keyword prefix
+        assert types("if else for while return double long float") == [
+            T.KW_IF, T.KW_ELSE, T.KW_FOR, T.KW_WHILE, T.KW_RETURN,
+            T.KW_DOUBLE, T.KW_LONG, T.KW_FLOAT]
+
+    def test_underscore_identifiers(self):
+        toks = tokenize("_x x_1 last_value_sent")
+        assert [t.text for t in toks[:-1]] == ["_x", "x_1",
+                                               "last_value_sent"]
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        tok = tokenize("12345")[0]
+        assert tok.type is T.INT_LITERAL and tok.text == "12345"
+
+    def test_float_with_dot(self):
+        assert tokenize("3.14")[0].type is T.FLOAT_LITERAL
+
+    def test_scientific_notation(self):
+        # The paper's example uses 50e6.
+        tok = tokenize("50e6")[0]
+        assert tok.type is T.FLOAT_LITERAL and float(tok.text) == 50e6
+
+    def test_scientific_with_sign(self):
+        assert float(tokenize("1.5e-3")[0].text) == 1.5e-3
+        assert float(tokenize("2E+2")[0].text) == 200.0
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].type is T.FLOAT_LITERAL
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(EcodeSyntaxError):
+            tokenize("3.")
+
+    def test_e_followed_by_identifier_splits(self):
+        # '5ex' lexes as number 5 then identifier 'ex'.
+        assert types("5ex") == [T.INT_LITERAL, T.IDENTIFIER]
+
+
+class TestOperators:
+    def test_two_char_before_one_char(self):
+        assert types("<= >= == != && || += -= ++ --") == [
+            T.LE, T.GE, T.EQ, T.NE, T.AND, T.OR, T.PLUS_ASSIGN,
+            T.MINUS_ASSIGN, T.INCREMENT, T.DECREMENT]
+
+    def test_single_char_operators(self):
+        assert types("+ - * / % < > ! = . , ;") == [
+            T.PLUS, T.MINUS, T.STAR, T.SLASH, T.PERCENT, T.LT, T.GT,
+            T.NOT, T.ASSIGN, T.DOT, T.COMMA, T.SEMICOLON]
+
+    def test_brackets(self):
+        assert types("( ) { } [ ]") == [
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE,
+            T.LBRACKET, T.RBRACKET]
+
+    def test_adjacent_operators(self):
+        assert types("a==b") == [T.IDENTIFIER, T.EQ, T.IDENTIFIER]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(EcodeSyntaxError, match="unexpected"):
+            tokenize("a # b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types("a // comment here\nb") == [T.IDENTIFIER,
+                                                 T.IDENTIFIER]
+
+    def test_block_comment(self):
+        assert types("a /* ignore \n all this */ b") == [
+            T.IDENTIFIER, T.IDENTIFIER]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(EcodeSyntaxError, match="unterminated"):
+            tokenize("a /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("x\n  @")
+        except EcodeSyntaxError as exc:
+            assert exc.line == 2 and exc.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected lex error")

@@ -1,0 +1,140 @@
+"""Unit tests for E-code ``break`` and ``continue``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecode import compile_filter, parse
+from repro.ecode import ast_nodes as A
+from repro.errors import EcodeSyntaxError, EcodeTypeError
+
+
+def returned(source: str):
+    return compile_filter(source)([]).returned
+
+
+class TestParsing:
+    def test_break_statement(self):
+        prog = parse("while (1) { break; }")
+        loop = prog.body.statements[0]
+        assert isinstance(loop.body.statements[0], A.Break)
+
+    def test_continue_statement(self):
+        prog = parse("for (;;) { continue; }")
+        loop = prog.body.statements[0]
+        assert isinstance(loop.body.statements[0], A.Continue)
+
+    def test_semicolon_required(self):
+        with pytest.raises(EcodeSyntaxError):
+            parse("while (1) { break }")
+
+
+class TestAnalysis:
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(EcodeTypeError, match="outside of a loop"):
+            compile_filter("break;")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(EcodeTypeError, match="outside of a loop"):
+            compile_filter("if (1) continue;")
+
+    def test_break_in_if_inside_loop_ok(self):
+        compile_filter("for (;;) { if (1) break; }")
+
+    def test_break_after_loop_rejected(self):
+        with pytest.raises(EcodeTypeError, match="outside of a loop"):
+            compile_filter("while (0) { } break;")
+
+
+class TestForLoopSemantics:
+    def test_break_exits_before_step(self):
+        # i stays 3 at the break: step must not have run for the
+        # breaking iteration.
+        src = """
+        int last = -1;
+        for (int i = 0; i < 10; i++) {
+            last = i;
+            if (i == 3) break;
+        }
+        return last;
+        """
+        assert returned(src) == 3
+
+    def test_break_partial_sum(self):
+        assert returned(
+            "int s = 0;"
+            "for (int i = 0; i < 10; i++) { if (i == 3) break; s += i; }"
+            "return s;") == 3
+
+    def test_continue_runs_step(self):
+        """`continue` must execute the for-step (no infinite loop)."""
+        assert returned(
+            "int s = 0;"
+            "for (int i = 0; i < 5; i++) { if (i % 2 == 0) continue;"
+            " s += i; } return s;") == 4
+
+    def test_continue_skips_rest_of_body(self):
+        assert returned(
+            "int hits = 0;"
+            "for (int i = 0; i < 6; i++) { continue; hits++; }"
+            "return hits;") == 0
+
+    def test_nested_for_break_is_local(self):
+        assert returned(
+            "int c = 0;"
+            "for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 10; j++) { if (j == 2) break; c++; }"
+            "return c;") == 6
+
+    def test_break_deep_in_ifs(self):
+        assert returned(
+            "int s = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  if (i > 2) { if (i > 4) break; s += 10; }"
+            "  s += 1;"
+            "} return s;") == 25
+
+    def test_step_counter_respects_break(self):
+        result = compile_filter(
+            "for (int i = 0; i < 1000; i++) if (i == 4) break;")([])
+        assert result.steps == 5
+
+
+class TestWhileLoopSemantics:
+    def test_break(self):
+        assert returned(
+            "int n = 0; while (1) { n++; if (n == 7) break; }"
+            "return n;") == 7
+
+    def test_continue(self):
+        assert returned(
+            "int n = 0; int s = 0;"
+            "while (n < 6) { n++; if (n % 2 == 0) continue; s += n; }"
+            "return s;") == 9
+
+    def test_continue_still_counts_iterations(self):
+        """Budget ticks must fire even on continue-heavy loops."""
+        from repro.errors import EcodeLimitError
+        with pytest.raises(EcodeLimitError):
+            compile_filter("while (1) { continue; }",
+                           max_steps=100)([])
+
+    def test_while_break_inside_for(self):
+        assert returned(
+            "int c = 0;"
+            "for (int i = 0; i < 3; i++) {"
+            "  int j = 0;"
+            "  while (1) { j++; if (j == 2) break; }"
+            "  c += j;"
+            "} return c;") == 6
+
+    def test_for_break_beside_inner_while(self):
+        """Outer-for break coexists with a complete inner while."""
+        assert returned(
+            "int c = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  int j = 0;"
+            "  while (j < 3) { j++; }"
+            "  c += j;"
+            "  if (i == 1) break;"
+            "} return c;") == 6

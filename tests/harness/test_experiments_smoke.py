@@ -1,0 +1,129 @@
+"""Smoke tests: every figure experiment runs at tiny scale and produces
+well-formed, directionally sane results.
+
+The full shape assertions live in benchmarks/ (run with
+``pytest benchmarks/ --benchmark-only``); these tests only guarantee
+that the experiment definitions stay runnable and structurally sound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (EXPERIMENTS, fig4_cpu_perturbation,
+                           fig5_network_perturbation,
+                           fig6_submission_overhead,
+                           fig8_receive_overhead, fig9a_latency_timeline,
+                           fig9b_event_rate, fig10_latency_vs_network,
+                           fig11_hybrid_monitors, run_experiment)
+from repro.harness.microbench import CONFIG_LABELS
+
+
+class TestMicrobenchSmoke:
+    def test_fig4_structure(self):
+        result = fig4_cpu_perturbation(nodes=(0, 4), duration=15.0)
+        assert [s.label for s in result.series] == list(CONFIG_LABELS)
+        for s in result.series:
+            assert s.y_at(0) == pytest.approx(17.4, rel=0.05)
+
+    def test_fig5_structure(self):
+        result = fig5_network_perturbation(nodes=(0, 2), duration=10.0)
+        for s in result.series:
+            assert 90 < s.y_at(0) < 100
+
+    def test_fig6_overhead_positive_and_ordered(self):
+        result = fig6_submission_overhead(nodes=(2, 4), duration=30.0)
+        p1 = result.get("update period=1s")
+        p2 = result.get("update period=2s")
+        assert p1.y_at(4) > p1.y_at(2) > 0
+        assert p2.y_at(4) < p1.y_at(4)
+
+    def test_fig8_single_node_receives_nothing(self):
+        result = fig8_receive_overhead(nodes=(1, 2), duration=20.0)
+        for s in result.series:
+            assert s.y_at(1) == 0.0
+            assert s.y_at(2) >= 0.0
+
+    def test_bad_config_mode_rejected(self):
+        from repro.harness.microbench import _deploy
+        from repro.sim import Environment, build_cluster
+        env = Environment()
+        cluster = build_cluster(env, 2)
+        with pytest.raises(ValueError, match="unknown configuration"):
+            _deploy(cluster, 2, "hourly")
+
+
+class TestAppbenchSmoke:
+    def test_fig9a_series_nonempty(self):
+        result = fig9a_latency_timeline(duration=120.0,
+                                        thread_interval=60.0,
+                                        sample_every=30.0)
+        assert len(result.series) == 3
+        for s in result.series:
+            assert len(s.x) >= 3
+            assert all(y >= 0 for y in s.y)
+
+    def test_fig9b_unloaded_rates(self):
+        result = fig9b_event_rate(threads=(0,), settle=10.0,
+                                  measure=20.0)
+        for s in result.series:
+            assert s.y_at(0) == pytest.approx(5.0, rel=0.15)
+
+    def test_fig10_low_perturbation_is_flat(self):
+        result = fig10_latency_vs_network(perturbations=(0, 30),
+                                          settle=10.0, measure=20.0)
+        for s in result.series:
+            assert s.y_at(0) < 1.0
+            assert s.y_at(30) < 1.0
+
+    def test_fig11_light_step_ok(self):
+        result = fig11_hybrid_monitors(steps=(1,), settle=10.0,
+                                       measure=20.0)
+        for s in result.series:
+            assert s.y_at(1) < 2.0
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9a", "fig9b", "fig10", "fig11"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_specs_have_both_scales(self):
+        for spec in EXPERIMENTS.values():
+            assert callable(spec.full) and callable(spec.quick)
+            assert spec.paper_ref.startswith("Figure")
+
+
+class TestCli:
+    def test_main_runs_one_figure(self, capsys):
+        from repro.harness.__main__ import main
+        # fig8 quick is among the cheapest full experiments; use an
+        # explicit tiny run through the module API instead of --full.
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "receive" in out.lower()
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.harness.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_main_plot_flag(self, capsys):
+        from repro.harness.__main__ import main
+        assert main(["fig8", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # canvas rows
+        assert "* update period=1s" in out
+
+    def test_main_save_flag(self, capsys, tmp_path):
+        from repro.analysis import load_result
+        from repro.harness.__main__ import main
+        assert main(["fig8", "--save", str(tmp_path / "out")]) == 0
+        loaded = load_result(tmp_path / "out" / "fig8.json")
+        assert loaded.experiment_id == "fig8"
+        assert len(loaded.series) == 3

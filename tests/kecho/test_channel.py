@@ -1,0 +1,225 @@
+"""Unit and integration tests for KECho channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.kecho import KechoBus, control_message_size
+from repro.kecho.control import (ClearParameter, DeployFilter,
+                                 RemoveFilter, SetParameter)
+from repro.units import KB
+
+
+@pytest.fixture
+def bus():
+    return KechoBus()
+
+
+def wire(bus, cluster, name="monitor"):
+    """Attach every node to the channel; return endpoints by host."""
+    return {node.name: bus.connect(node, name) for node in cluster}
+
+
+class TestEndpointLifecycle:
+    def test_connect_is_idempotent(self, bus, cluster3):
+        alan = cluster3["alan"]
+        assert bus.connect(alan, "monitor") is bus.connect(alan, "monitor")
+
+    def test_distinct_channels_distinct_endpoints(self, bus, cluster3):
+        alan = cluster3["alan"]
+        a = bus.connect(alan, "monitor")
+        b = bus.connect(alan, "control")
+        assert a is not b
+
+    def test_close_then_reconnect(self, bus, cluster3):
+        alan = cluster3["alan"]
+        ep = bus.connect(alan, "monitor")
+        ep.close()
+        ep.close()  # idempotent
+        ep2 = bus.connect(alan, "monitor")
+        assert ep2 is not ep and not ep2.closed
+
+    def test_submit_on_closed_endpoint_rejected(self, bus, cluster3):
+        ep = bus.connect(cluster3["alan"], "monitor")
+        ep.close()
+        with pytest.raises(ChannelError):
+            ep.submit("x", size=100)
+
+    def test_subscribe_on_closed_endpoint_rejected(self, bus, cluster3):
+        ep = bus.connect(cluster3["alan"], "monitor")
+        ep.close()
+        with pytest.raises(ChannelError):
+            ep.subscribe(lambda e: None)
+
+    def test_bad_size_rejected(self, bus, cluster3):
+        ep = bus.connect(cluster3["alan"], "monitor")
+        with pytest.raises(ChannelError):
+            ep.submit("x", size=0)
+
+
+class TestPublishSubscribe:
+    def test_event_reaches_remote_subscriber(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        got = []
+        eps["maui"].subscribe(lambda e: got.append(e))
+        receipt = eps["alan"].submit({"loadavg": 1.5}, size=100)
+        env.run()
+        assert receipt.remote_targets == ["maui"]
+        assert len(got) == 1
+        ev = got[0]
+        assert ev.source == "alan"
+        assert ev.payload == {"loadavg": 1.5}
+        assert ev.delivered_at > ev.submitted_at
+        assert ev.latency > 0
+
+    def test_no_subscribers_no_traffic(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        receipt = eps["alan"].submit("x", size=100)
+        env.run()
+        assert receipt.remote_targets == []
+        assert cluster3["maui"].stack.bytes_in.total == 0
+
+    def test_fanout_to_all_subscribers(self, env, bus, cluster8):
+        eps = wire(bus, cluster8)
+        counts = {name: [] for name in cluster8.names}
+        for name, ep in eps.items():
+            ep.subscribe(lambda e, n=name: counts[n].append(e.eid))
+        eps["alan"].submit("x", size=100)
+        env.run()
+        for name in cluster8.names:
+            assert len(counts[name]) == 1  # incl. local delivery on alan
+
+    def test_local_subscriber_immediate(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        got = []
+        eps["alan"].subscribe(lambda e: got.append(env.now))
+        eps["alan"].submit("x", size=100)
+        assert got == [env.now]  # synchronous local upcall
+
+    def test_subscription_cancel_stops_delivery(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        got = []
+        sub = eps["maui"].subscribe(lambda e: got.append(e))
+        eps["alan"].submit("first", size=100)
+        env.run()
+        sub.cancel()
+        eps["alan"].submit("second", size=100)
+        env.run()
+        assert len(got) == 1
+
+    def test_cancel_twice_ok(self, bus, cluster3):
+        ep = bus.connect(cluster3["alan"], "monitor")
+        sub = ep.subscribe(lambda e: None)
+        sub.cancel()
+        sub.cancel()
+
+    def test_unsubscribed_node_not_pushed_to(self, env, bus, cluster3):
+        """Data exchange only for registered interest (paper §2)."""
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        receipt = eps["alan"].submit("x", size=100)
+        env.run()
+        assert "etna" not in receipt.remote_targets
+
+    def test_two_channels_are_isolated(self, env, bus, cluster3):
+        mon = wire(bus, cluster3, "monitor")
+        ctl = wire(bus, cluster3, "control")
+        got_mon, got_ctl = [], []
+        mon["maui"].subscribe(lambda e: got_mon.append(e))
+        ctl["maui"].subscribe(lambda e: got_ctl.append(e))
+        mon["alan"].submit("m", size=50)
+        ctl["alan"].submit("c", size=50)
+        env.run()
+        assert [e.payload for e in got_mon] == ["m"]
+        assert [e.payload for e in got_ctl] == ["c"]
+
+
+class TestCostAccounting:
+    def test_submit_cost_scales_with_subscribers(self, env, bus,
+                                                 cluster8):
+        eps = wire(bus, cluster8)
+        r0 = eps["alan"].submit("x", size=100)
+        for name in cluster8.names:
+            if name != "alan":
+                eps[name].subscribe(lambda e: None)
+        r7 = eps["alan"].submit("x", size=100)
+        assert r7.cpu_seconds > r0.cpu_seconds
+        costs = cluster8["alan"].costs
+        expected = costs.encode_cost(100) + costs.send_cost(100, 7)
+        assert r7.cpu_seconds == pytest.approx(expected)
+
+    def test_submit_cost_scales_with_size(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        small = eps["alan"].submit("x", size=100)
+        large = eps["alan"].submit("x", size=KB(5))
+        assert large.cpu_seconds > small.cpu_seconds
+
+    def test_submit_charges_cpu(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        receipt = eps["alan"].submit("x", size=KB(5))
+        env.run()
+        alan = cluster3["alan"]
+        alan.cpu.settle()
+        assert alan.cpu.busy_cpu_seconds \
+            == pytest.approx(receipt.cpu_seconds)
+
+    def test_receive_cost_accumulates(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        for _ in range(3):
+            eps["alan"].submit("x", size=100)
+        env.run()
+        maui = cluster3["maui"]
+        expected = 3 * maui.costs.receive_cost(100)
+        assert eps["maui"].receive_cpu_seconds == pytest.approx(expected)
+
+    def test_counters(self, env, bus, cluster3):
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        eps["etna"].subscribe(lambda e: None)
+        eps["alan"].submit("x", size=200)
+        env.run()
+        assert eps["alan"].submitted.total == 1
+        assert eps["alan"].bytes_out.total == pytest.approx(400)
+        assert eps["maui"].received.total == 1
+        assert eps["maui"].bytes_in.total == pytest.approx(200)
+
+
+class TestControlMessages:
+    def test_addressing(self):
+        msg = SetParameter(sender="alan", target="maui", metric="cpu",
+                           parameter="period", spec="2")
+        assert msg.addressed_to("maui")
+        assert not msg.addressed_to("etna")
+
+    def test_broadcast(self):
+        msg = SetParameter(sender="alan", target=None)
+        assert msg.addressed_to("anyone")
+
+    def test_sizes_grow_with_body(self):
+        small = DeployFilter(sender="a", source="return 1;")
+        big = DeployFilter(sender="a", source="return 1;" * 100)
+        assert control_message_size(big) > control_message_size(small)
+
+    def test_all_kinds_have_sizes(self):
+        msgs = [
+            SetParameter(sender="a", metric="cpu", spec="2"),
+            ClearParameter(sender="a", metric="cpu"),
+            DeployFilter(sender="a", source="{}", filter_id="f1"),
+            RemoveFilter(sender="a", filter_id="f1"),
+        ]
+        for m in msgs:
+            assert control_message_size(m) >= 48
+
+    def test_control_message_over_channel(self, env, bus, cluster3):
+        eps = wire(bus, cluster3, "control")
+        got = []
+        eps["maui"].subscribe(lambda e: got.append(e.payload))
+        msg = DeployFilter(sender="alan", target="maui",
+                           source="{ return 1; }", filter_id="f1")
+        eps["alan"].submit(msg, size=control_message_size(msg))
+        env.run()
+        assert got == [msg]

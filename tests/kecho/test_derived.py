@@ -1,0 +1,171 @@
+"""Unit and integration tests for derived event channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dproc import METRIC_CONSTANTS
+from repro.ecode import MetricRecord, compile_filter
+from repro.errors import ChannelError
+from repro.kecho import KechoBus, ecode_transform
+
+
+@pytest.fixture
+def bus():
+    return KechoBus()
+
+
+def wire(bus, cluster, name):
+    return {node.name: bus.connect(node, name) for node in cluster}
+
+
+def downsample(event):
+    """Toy transform: halve the payload list and the size."""
+    payload = event.payload
+    if not payload:
+        return None
+    return payload[: max(1, len(payload) // 2)], event.size / 2
+
+
+class TestRegistration:
+    def test_self_derivation_rejected(self, bus):
+        with pytest.raises(ChannelError, match="itself"):
+            bus.derive("a", "a", downsample)
+
+    def test_cycle_rejected(self, bus):
+        bus.derive("a", "b", downsample)
+        bus.derive("b", "c", downsample)
+        with pytest.raises(ChannelError, match="cycle"):
+            bus.derive("c", "a", downsample)
+
+    def test_chain_allowed(self, bus):
+        bus.derive("a", "b", downsample)
+        bus.derive("b", "c", downsample)
+        assert len(bus.derivations_of("a")) == 1
+        assert len(bus.derivations_of("b")) == 1
+
+    def test_remove_derivation(self, bus):
+        spec = bus.derive("a", "b", downsample)
+        bus.remove_derivation(spec)
+        assert bus.derivations_of("a") == []
+        with pytest.raises(ChannelError):
+            bus.remove_derivation(spec)
+
+
+class TestDelivery:
+    def test_derived_subscriber_gets_transformed_event(self, env, bus,
+                                                       cluster3):
+        wire(bus, cluster3, "full")
+        derived = wire(bus, cluster3, "half")
+        bus.derive("full", "half", downsample)
+        got = []
+        derived["maui"].subscribe(lambda e: got.append(e))
+        publisher = bus.endpoint("full", "alan")
+        publisher.submit([1, 2, 3, 4], size=400)
+        env.run()
+        assert len(got) == 1
+        assert got[0].payload == [1, 2]
+        assert got[0].size == 200
+        assert got[0].attributes["derived_from"] == "full"
+
+    def test_source_subscribers_unaffected(self, env, bus, cluster3):
+        full = wire(bus, cluster3, "full")
+        wire(bus, cluster3, "half")
+        bus.derive("full", "half", downsample)
+        got = []
+        full["etna"].subscribe(lambda e: got.append(e))
+        bus.endpoint("full", "alan").submit([1, 2, 3, 4], size=400)
+        env.run()
+        assert got[0].payload == [1, 2, 3, 4]
+
+    def test_no_audience_no_transform(self, env, bus, cluster3):
+        wire(bus, cluster3, "full")
+        wire(bus, cluster3, "half")
+        spec = bus.derive("full", "half", downsample)
+        bus.endpoint("full", "alan").submit([1, 2], size=100)
+        env.run()
+        assert spec.offered.total == 0  # nobody subscribed to 'half'
+
+    def test_transform_none_drops_event(self, env, bus, cluster3):
+        wire(bus, cluster3, "full")
+        derived = wire(bus, cluster3, "half")
+        spec = bus.derive("full", "half", downsample)
+        got = []
+        derived["maui"].subscribe(lambda e: got.append(e))
+        bus.endpoint("full", "alan").submit([], size=100)
+        env.run()
+        assert got == []
+        assert spec.offered.total == 1 and spec.passed.total == 0
+
+    def test_chained_derivations(self, env, bus, cluster3):
+        wire(bus, cluster3, "full")
+        wire(bus, cluster3, "half")
+        quarter = wire(bus, cluster3, "quarter")
+        bus.derive("full", "half", downsample)
+        bus.derive("half", "quarter", downsample)
+        got = []
+        quarter["etna"].subscribe(lambda e: got.append(e))
+        # 'half' needs an audience too for the chain to flow.
+        bus.endpoint("half", "maui").subscribe(lambda e: None)
+        bus.endpoint("full", "alan").submit([1, 2, 3, 4, 5, 6, 7, 8],
+                                            size=800)
+        env.run()
+        assert len(got) == 1
+        assert got[0].payload == [1, 2]
+
+    def test_bad_size_from_transform_rejected(self, env, bus, cluster3):
+        wire(bus, cluster3, "full")
+        derived = wire(bus, cluster3, "bad")
+        bus.derive("full", "bad", lambda e: (e.payload, 0.0))
+        derived["maui"].subscribe(lambda e: None)
+        with pytest.raises(ChannelError, match="non-positive"):
+            bus.endpoint("full", "alan").submit([1], size=100)
+
+
+class TestEcodeTransform:
+    def make_records(self):
+        return [
+            MetricRecord("loadavg", 3.0),
+            MetricRecord("freemem", 100e6),
+        ]
+
+    def test_filter_passthrough(self, env, bus, cluster3):
+        wire(bus, cluster3, "metrics")
+        derived = wire(bus, cluster3, "hot")
+        compiled = compile_filter(
+            "{ if (input[LOADAVG].value > 2)"
+            "    output[0] = input[LOADAVG]; }",
+            constants=METRIC_CONSTANTS)
+        bus.derive("metrics", "hot", ecode_transform(compiled))
+        got = []
+        derived["maui"].subscribe(lambda e: got.append(e))
+        pub = bus.endpoint("metrics", "alan")
+        pub.submit(self.make_records(), size=64)
+        env.run()
+        assert len(got) == 1
+        assert got[0].payload[0].name == "loadavg"
+        assert got[0].size == 40 + 12  # header + one record
+
+    def test_filter_blocks_quiet_events(self, env, bus, cluster3):
+        wire(bus, cluster3, "metrics")
+        derived = wire(bus, cluster3, "hot")
+        compiled = compile_filter(
+            "{ if (input[LOADAVG].value > 99)"
+            "    output[0] = input[LOADAVG]; }",
+            constants=METRIC_CONSTANTS)
+        bus.derive("metrics", "hot", ecode_transform(compiled))
+        got = []
+        derived["maui"].subscribe(lambda e: got.append(e))
+        bus.endpoint("metrics", "alan").submit(self.make_records(),
+                                               size=64)
+        env.run()
+        assert got == []
+
+    def test_non_record_payload_rejected(self, env, bus, cluster3):
+        wire(bus, cluster3, "metrics")
+        derived = wire(bus, cluster3, "hot")
+        compiled = compile_filter("{ output[0] = input[0]; }")
+        bus.derive("metrics", "hot", ecode_transform(compiled))
+        derived["maui"].subscribe(lambda e: None)
+        with pytest.raises(ChannelError, match="MetricRecord"):
+            bus.endpoint("metrics", "alan").submit("raw", size=10)

@@ -1,0 +1,64 @@
+"""Unit tests for the channel registry (directory server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.kecho import ChannelRegistry
+
+
+class TestRegistry:
+    def test_first_open_creates(self):
+        reg = ChannelRegistry()
+        info, created = reg.open("monitor", "alan")
+        assert created
+        assert info.creator == "alan"
+        assert info.members == ["alan"]
+
+    def test_second_open_finds_existing(self):
+        reg = ChannelRegistry()
+        first, _ = reg.open("monitor", "alan")
+        second, created = reg.open("monitor", "maui")
+        assert not created
+        assert second.channel_id == first.channel_id
+        assert second.members == ["alan", "maui"]
+
+    def test_reopen_same_host_idempotent(self):
+        reg = ChannelRegistry()
+        reg.open("monitor", "alan")
+        info, created = reg.open("monitor", "alan")
+        assert not created and info.members == ["alan"]
+
+    def test_distinct_channels_distinct_ids(self):
+        reg = ChannelRegistry()
+        a, _ = reg.open("monitor", "alan")
+        b, _ = reg.open("control", "alan")
+        assert a.channel_id != b.channel_id
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(RegistryError):
+            ChannelRegistry().lookup("ghost")
+
+    def test_leave(self):
+        reg = ChannelRegistry()
+        reg.open("monitor", "alan")
+        reg.open("monitor", "maui")
+        reg.leave("monitor", "alan")
+        assert reg.lookup("monitor").members == ["maui"]
+
+    def test_leave_nonmember_raises(self):
+        reg = ChannelRegistry()
+        reg.open("monitor", "alan")
+        with pytest.raises(RegistryError):
+            reg.leave("monitor", "etna")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RegistryError):
+            ChannelRegistry().open("", "alan")
+
+    def test_channels_listing(self):
+        reg = ChannelRegistry()
+        reg.open("b-chan", "alan")
+        reg.open("a-chan", "alan")
+        assert reg.channels() == ["a-chan", "b-chan"]

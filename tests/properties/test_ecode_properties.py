@@ -1,0 +1,246 @@
+"""Property-based tests for the E-code compiler.
+
+The central property is *differential testing*: random expression trees
+are rendered to E-code source, compiled, executed, and compared against
+an independent reference interpreter implementing C semantics directly
+on the trees.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dproc.params import ChangeThreshold
+from repro.ecode import MetricRecord, compile_filter
+from repro.errors import EcodeRuntimeError
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+# --- typed random expression trees --------------------------------------------
+# Nodes: ("ilit", v) ("flit", v) ("bin", op, l, r) ("un", op, e)
+# Every tree carries C typing: '%' only over int subtrees.
+
+_INT_OPS = ("+", "-", "*", "/", "%")
+_NUM_OPS = ("+", "-", "*", "/")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_LOGIC_OPS = ("&&", "||")
+
+
+def _int_exprs(depth):
+    if depth == 0:
+        return st.tuples(st.just("ilit"),
+                         st.integers(min_value=-50, max_value=50))
+    sub = _int_exprs(depth - 1)
+    return st.one_of(
+        st.tuples(st.just("ilit"),
+                  st.integers(min_value=-50, max_value=50)),
+        st.tuples(st.just("bin"), st.sampled_from(_INT_OPS), sub, sub),
+        st.tuples(st.just("bin"), st.sampled_from(_CMP_OPS), sub, sub),
+        st.tuples(st.just("bin"), st.sampled_from(_LOGIC_OPS), sub,
+                  sub),
+        st.tuples(st.just("un"), st.sampled_from(("-", "!")), sub),
+    )
+
+
+def _float_exprs(depth):
+    if depth == 0:
+        return st.tuples(
+            st.just("flit"),
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    fsub = _float_exprs(depth - 1)
+    isub = _int_exprs(depth - 1)
+    mixed = st.one_of(fsub, isub)
+    return st.one_of(
+        st.tuples(st.just("flit"),
+                  st.floats(min_value=0.0, max_value=1e3,
+                            allow_nan=False)),
+        st.tuples(st.just("bin"), st.sampled_from(_NUM_OPS), mixed,
+                  fsub),
+        st.tuples(st.just("bin"), st.sampled_from(_NUM_OPS), fsub,
+                  mixed),
+        st.tuples(st.just("un"), st.just("-"), fsub),
+    )
+
+
+expressions = st.one_of(_int_exprs(3), _float_exprs(3))
+
+
+def render(node) -> str:
+    kind = node[0]
+    if kind == "ilit":
+        v = node[1]
+        return f"({v})" if v < 0 else str(v)
+    if kind == "flit":
+        return repr(float(node[1]))
+    if kind == "bin":
+        _, op, left, right = node
+        return f"({render(left)} {op} {render(right)})"
+    _, op, operand = node
+    return f"({op}{render(operand)})"
+
+
+class _DivByZero(Exception):
+    pass
+
+
+def is_int_typed(node) -> bool:
+    kind = node[0]
+    if kind == "ilit":
+        return True
+    if kind == "flit":
+        return False
+    if kind == "bin":
+        _, op, left, right = node
+        if op in _CMP_OPS or op in _LOGIC_OPS:
+            return True
+        return is_int_typed(left) and is_int_typed(right)
+    _, op, operand = node
+    if op == "!":
+        return True
+    return is_int_typed(operand)
+
+
+def reference_eval(node):
+    """Independent C-semantics evaluator over the expression tree."""
+    kind = node[0]
+    if kind == "ilit":
+        return int(node[1])
+    if kind == "flit":
+        return float(node[1])
+    if kind == "un":
+        _, op, operand = node
+        v = reference_eval(operand)
+        if op == "-":
+            return -v
+        return 1 if v == 0 else 0
+    _, op, left, right = node
+    if op == "&&":
+        if reference_eval(left) == 0:
+            return 0
+        return 1 if reference_eval(right) != 0 else 0
+    if op == "||":
+        if reference_eval(left) != 0:
+            return 1
+        return 1 if reference_eval(right) != 0 else 0
+    lv = reference_eval(left)
+    if op in _CMP_OPS:
+        rv = reference_eval(right)
+        table = {"<": lv < rv, "<=": lv <= rv, ">": lv > rv,
+                 ">=": lv >= rv, "==": lv == rv, "!=": lv != rv}
+        return 1 if table[op] else 0
+    rv = reference_eval(right)
+    both_int = is_int_typed(left) and is_int_typed(right)
+    if op == "+":
+        return lv + rv
+    if op == "-":
+        return lv - rv
+    if op == "*":
+        return lv * rv
+    if op == "/":
+        if rv == 0:
+            raise _DivByZero
+        if both_int:
+            return int(math.trunc(lv / rv))
+        return lv / rv
+    assert op == "%"
+    if rv == 0:
+        raise _DivByZero
+    return int(math.fmod(lv, rv))
+
+
+class TestDifferentialExecution:
+    @SETTINGS
+    @given(expressions)
+    def test_compiled_matches_reference(self, tree):
+        source = f"return {render(tree)};"
+        filt = compile_filter(source)
+        try:
+            expected = reference_eval(tree)
+        except _DivByZero:
+            with pytest.raises(EcodeRuntimeError):
+                filt([])
+            return
+        got = filt([]).returned
+        if isinstance(expected, float):
+            assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+        else:
+            assert got == expected
+
+    @SETTINGS
+    @given(expressions)
+    def test_compilation_is_pure(self, tree):
+        """Compiling twice and running twice gives identical results."""
+        source = f"return {render(tree)};"
+        a = compile_filter(source)
+        b = compile_filter(source)
+        try:
+            ra = a([]).returned
+        except EcodeRuntimeError:
+            with pytest.raises(EcodeRuntimeError):
+                b([])
+            return
+        assert b([]).returned == ra
+        assert a([]).returned == ra  # re-running is side-effect free
+
+
+class TestFilterVsParameterEquivalence:
+    @SETTINGS
+    @given(st.floats(min_value=0.01, max_value=1e6),
+           st.floats(min_value=0.01, max_value=1e6))
+    def test_differential_filter_matches_change_threshold(self, value,
+                                                          last):
+        """An E-code 15% differential filter agrees with the built-in
+        ChangeThreshold parameter on every (value, last_sent) pair."""
+        source = """
+        {
+            if (input[0].value > input[0].last_value_sent * 1.15 ||
+                input[0].value < input[0].last_value_sent * 0.85) {
+                output[0] = input[0];
+            }
+        }
+        """
+        filt = compile_filter(source)
+        record = MetricRecord("x", value=value, last_value_sent=last)
+        filter_sends = bool(filt([record]).outputs)
+        rule_sends = ChangeThreshold(15.0).should_send(value, last)
+        # The two formulations agree except exactly on the boundary.
+        ratio = abs(value - last) / last
+        if abs(ratio - 0.15) > 1e-9:
+            assert filter_sends == rule_sends
+
+
+class TestLoopProperties:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=500))
+    def test_loop_iteration_count(self, n):
+        src = f"int c = 0; for (int i = 0; i < {n}; i++) c++; return c;"
+        result = compile_filter(src)([])
+        assert result.returned == n
+        assert result.steps == n
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=100))
+    def test_sum_formula(self, n):
+        src = (f"int s = 0; for (int i = 1; i <= {n}; i++) s += i;"
+               f"return s;")
+        assert compile_filter(src)([]).returned == n * (n + 1) // 2
+
+
+class TestOutputProperties:
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False),
+                    min_size=1, max_size=8))
+    def test_copy_all_preserves_values_and_order(self, values):
+        records = [MetricRecord(f"m{i}", v)
+                   for i, v in enumerate(values)]
+        src = (f"for (int i = 0; i < {len(values)}; i++) "
+               f"output[i] = input[i];")
+        outputs = compile_filter(src)(records).outputs
+        assert [o.value for o in outputs] == [r.value for r in records]
+        assert [o.name for o in outputs] == [r.name for r in records]

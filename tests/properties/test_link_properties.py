@@ -1,0 +1,103 @@
+"""Property-based tests for the max-min bandwidth allocator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.link import (ELASTIC_FLOOR_FRACTION, Flow, FlowKind, Link,
+                            allocate_rates)
+
+FAST = settings(max_examples=80, deadline=None)
+
+
+@st.composite
+def topologies(draw):
+    """Random links plus random flows over subsets of them."""
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    links = [Link(f"l{i}",
+                  draw(st.floats(min_value=1e5, max_value=1e8)))
+             for i in range(n_links)]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        path_ids = draw(st.lists(
+            st.integers(0, n_links - 1), min_size=1,
+            max_size=n_links, unique=True))
+        path = tuple(links[j] for j in path_ids)
+        if draw(st.booleans()):
+            flows.append(Flow(path=path, kind=FlowKind.FIXED,
+                              demand=draw(st.floats(min_value=1e4,
+                                                    max_value=2e8))))
+        else:
+            flows.append(Flow(path=path, kind=FlowKind.ELASTIC,
+                              remaining=1e6))
+    return links, flows
+
+
+class TestAllocatorProperties:
+    @FAST
+    @given(topologies())
+    def test_rates_non_negative(self, topo):
+        _links, flows = topo
+        allocate_rates(flows)
+        for f in flows:
+            assert f.rate >= 0.0
+
+    @FAST
+    @given(topologies())
+    def test_fixed_flows_never_exceed_demand(self, topo):
+        _links, flows = topo
+        allocate_rates(flows)
+        for f in flows:
+            if f.kind is FlowKind.FIXED:
+                assert f.rate <= f.demand * (1 + 1e-9)
+
+    @FAST
+    @given(topologies())
+    def test_no_link_oversubscribed(self, topo):
+        """Allocated rates never exceed link capacity (modulo the
+        explicit starvation floor for elastic flows)."""
+        links, flows = topo
+        allocate_rates(flows)
+        for link in links:
+            used = sum(f.rate for f in flows if link in f.path)
+            slack = ELASTIC_FLOOR_FRACTION * link.capacity * sum(
+                1 for f in flows
+                if link in f.path and f.kind is FlowKind.ELASTIC)
+            assert used <= link.capacity + slack + 1e-6
+
+    @FAST
+    @given(topologies())
+    def test_elastic_floor_guarantee(self, topo):
+        """Every elastic flow gets at least its floor rate."""
+        _links, flows = topo
+        allocate_rates(flows)
+        for f in flows:
+            if f.kind is FlowKind.ELASTIC:
+                floor = ELASTIC_FLOOR_FRACTION * min(
+                    l.capacity for l in f.path)
+                assert f.rate >= floor * (1 - 1e-9)
+
+    @FAST
+    @given(topologies())
+    def test_deterministic(self, topo):
+        """Same input, same allocation."""
+        _links, flows = topo
+        allocate_rates(flows)
+        first = [f.rate for f in flows]
+        allocate_rates(flows)
+        assert [f.rate for f in flows] == first
+
+    @FAST
+    @given(st.integers(min_value=1, max_value=10),
+           st.floats(min_value=1e5, max_value=1e8))
+    def test_equal_flows_share_equally(self, n, capacity):
+        link = Link("l", capacity)
+        flows = [Flow(path=(link,), kind=FlowKind.ELASTIC,
+                      remaining=1e6) for _ in range(n)]
+        allocate_rates(flows)
+        expected = max(capacity / n,
+                       ELASTIC_FLOOR_FRACTION * capacity)
+        for f in flows:
+            assert abs(f.rate - expected) < 1e-6 * capacity

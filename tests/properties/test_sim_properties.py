@@ -1,0 +1,154 @@
+"""Property-based tests for the simulation kernel invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CPU, Environment, Store
+from repro.sim.trace import EwmaLoad, WindowAverage
+
+# Keep the DES property runs snappy.
+FAST = settings(max_examples=60, deadline=None)
+
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+class TestEventLoopProperties:
+    @FAST
+    @given(delays)
+    def test_events_fire_in_time_order(self, ds):
+        """Callbacks always observe a non-decreasing clock."""
+        env = Environment()
+        fired: list[float] = []
+        for d in ds:
+            env.timeout(d).add_callback(lambda _e: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @FAST
+    @given(delays)
+    def test_clock_ends_at_latest_event(self, ds):
+        env = Environment()
+        for d in ds:
+            env.timeout(d)
+        env.run()
+        assert env.now == max(ds)
+
+    @FAST
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    def test_same_time_events_fifo(self, tags):
+        """Events scheduled for the same instant process in schedule
+        order."""
+        env = Environment()
+        fired: list[int] = []
+        for tag in tags:
+            env.timeout(1.0).add_callback(
+                lambda _e, t=tag: fired.append(t))
+        env.run()
+        assert fired == tags
+
+
+class TestCpuProperties:
+    @FAST
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=50.0),   # work
+            st.floats(min_value=0.0, max_value=10.0)),   # arrival
+        min_size=1, max_size=15),
+        st.integers(min_value=1, max_value=4))
+    def test_work_conservation(self, jobs, n_cpus):
+        """Total CPU-seconds delivered equals total work requested,
+        no matter the arrival pattern or contention."""
+        env = Environment()
+        cpu = CPU(env, n_cpus=n_cpus, mflops_per_cpu=10.0)
+        events = []
+
+        def submit(work, at):
+            yield env.timeout(at)
+            done = cpu.execute(work)
+            events.append(done)
+            yield done
+
+        procs = [env.process(submit(w, a)) for w, a in jobs]
+        env.run(env.all_of(procs))
+        cpu.settle()
+        total_work = sum(w for w, _ in jobs)
+        delivered = cpu.busy_cpu_seconds * 10.0
+        assert abs(delivered - total_work) < 1e-6 * max(1.0, total_work)
+        assert all(ev.ok for ev in events)
+
+    @FAST
+    @given(st.lists(st.floats(min_value=0.01, max_value=20.0),
+                    min_size=2, max_size=10))
+    def test_shorter_jobs_finish_no_later(self, works):
+        """Under PS, among jobs started together, less work never
+        finishes later."""
+        env = Environment()
+        cpu = CPU(env, n_cpus=1, mflops_per_cpu=5.0)
+        finish: dict[int, float] = {}
+        for i, w in enumerate(works):
+            cpu.execute(w).add_callback(
+                lambda _e, i=i: finish.setdefault(i, env.now))
+        env.run()
+        order = sorted(range(len(works)), key=lambda i: works[i])
+        times = [finish[i] for i in order]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestStoreProperties:
+    @FAST
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    def test_fifo_preserves_sequence(self, items):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                got = yield store.get()
+                received.append(got)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == items
+
+
+class TestTraceProperties:
+    @FAST
+    @given(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False), min_size=1, max_size=50),
+        st.floats(min_value=0.5, max_value=100.0))
+    def test_window_average_matches_numpy_mean(self, values, window):
+        """With all samples inside the window, the running average is
+        the arithmetic mean."""
+        w = WindowAverage(window)
+        # Pack all samples into a span strictly smaller than window.
+        dt = window / (len(values) + 1)
+        for i, v in enumerate(values):
+            w.record(i * dt * 0.99, v)
+        expected = sum(values) / len(values)
+        assert abs(w.value - expected) <= 1e-9 * max(
+            1.0, abs(expected)) + 1e-9
+
+    @FAST
+    @given(st.lists(st.floats(min_value=0.0, max_value=64.0),
+                    min_size=1, max_size=50))
+    def test_ewma_bounded_by_observations(self, samples):
+        """The load averages never leave [0, max(observations)]."""
+        load = EwmaLoad()
+        for i, s in enumerate(samples):
+            load.update(i * 5.0, s)
+        for value in load.as_tuple():
+            assert -1e-9 <= value <= max(samples) + 1e-9

@@ -1,0 +1,245 @@
+"""Unit tests for Store / PriorityStore / Container / Resource."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, PriorityItem, PriorityStore, Resource, Store
+
+
+class TestStore:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+
+        def proc():
+            yield store.put("a")
+            yield store.put("b")
+            first = yield store.get()
+            second = yield store.get()
+            return (first, second)
+
+        assert env.run(env.process(proc())) == ("a", "b")
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [(5.0, "late")]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            log.append(("put1", env.now))
+            yield store.put(2)
+            log.append(("put2", env.now))
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [("put1", 0.0), ("put2", 3.0)]
+
+    def test_len_counts_buffered_items(self, env):
+        store = Store(env)
+        store.put("x")
+        store.put("y")
+        env.run()
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_multiple_getters_served_in_order(self, env):
+        store = Store(env)
+        got = []
+
+        def getter(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(getter("first"))
+        env.process(getter("second"))
+
+        def producer():
+            yield env.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self, env):
+        store = PriorityStore(env)
+        store.put("low", priority=10)
+        store.put("high", priority=1)
+        store.put("mid", priority=5)
+
+        def proc():
+            a = yield store.get()
+            b = yield store.get()
+            c = yield store.get()
+            return [a.item, b.item, c.item]
+
+        assert env.run(env.process(proc())) == ["high", "mid", "low"]
+
+    def test_ties_break_fifo(self, env):
+        store = PriorityStore(env)
+        store.put("first", priority=1)
+        store.put("second", priority=1)
+
+        def proc():
+            a = yield store.get()
+            b = yield store.get()
+            return [a.item, b.item]
+
+        assert env.run(env.process(proc())) == ["first", "second"]
+
+    def test_accepts_priority_item(self, env):
+        store = PriorityStore(env)
+        store.put(PriorityItem(priority=2, item="wrapped"))
+
+        def proc():
+            got = yield store.get()
+            return got.item
+
+        assert env.run(env.process(proc())) == "wrapped"
+
+    def test_missing_priority_rejected(self, env):
+        store = PriorityStore(env)
+        with pytest.raises(SimulationError):
+            store.put("bare")
+
+
+class TestContainer:
+    def test_initial_level(self, env):
+        c = Container(env, capacity=100, init=40)
+        assert c.level == 40
+
+    def test_get_blocks_until_enough(self, env):
+        c = Container(env, capacity=100, init=0)
+        log = []
+
+        def taker():
+            yield c.get(30)
+            log.append(env.now)
+
+        def filler():
+            yield env.timeout(1.0)
+            yield c.put(10)
+            yield env.timeout(1.0)
+            yield c.put(25)
+
+        env.process(taker())
+        env.process(filler())
+        env.run()
+        assert log == [2.0]
+        assert c.level == pytest.approx(5.0)
+
+    def test_put_blocks_at_capacity(self, env):
+        c = Container(env, capacity=10, init=10)
+        log = []
+
+        def putter():
+            yield c.put(5)
+            log.append(env.now)
+
+        def drainer():
+            yield env.timeout(4.0)
+            yield c.get(7)
+
+        env.process(putter())
+        env.process(drainer())
+        env.run()
+        assert log == [4.0]
+
+    def test_negative_amounts_rejected(self, env):
+        c = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            c.put(-1)
+        with pytest.raises(SimulationError):
+            c.get(-1)
+
+    def test_get_more_than_capacity_rejected(self, env):
+        c = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            c.get(11)
+
+    def test_bad_init_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=11)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            granted.append((tag, env.now))
+            yield env.timeout(hold)
+            req.release()
+
+        env.process(user("a", 5))
+        env.process(user("b", 5))
+        env.process(user("c", 1))
+        env.run()
+        assert granted == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+    def test_count_tracks_holders(self, env):
+        res = Resource(env, capacity=1)
+
+        def user():
+            req = res.request()
+            yield req
+            assert res.count == 1
+            yield env.timeout(1)
+            req.release()
+
+        env.run(env.process(user()))
+        assert res.count == 0
+
+    def test_release_unknown_request_raises(self, env):
+        res = Resource(env)
+        other = Resource(env)
+        req = other.request()
+        env.run()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()
+        queued = res.request()
+        env.run()
+        res.release(queued)  # cancel while still waiting
+        res.release(held)
+        env.run()
+        assert res.count == 0
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)

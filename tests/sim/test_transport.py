@@ -1,0 +1,209 @@
+"""Unit tests for the message transport layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.sim import Protocol, build_cluster
+from repro.units import KB, mbps
+
+
+@pytest.fixture
+def pair(env):
+    cluster = build_cluster(env, n_nodes=2, seed=7)
+    return cluster["alan"], cluster["maui"]
+
+
+class TestConnectionBasics:
+    def test_send_delivers_payload(self, env, pair):
+        src, dst = pair
+        received = []
+        dst.stack.bind("test", lambda m: received.append(m.payload))
+        conn = src.stack.connect("maui", tag="test")
+
+        def proc():
+            yield conn.send({"hello": 1}, size=KB(1))
+
+        env.run(env.process(proc()))
+        assert received == [{"hello": 1}]
+
+    def test_delivery_event_carries_message(self, env, pair):
+        src, _dst = pair
+        conn = src.stack.connect("maui", tag="t")
+
+        def proc():
+            msg = yield conn.send("x", size=100)
+            return msg
+
+        msg = env.run(env.process(proc()))
+        assert msg.src == "alan" and msg.dst == "maui"
+        assert msg.delivered_at is not None
+        assert msg.delivered_at > msg.sent_at
+
+    def test_unknown_destination_rejected(self, pair):
+        src, _ = pair
+        with pytest.raises(TransportError):
+            src.stack.connect("nowhere", tag="t")
+
+    def test_closed_connection_rejects_send(self, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+        conn.close()
+        with pytest.raises(TransportError):
+            conn.send("x", 10)
+
+    def test_bad_size_rejected(self, env, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+        with pytest.raises(TransportError):
+            conn.send("x", 0)
+
+    def test_double_bind_rejected(self, pair):
+        _, dst = pair
+        dst.stack.bind("t", lambda m: None)
+        with pytest.raises(TransportError):
+            dst.stack.bind("t", lambda m: None)
+
+    def test_unbind_then_rebind(self, pair):
+        _, dst = pair
+        dst.stack.bind("t", lambda m: None)
+        dst.stack.unbind("t")
+        dst.stack.bind("t", lambda m: None)
+
+    def test_unknown_protocol_rejected(self, pair):
+        src, _ = pair
+        with pytest.raises(TransportError):
+            src.stack.connect("maui", tag="t", proto="sctp")
+
+
+class TestDeliveryTiming:
+    def test_large_message_serialisation_delay(self, env, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+        nbytes = mbps(100) * 0.5  # half a second at line rate
+
+        def proc():
+            yield conn.send("big", size=nbytes)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(0.5, abs=0.01)
+
+    def test_delay_recorded(self, env, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+
+        def proc():
+            yield conn.send("x", size=KB(10))
+
+        env.run(env.process(proc()))
+        assert len(conn.delays) == 1
+        assert conn.delays.last() > 0
+
+
+class TestStatistics:
+    def test_bandwidth_counters(self, env, pair):
+        src, dst = pair
+        conn = src.stack.connect("maui", tag="t")
+
+        def proc():
+            for _ in range(5):
+                yield conn.send("x", size=KB(100))
+
+        env.run(env.process(proc()))
+        assert conn.bytes_sent.total == pytest.approx(KB(500))
+        assert conn.bytes_delivered.total == pytest.approx(KB(500))
+        assert dst.stack.bytes_in.total == pytest.approx(KB(500))
+        assert src.stack.bytes_out.total == pytest.approx(KB(500))
+
+    def test_rtt_samples_recorded(self, env, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+
+        def proc():
+            yield conn.send("x", size=100)
+
+        env.run(env.process(proc()))
+        assert conn.mean_rtt() > 0
+
+    def test_receive_charges_kernel_cpu(self, env, pair):
+        """Delivery must consume CPU at the receiver — the perturbation
+        mechanism behind Figures 4 and 8."""
+        src, dst = pair
+
+        def proc():
+            conn = src.stack.connect("maui", tag="t")
+            yield conn.send("x", size=KB(1))
+            yield env.timeout(1.0)
+
+        env.run(env.process(proc()))
+        dst.cpu.settle()
+        assert dst.cpu.busy_cpu_seconds > 0
+
+    def test_used_bandwidth_window(self, env, pair):
+        src, _ = pair
+        conn = src.stack.connect("maui", tag="t")
+
+        def proc():
+            yield conn.send("x", size=mbps(10))  # 10 Mbit in ~0.1 s
+            yield env.timeout(1.0)
+
+        env.run(env.process(proc()))
+        # A window spanning the whole run (the send was recorded at
+        # t=0, and rate windows are half-open on the left) sees the
+        # full 10 Mbit.
+        window = env.now + 0.1
+        assert conn.used_bandwidth(window=window) \
+            == pytest.approx(mbps(10) / window, rel=0.05)
+
+
+class TestUdp:
+    def test_udp_no_loss_on_idle_network(self, env, pair):
+        src, dst = pair
+        received = []
+        dst.stack.bind("u", lambda m: received.append(m.mid))
+        conn = src.stack.connect("maui", tag="u", proto=Protocol.UDP)
+
+        def proc():
+            for _ in range(20):
+                yield conn.send("x", size=KB(1))
+
+        env.run(env.process(proc()))
+        assert len(received) == 20
+        assert conn.losses.total == 0
+
+    def test_udp_loss_under_saturation(self, env):
+        cluster = build_cluster(env, n_nodes=3, seed=11)
+        alan, maui = cluster["alan"], cluster["maui"]
+        # Saturate maui's RX with a fixed flow from etna.
+        cluster.fabric.open_fixed_flow("etna", "maui", mbps(100))
+        conn = alan.stack.connect("maui", tag="u", proto=Protocol.UDP)
+
+        def proc():
+            ok = 0
+            for _ in range(200):
+                try:
+                    yield conn.send("x", size=KB(1))
+                    ok += 1
+                except TransportError:
+                    pass
+                yield env.timeout(0.01)
+            return ok
+
+        delivered = env.run(env.process(proc()))
+        assert conn.losses.total > 0
+        assert delivered < 200
+
+    def test_tcp_retransmissions_under_congestion(self, env):
+        cluster = build_cluster(env, n_nodes=3, seed=13)
+        alan = cluster["alan"]
+        cluster.fabric.open_fixed_flow("etna", "maui", mbps(95))
+        conn = alan.stack.connect("maui", tag="t", proto=Protocol.TCP)
+
+        def proc():
+            for _ in range(100):
+                yield conn.send("x", size=KB(2))
+                yield env.timeout(0.02)
+
+        env.run(env.process(proc()))
+        assert conn.retransmissions.total > 0

@@ -1,0 +1,154 @@
+"""Unit tests for the adaptation policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.smartpointer import (ClientCapabilities, DynamicAdaptation,
+                                FULL_QUALITY, NoAdaptation,
+                                StaticAdaptation, StreamProfile,
+                                Transform)
+from repro.units import KB, mbps
+
+
+@pytest.fixture
+def profile():
+    return StreamProfile(base_size=KB(200), base_client_cost=2.4)
+
+
+@pytest.fixture
+def caps():
+    return ClientCapabilities(mflops=17.4, n_cpus=1)
+
+
+def obs(loadavg=math.nan, net=math.nan, disk=math.nan):
+    return {"loadavg": loadavg, "net_bandwidth": net, "diskusage": disk}
+
+
+class TestBaselines:
+    def test_no_adaptation_is_identity(self, profile, caps):
+        policy = NoAdaptation()
+        assert policy.choose(obs(loadavg=50), profile, 5.0, caps) \
+            is FULL_QUALITY
+
+    def test_static_is_constant(self, profile, caps):
+        fixed = Transform(downsample=0.5)
+        policy = StaticAdaptation(fixed)
+        assert policy.choose(obs(), profile, 5.0, caps) is fixed
+        assert policy.choose(obs(loadavg=99), profile, 5.0, caps) \
+            is fixed
+
+
+class TestDynamicValidation:
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicAdaptation(resources=("gpu",))
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicAdaptation(resources=())
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicAdaptation(margin=0)
+        with pytest.raises(SimulationError):
+            DynamicAdaptation(margin=1.5)
+
+    def test_name_lists_resources(self):
+        assert DynamicAdaptation(resources=("net", "cpu")).name \
+            == "dynamic(cpu+net)"
+
+
+class TestDynamicDecisions:
+    def test_unloaded_client_gets_full_stream(self, profile, caps):
+        policy = DynamicAdaptation()
+        choice = policy.choose(obs(loadavg=0.1, net=mbps(100)),
+                               profile, 5.0, caps)
+        assert choice.quality() == 1.0
+
+    def test_unknown_observations_mean_no_constraint(self, profile,
+                                                     caps):
+        policy = DynamicAdaptation()
+        choice = policy.choose(obs(), profile, 5.0, caps)
+        assert choice.quality() == 1.0
+
+    def test_cpu_load_triggers_preprocessing(self, profile, caps):
+        policy = DynamicAdaptation(resources=("cpu",))
+        choice = policy.choose(obs(loadavg=8.0), profile, 5.0, caps)
+        # cost must come down: preprocessing is the lever.
+        assert choice.preprocess > 0
+        assert choice.client_cost(profile) < profile.base_client_cost
+
+    def test_network_squeeze_triggers_downsampling(self, caps):
+        profile = StreamProfile(base_size=3 * 1024 * 1024,
+                                base_client_cost=0.1)
+        policy = DynamicAdaptation(resources=("net",))
+        choice = policy.choose(obs(net=mbps(10)), profile, 1.25, caps)
+        assert choice.downsample < 1.0
+        assert choice.wire_size(profile) < profile.base_size
+
+    def test_cpu_only_policy_ignores_network(self, caps):
+        """The Figure 11 failure mode: a cpu-only monitor inflates the
+        stream even when the network is the bottleneck."""
+        profile = StreamProfile(base_size=3 * 1024 * 1024,
+                                base_client_cost=2.4)
+        policy = DynamicAdaptation(resources=("cpu",))
+        choice = policy.choose(obs(loadavg=8.0, net=mbps(5)),
+                               profile, 1.25, caps)
+        # It preprocesses (good for CPU) without noticing the wire
+        # size now exceeds what 5 Mbps can carry.
+        assert choice.preprocess > 0
+        assert choice.wire_size(profile) / mbps(5) > 1.0 / 1.25
+
+    def test_hybrid_respects_both(self, caps):
+        profile = StreamProfile(base_size=3 * 1024 * 1024,
+                                base_client_cost=2.4)
+        policy = DynamicAdaptation(resources=("cpu", "net"))
+        choice = policy.choose(obs(loadavg=8.0, net=mbps(20)),
+                               profile, 1.25, caps)
+        budget = 0.75 / 1.25
+        assert choice.wire_size(profile) / mbps(20) <= budget * 1.01
+        share = 17.4 / 8.0  # ~mflops/(1+loadavg-1)
+        assert choice.client_cost(profile) / share <= budget * 1.3
+
+    def test_disk_constraint_applies_to_logging_clients(self, profile):
+        slow_disk = ClientCapabilities(mflops=17.4,
+                                       disk_rate=KB(64),
+                                       logs_to_disk=True)
+        policy = DynamicAdaptation(resources=("disk",))
+        choice = policy.choose(obs(disk=100.0), profile, 5.0, slow_disk)
+        assert choice.wire_size(profile) < profile.base_size
+
+    def test_disk_ignored_for_non_logging_clients(self, profile):
+        caps = ClientCapabilities(mflops=17.4, disk_rate=KB(64),
+                                  logs_to_disk=False)
+        policy = DynamicAdaptation(resources=("disk",))
+        choice = policy.choose(obs(disk=100.0), profile, 5.0, caps)
+        assert choice.quality() == 1.0
+
+    def test_infeasible_falls_back_to_least_bad(self, caps):
+        profile = StreamProfile(base_size=100 * 1024 * 1024,
+                                base_client_cost=500.0)
+        policy = DynamicAdaptation(resources=("cpu", "net"))
+        choice = policy.choose(obs(loadavg=20.0, net=mbps(1)),
+                               profile, 10.0, caps)
+        # Nothing fits the budget; policy must pick the minimal
+        # bottleneck (maximal shrink) rather than give up.
+        assert choice.downsample == pytest.approx(0.12)
+
+    def test_last_choice_tracked(self, profile, caps):
+        policy = DynamicAdaptation()
+        choice = policy.choose(obs(loadavg=5.0), profile, 5.0, caps)
+        assert policy.last_choice is choice
+
+    def test_monotone_in_load(self, profile, caps):
+        """More load never yields a more expensive client transform."""
+        policy = DynamicAdaptation(resources=("cpu",))
+        costs = []
+        for load in (0.5, 2.0, 4.0, 8.0, 16.0):
+            t = policy.choose(obs(loadavg=load), profile, 5.0, caps)
+            costs.append(t.client_cost(profile))
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,152 @@
+"""Integration tests for the SmartPointer server/client pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dproc import DMonConfig, deploy_dproc
+from repro.errors import SimulationError
+from repro.sim import NodeConfig, build_cluster
+from repro.smartpointer import (ClientCapabilities, DynamicAdaptation,
+                                NoAdaptation, SmartPointerClient,
+                                SmartPointerServer, StaticAdaptation,
+                                StreamProfile, Transform)
+from repro.units import KB
+from repro.workloads import Linpack
+
+
+@pytest.fixture
+def profile():
+    return StreamProfile(base_size=KB(200), base_client_cost=2.4,
+                         server_preprocess_cost=2.0)
+
+
+def make_pair(env, server_cpus=4):
+    cluster = build_cluster(
+        env, 2, seed=7,
+        node_configs=[NodeConfig(n_cpus=server_cpus),
+                      NodeConfig(n_cpus=1)])
+    return cluster, cluster["alan"], cluster["maui"]
+
+
+class TestPipeline:
+    def test_events_flow_at_configured_rate(self, env, profile):
+        _, server_node, client_node = make_pair(env)
+        client = SmartPointerClient(client_node).start()
+        server = SmartPointerServer(server_node)
+        server.add_client("maui", profile, rate=5.0,
+                          policy=NoAdaptation())
+        env.run(until=20.0)
+        assert client.processed.total == pytest.approx(100, abs=3)
+        assert client.event_rate(window=10.0) == pytest.approx(5.0,
+                                                               rel=0.1)
+
+    def test_latency_includes_queueing(self, env, profile):
+        _, server_node, client_node = make_pair(env)
+        client = SmartPointerClient(client_node).start()
+        server = SmartPointerServer(server_node)
+        # cost 5.8 Mflop at 17.4 -> 0.33 s per event but 5/s arrivals:
+        heavy = StreamProfile(base_size=KB(100), base_client_cost=5.8)
+        server.add_client("maui", heavy, rate=5.0,
+                          policy=NoAdaptation())
+        env.run(until=30.0)
+        # Queue must be building and latency climbing.
+        assert client.queue_length > 10
+        assert client.mean_latency(since=20.0) > 1.0
+
+    def test_duplicate_client_rejected(self, env, profile):
+        _, server_node, _ = make_pair(env)
+        server = SmartPointerServer(server_node)
+        server.add_client("maui", profile, rate=1.0,
+                          policy=NoAdaptation())
+        with pytest.raises(SimulationError):
+            server.add_client("maui", profile, rate=1.0,
+                              policy=NoAdaptation())
+
+    def test_remove_client_stops_stream(self, env, profile):
+        _, server_node, client_node = make_pair(env)
+        client = SmartPointerClient(client_node).start()
+        server = SmartPointerServer(server_node)
+        server.add_client("maui", profile, rate=5.0,
+                          policy=NoAdaptation())
+        env.run(until=5.0)
+        server.remove_client("maui")
+        count = client.arrivals.total
+        env.run(until=10.0)
+        assert client.arrivals.total <= count + 1
+        with pytest.raises(SimulationError):
+            server.remove_client("maui")
+
+    def test_logging_client_writes_to_disk(self, env, profile):
+        _, server_node, client_node = make_pair(env)
+        client = SmartPointerClient(client_node,
+                                    logs_to_disk=True).start()
+        server = SmartPointerServer(server_node)
+        server.add_client("maui", profile, rate=2.0,
+                          policy=NoAdaptation())
+        env.run(until=10.0)
+        assert client_node.disk.writes.total > 10
+
+    def test_observations_without_dproc_are_empty(self, env, profile):
+        _, server_node, _ = make_pair(env)
+        server = SmartPointerServer(server_node)
+        assert server.observations("maui") == {}
+        assert not server.has_fresh_data("maui")
+
+    def test_quality_trace_recorded(self, env, profile):
+        _, server_node, client_node = make_pair(env)
+        SmartPointerClient(client_node).start()
+        server = SmartPointerServer(server_node)
+        stream = server.add_client(
+            "maui", profile, rate=5.0,
+            policy=StaticAdaptation(Transform(downsample=0.5)))
+        env.run(until=5.0)
+        assert stream.quality.last() == pytest.approx(0.5)
+
+
+class TestDynamicAdaptationEndToEnd:
+    def make_system(self, env, policy, profile):
+        cluster, server_node, client_node = make_pair(env)
+        dprocs = deploy_dproc(cluster,
+                              config=DMonConfig(poll_interval=1.0))
+        for dp in dprocs.values():
+            dp.dmon.modules["cpu"].configure("period", 5.0)
+        client = SmartPointerClient(client_node).start()
+        server = SmartPointerServer(server_node, dproc=dprocs["alan"])
+        server.add_client("maui", profile, rate=5.0, policy=policy,
+                          caps=ClientCapabilities(mflops=17.4, n_cpus=1))
+        return cluster, server, client
+
+    def test_figure9_shape(self, env, profile):
+        """CPU-loaded client: dynamic beats static beats no-filter."""
+        policy = DynamicAdaptation(resources=("cpu",))
+        cluster, server, client = self.make_system(env, policy, profile)
+        env.run(until=30.0)
+        for _ in range(4):
+            Linpack(cluster["maui"]).start()
+        env.run(until=120.0)
+        # The dynamic stream keeps up: full rate, low latency.
+        assert client.event_rate(window=20.0) == pytest.approx(5.0,
+                                                               rel=0.1)
+        assert client.mean_latency(since=100.0) < 1.0
+        # And it visibly adapted (reduced client cost).
+        assert policy.last_choice.client_cost(profile) \
+            < profile.base_client_cost
+
+    def test_no_filter_collapses_under_load(self, env, profile):
+        cluster, server, client = self.make_system(
+            env, NoAdaptation(), profile)
+        env.run(until=30.0)
+        for _ in range(4):
+            Linpack(cluster["maui"]).start()
+        env.run(until=120.0)
+        assert client.event_rate(window=20.0) < 3.0
+        assert client.mean_latency(since=100.0) > 10.0
+
+    def test_server_reads_fresh_monitoring_data(self, env, profile):
+        cluster, server, client = self.make_system(
+            env, DynamicAdaptation(), profile)
+        env.run(until=10.0)
+        assert server.has_fresh_data("maui")
+        obs = server.observations("maui")
+        assert obs["net_bandwidth"] > 0

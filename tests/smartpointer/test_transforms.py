@@ -1,0 +1,114 @@
+"""Unit tests for stream data and transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.smartpointer import (BYTES_PER_ATOM, FULL_QUALITY,
+                                MDFrameGenerator, StreamProfile,
+                                Transform)
+from repro.units import KB
+
+
+@pytest.fixture
+def profile():
+    return StreamProfile(base_size=KB(200), base_client_cost=2.4,
+                         server_preprocess_cost=2.0)
+
+
+class TestStreamProfile:
+    def test_atom_count_from_size(self, profile):
+        assert profile.n_atoms == int(KB(200) / BYTES_PER_ATOM)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            StreamProfile(base_size=0, base_client_cost=1)
+        with pytest.raises(SimulationError):
+            StreamProfile(base_size=1, base_client_cost=-1)
+
+
+class TestFrameGenerator:
+    def test_sequential_frames(self, profile):
+        gen = MDFrameGenerator(profile, seed=1)
+        f1 = gen.next_frame(0.0)
+        f2 = gen.next_frame(1.0)
+        assert (f1.seq, f2.seq) == (1, 2)
+        assert f1.n_atoms == profile.n_atoms
+        assert f1.positions.shape[1] == 3
+
+    def test_deterministic(self, profile):
+        a = MDFrameGenerator(profile, seed=5).next_frame(0.0)
+        b = MDFrameGenerator(profile, seed=5).next_frame(0.0)
+        assert (a.positions == b.positions).all()
+
+    def test_dynamics_move_atoms(self, profile):
+        gen = MDFrameGenerator(profile, seed=1)
+        f1 = gen.next_frame(0.0)
+        f2 = gen.next_frame(1.0)
+        assert not (f1.positions == f2.positions).all()
+
+    def test_positions_stay_in_box(self, profile):
+        gen = MDFrameGenerator(profile, seed=2, box=10.0)
+        for _ in range(100):
+            frame = gen.next_frame(0.0)
+        assert (frame.positions >= 0).all()
+        assert (frame.positions < 10.0).all()
+
+    def test_size_bytes(self, profile):
+        frame = MDFrameGenerator(profile).next_frame(0.0)
+        assert frame.size_bytes == pytest.approx(profile.base_size,
+                                                 rel=0.01)
+
+
+class TestTransformModel:
+    def test_identity_changes_nothing(self, profile):
+        assert FULL_QUALITY.wire_size(profile) == profile.base_size
+        assert FULL_QUALITY.client_cost(profile) \
+            == profile.base_client_cost
+        assert FULL_QUALITY.server_cost(profile) == 0.0
+        assert FULL_QUALITY.quality() == 1.0
+
+    def test_downsample_shrinks_wire_but_raises_client_cost(self,
+                                                            profile):
+        """The paper's Figure 11 coupling: downsampling helps the
+        network and hurts the client CPU."""
+        t = Transform(downsample=0.25)
+        assert t.wire_size(profile) < profile.base_size
+        assert t.client_cost(profile) > profile.base_client_cost
+
+    def test_preprocess_relieves_client_but_inflates_wire(self, profile):
+        """Pre-processing helps the client CPU and hurts the network
+        (and downstream disk)."""
+        t = Transform(preprocess=1.0)
+        assert t.client_cost(profile) < profile.base_client_cost
+        assert t.wire_size(profile) > profile.base_size
+        assert t.server_cost(profile) == profile.server_preprocess_cost
+
+    def test_quality_ordering(self):
+        assert Transform(downsample=1.0).quality() \
+            > Transform(downsample=0.5).quality() \
+            > Transform(downsample=0.25).quality()
+        assert Transform(preprocess=0.0).quality() \
+            > Transform(preprocess=1.0).quality()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Transform(downsample=0.0)
+        with pytest.raises(SimulationError):
+            Transform(downsample=1.5)
+        with pytest.raises(SimulationError):
+            Transform(preprocess=-0.1)
+
+    def test_apply_downsample_drops_atoms(self, profile):
+        frame = MDFrameGenerator(profile, seed=1).next_frame(0.0)
+        out = Transform(downsample=0.5).apply(frame)
+        assert out.n_atoms == pytest.approx(frame.n_atoms / 2, abs=1)
+        assert len(out.positions) == pytest.approx(
+            len(frame.positions) / 2, abs=1)
+
+    def test_apply_preprocess_flattens_depth(self, profile):
+        frame = MDFrameGenerator(profile, seed=1).next_frame(0.0)
+        out = Transform(preprocess=1.0).apply(frame)
+        assert (out.positions[:, 2] == 0).all()
+        assert (frame.positions[:, 2] != 0).any()

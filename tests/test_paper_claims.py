@@ -1,0 +1,88 @@
+"""The paper's three evaluation goals, as regression tests.
+
+§4 states the experiments' purpose verbatim; each test here pins one of
+those claims at reduced scale so any regression in the system breaks
+the claim *in the unit suite* (the full-scale reproductions live in
+benchmarks/):
+
+1. "application-specific filtering of monitoring information can
+   reduce the overhead and perturbation caused by the monitoring
+   mechanisms",
+2. "monitoring information can be used to make intelligent decisions
+   how to manipulate and customize data streams in order to reduce
+   resource requirements and to adapt streams to a clients'
+   capabilities",
+3. "resource monitoring information has to comprise information about
+   multiple resources in a system to enable an application to properly
+   identify and remove resource bottlenecks".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (fig6_submission_overhead, fig9b_event_rate,
+                           fig11_hybrid_monitors)
+
+
+class TestClaim1FilteringReducesOverhead:
+    def test_differential_filter_cuts_submission_overhead(self):
+        result = fig6_submission_overhead(nodes=(8,), duration=40.0)
+        periodic = result.get("update period=1s").y_at(8)
+        differential = result.get("differential filter").y_at(8)
+        assert differential < periodic / 4
+
+    def test_longer_period_cuts_overhead_proportionally(self):
+        result = fig6_submission_overhead(nodes=(8,), duration=40.0)
+        p1 = result.get("update period=1s").y_at(8)
+        p2 = result.get("update period=2s").y_at(8)
+        assert p2 == pytest.approx(p1 / 2, rel=0.2)
+
+
+class TestClaim2MonitoringEnablesAdaptation:
+    def test_dynamic_filter_keeps_stream_rate_under_load(self):
+        result = fig9b_event_rate(threads=(0, 4), settle=25.0,
+                                  measure=35.0)
+        dynamic = result.get("dynamic filter")
+        none = result.get("no filter")
+        # adapted stream holds the full rate; unadapted collapses
+        assert dynamic.y_at(4) == pytest.approx(5.0, rel=0.15)
+        assert none.y_at(4) < 2.5
+
+    def test_adaptation_requires_the_monitoring_data(self):
+        """Without dproc (no observations) the dynamic policy cannot
+        adapt — it behaves like the full stream."""
+        from repro.smartpointer import (ClientCapabilities,
+                                        DynamicAdaptation, FULL_QUALITY,
+                                        StreamProfile)
+        policy = DynamicAdaptation(resources=("cpu",))
+        profile = StreamProfile(base_size=1e5, base_client_cost=2.4)
+        choice = policy.choose({}, profile, 5.0,
+                               ClientCapabilities())
+        assert choice == FULL_QUALITY
+
+
+class TestClaim3MultiResourceMonitoring:
+    def test_hybrid_beats_single_resource_monitors(self):
+        result = fig11_hybrid_monitors(steps=(6,), settle=15.0,
+                                       measure=35.0)
+        hybrid = result.get("hybrid monitor").y_at(6)
+        cpu_only = result.get("cpu monitor").y_at(6)
+        net_only = result.get("network monitor").y_at(6)
+        assert hybrid < cpu_only / 2
+        assert hybrid < net_only / 2
+
+    def test_single_resource_adaptation_backfires(self):
+        """'adaptation based on only one resource can have a negative
+        effect on the requirements of another resource' — shown
+        directly in the transform space."""
+        from repro.smartpointer import StreamProfile, Transform
+        profile = StreamProfile(base_size=3e6, base_client_cost=2.4)
+        # The CPU-relieving transform inflates the wire...
+        cpu_fix = Transform(preprocess=1.0)
+        assert cpu_fix.client_cost(profile) < profile.base_client_cost
+        assert cpu_fix.wire_size(profile) > profile.base_size
+        # ...and the network-relieving transform inflates client work.
+        net_fix = Transform(downsample=0.25)
+        assert net_fix.wire_size(profile) < profile.base_size
+        assert net_fix.client_cost(profile) > profile.base_client_cost
