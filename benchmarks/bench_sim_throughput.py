@@ -1,0 +1,180 @@
+"""Simulation-kernel throughput benchmark: events/sec vs. cluster size.
+
+Runs a dproc-monitored cluster for a fixed span of *simulated* time at
+several cluster sizes and reports how fast the kernel chews through its
+event queue::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --sizes 8 --duration 10          # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --sizes 256 --profile            # where does the time go?
+
+Results land in ``BENCH_sim_throughput.json`` (one record per size) so
+successive PRs can track the perf trajectory.
+
+The monitoring configuration is scaled with cluster size, mirroring how
+a real deployment would be tuned: small clusters run the full
+all-to-all exchange the paper benchmarks, while the 1000-node
+configuration polls less often, publishes a single metric and routes it
+to a small set of front-end subscriber nodes (dproc publishers push
+only to nodes that registered interest, so an idle audience costs
+nothing).  Each result records the exact configuration used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dproc import DMonConfig, MetricId
+from repro.dproc.toolkit import Dproc
+from repro.kecho import KechoBus
+from repro.sim import Environment, build_cluster
+
+DEFAULT_SIZES = (8, 64, 256, 1000)
+DEFAULT_DURATION = 60.0
+OUTPUT = Path(__file__).resolve().parent.parent / \
+    "BENCH_sim_throughput.json"
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Monitoring load profile for one cluster size."""
+
+    poll_interval: float
+    #: Nodes that subscribe to the monitoring channel (fan-in points).
+    #: ``None`` means every node subscribes (full all-to-all exchange).
+    n_watchers: int | None
+    metrics: tuple[str, ...]
+    modules: tuple[str, ...]
+
+
+FULL_METRICS = ("LOADAVG", "FREEMEM", "DISKUSAGE", "NET_BANDWIDTH")
+FULL_MODULES = ("cpu", "mem", "disk", "net")
+
+
+def scale_config(n: int) -> ScaleConfig:
+    """Pick a monitoring profile that is realistic at size ``n``."""
+    if n <= 64:
+        return ScaleConfig(poll_interval=1.0, n_watchers=None,
+                           metrics=FULL_METRICS, modules=FULL_MODULES)
+    if n <= 256:
+        return ScaleConfig(poll_interval=5.0, n_watchers=16,
+                           metrics=("LOADAVG", "FREEMEM"),
+                           modules=("cpu", "mem"))
+    return ScaleConfig(poll_interval=15.0, n_watchers=8,
+                       metrics=("LOADAVG",), modules=("cpu",))
+
+
+def build_monitored_cluster(n: int, profile: ScaleConfig,
+                            duration: float) -> Environment:
+    """An n-node cluster with dproc deployed per ``profile``."""
+    env = Environment()
+    cluster = build_cluster(env, n_nodes=n, seed=1)
+    bus = KechoBus()
+    metric_subset = frozenset(MetricId[name] for name in profile.metrics)
+    names = cluster.names
+    watcher_set = set(names if profile.n_watchers is None
+                      else names[:profile.n_watchers])
+    dprocs = {}
+    for name in names:
+        cfg = DMonConfig(poll_interval=profile.poll_interval,
+                         metric_subset=metric_subset,
+                         subscribe_monitoring=name in watcher_set,
+                         trace_max_samples=4096)
+        dprocs[name] = Dproc(cluster[name], bus, cfg, profile.modules)
+    # Only the watchers need the full /proc/cluster view.
+    for name in watcher_set:
+        for host in names:
+            dprocs[name].add_cluster_node(host)
+    for dproc in dprocs.values():
+        dproc.start()
+    return env
+
+
+def run_once(n: int, duration: float) -> dict:
+    """Run one size; returns the result record for the JSON report."""
+    profile = scale_config(n)
+    t0 = time.perf_counter()
+    env = build_monitored_cluster(n, profile, duration)
+    setup_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    env.run(until=duration)
+    wall = time.perf_counter() - t0
+
+    events = env.events_processed
+    return {
+        "n_nodes": n,
+        "sim_seconds": duration,
+        "setup_seconds": round(setup_seconds, 3),
+        "wall_seconds": round(wall, 3),
+        "events_processed": events,
+        "events_per_second": round(events / wall, 1) if wall else None,
+        "sim_speedup": round(duration / wall, 2) if wall else None,
+        "config": {
+            "poll_interval": profile.poll_interval,
+            "n_watchers": profile.n_watchers,
+            "metrics": list(profile.metrics),
+            "modules": list(profile.modules),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulation kernel throughput benchmark")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES),
+                        help="cluster sizes to run (default: %(default)s)")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                        help="simulated seconds per run "
+                             "(default: %(default)s)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each size under cProfile and print the "
+                             "top hotspots")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows per hotspot table with --profile")
+    args = parser.parse_args(argv)
+
+    results = []
+    print(f"== sim throughput: {args.duration:g} simulated seconds ==")
+    print(f"  {'nodes':>6} {'wall (s)':>9} {'events':>10} "
+          f"{'events/s':>10} {'sim x':>7}")
+    for n in args.sizes:
+        if args.profile:
+            from repro.harness.profile import profile_call
+            record, report = profile_call(run_once, n, args.duration,
+                                          top=args.top)
+        else:
+            record = run_once(n, args.duration)
+        results.append(record)
+        print(f"  {n:6d} {record['wall_seconds']:9.2f} "
+              f"{record['events_processed']:10d} "
+              f"{record['events_per_second']:10.0f} "
+              f"{record['sim_speedup']:7.1f}")
+        if args.profile:
+            print(report.render())
+
+    payload = {
+        "benchmark": "sim_throughput",
+        "sim_seconds": args.duration,
+        "results": results,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,11 @@ class DMonConfig:
     metric_subset: Optional[frozenset[MetricId]] = None
     #: Subscribe to the monitoring channel at start (import remote data).
     subscribe_monitoring: bool = True
+    #: Retention bound for per-node instrumentation traces (None =
+    #: unbounded).  The default keeps day-long runs on large clusters
+    #: from growing without bound while never trimming within the
+    #: benchmark horizons used by the paper figures.
+    trace_max_samples: Optional[int] = 65536
 
     def with_padding(self, padding: float) -> "DMonConfig":
         return replace(self, payload_padding=padding)
@@ -88,11 +93,15 @@ class DMon:
         self.remote: dict[str, dict[MetricId, RemoteMetric]] = {}
         self.update_hooks: list[UpdateHook] = []
         # instrumentation ---------------------------------------------------
-        self.submit_overhead = TimeSeries(f"{node.name}:submit-overhead")
+        bound = self.config.trace_max_samples
+        self.submit_overhead = TimeSeries(f"{node.name}:submit-overhead",
+                                          max_samples=bound)
         self.receive_overhead = TimeSeries(
-            f"{node.name}:receive-overhead")
-        self.events_published = CounterTrace(f"{node.name}:published")
-        self.records_published = CounterTrace(f"{node.name}:records")
+            f"{node.name}:receive-overhead", max_samples=bound)
+        self.events_published = CounterTrace(f"{node.name}:published",
+                                             max_samples=bound)
+        self.records_published = CounterTrace(f"{node.name}:records",
+                                              max_samples=bound)
         self.polls = 0
         #: Most recent local samples (served for the node's own
         #: /proc/cluster/<self>/ entries).
@@ -101,6 +110,8 @@ class DMon:
         self._monitor_ep = None
         self._control_ep = None
         self._poll_proc = None
+        # cached audience check: (bus subscription version, result)
+        self._audience_cache: tuple[int, bool] | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -178,7 +189,9 @@ class DMon:
         if self.config.metric_subset is not None:
             samples = {m: v for m, v in samples.items()
                        if m in self.config.metric_subset}
-        self.last_samples = dict(samples)
+        # `samples` is already a fresh dict private to this poll — hand
+        # it over without another copy.
+        self.last_samples = samples
 
         # 2. Decide what to publish: dynamic filters first, parameters
         #    for every metric not governed by a filter.
@@ -188,11 +201,7 @@ class DMon:
         # 3. Publish.
         submit_cost = 0.0
         if to_send and self._monitor_ep is not None:
-            has_audience = bool(
-                self.bus.remote_subscribers(
-                    self.config.monitor_channel, self.node.name)
-                or self._monitor_ep.is_subscriber)
-            if has_audience:
+            if self._has_audience():
                 size = (self.config.event_header_bytes
                         + self.config.bytes_per_record * len(to_send)
                         + self.config.payload_padding)
@@ -215,6 +224,25 @@ class DMon:
             self.receive_overhead.record(now, rx - self._rx_cost_mark)
             self._rx_cost_mark = rx
         return submit_cost
+
+    def _has_audience(self) -> bool:
+        """Anyone (remote or local) listening on the monitoring channel?
+
+        The bus query walks the channel membership, so the answer is
+        cached and invalidated by the bus's subscription version
+        counter instead of being recomputed every polling iteration.
+        """
+        version = self.bus.subscription_version
+        cached = self._audience_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        result = bool(
+            self.bus.remote_subscribers(
+                self.config.monitor_channel, self.node.name)
+            or (self._monitor_ep is not None
+                and self._monitor_ep.is_subscriber))
+        self._audience_cache = (version, result)
+        return result
 
     def _decide(self, samples: dict[MetricId, float],
                 now: float) -> tuple[dict[MetricId, float], float]:
@@ -269,13 +297,35 @@ class DMon:
         host = payload["host"]
         if host == self.node.name:
             return
-        store = self.remote.setdefault(host, {})
+        store = self.remote.get(host)
+        if store is None:
+            store = self.remote[host] = {}
         now = self.node.env.now
-        for metric, (value, ts) in payload["metrics"].items():
+        hooks = self.update_hooks
+        if hooks:
+            for metric, (value, ts) in payload["metrics"].items():
+                self._store_remote(store, metric, value, ts, now)
+                for hook in hooks:
+                    hook(host, metric, value, ts)
+        else:
+            for metric, (value, ts) in payload["metrics"].items():
+                self._store_remote(store, metric, value, ts, now)
+
+    @staticmethod
+    def _store_remote(store: dict[MetricId, RemoteMetric],
+                      metric: MetricId, value: float, ts: float,
+                      now: float) -> None:
+        # Update the cached record in place: one RemoteMetric per
+        # (host, metric) for the life of the d-mon instead of a fresh
+        # allocation per record per event.
+        rec = store.get(metric)
+        if rec is None:
             store[metric] = RemoteMetric(value=value, timestamp=ts,
                                          received_at=now)
-            for hook in self.update_hooks:
-                hook(host, metric, value, ts)
+        else:
+            rec.value = value
+            rec.timestamp = ts
+            rec.received_at = now
 
     def remote_value(self, host: str,
                      metric: MetricId) -> Optional[RemoteMetric]:

@@ -1,0 +1,83 @@
+"""cProfile wrapper with a compact top-N hotspot report.
+
+Used by ``benchmarks/bench_sim_throughput.py --profile`` (and handy from
+a REPL) to answer "where does the wall time go?" without leaving the
+repo's tooling::
+
+    from repro.harness.profile import profile_call
+
+    result, report = profile_call(run_once, 256)
+    print(report.render())
+
+The report keeps both views that matter for a discrete-event simulator:
+``cumulative`` (which subsystem owns the time) and ``tottime`` (which
+individual function burns it).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["HotspotReport", "profile_call"]
+
+
+@dataclass
+class HotspotReport:
+    """Rendered profile of one profiled call."""
+
+    #: Wall seconds measured by the profiler.
+    wall_seconds: float
+    #: Total function calls (including recursion).
+    total_calls: int
+    #: ``pstats`` table sorted by cumulative time.
+    by_cumulative: str
+    #: ``pstats`` table sorted by internal (self) time.
+    by_tottime: str
+
+    def render(self) -> str:
+        return (
+            f"profile: {self.wall_seconds:.3f}s wall, "
+            f"{self.total_calls} calls\n"
+            f"\n-- top functions by cumulative time --\n"
+            f"{self.by_cumulative}\n"
+            f"-- top functions by self time --\n"
+            f"{self.by_tottime}"
+        )
+
+
+def _table(stats: pstats.Stats, sort: str, top: int) -> str:
+    buffer = io.StringIO()
+    stats.stream = buffer
+    stats.sort_stats(sort).print_stats(top)
+    # Drop pstats' preamble (ordered-by line and blank lines) down to
+    # the column header so the tables stay compact.
+    lines = buffer.getvalue().splitlines()
+    start = 0
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("ncalls"):
+            start = i
+            break
+    return "\n".join(line for line in lines[start:] if line.strip())
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 20,
+                 **kwargs: Any) -> tuple[Any, HotspotReport]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(fn's result, HotspotReport)``.  ``top`` bounds the number
+    of rows in each hotspot table.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler)
+    report = HotspotReport(
+        wall_seconds=stats.total_tt,
+        total_calls=stats.total_calls,
+        by_cumulative=_table(stats, "cumulative", top),
+        by_tottime=_table(stats, "tottime", top),
+    )
+    return result, report

@@ -102,6 +102,8 @@ class ChannelEndpoint:
         sub = Subscription(sid=next(_sub_ids), endpoint=self,
                            handler=handler)
         self.subscriptions.append(sub)
+        if len(self.subscriptions) == 1:
+            self.bus._subscriptions_changed()
         return sub
 
     def _drop_subscription(self, sub: Subscription) -> None:
@@ -109,6 +111,8 @@ class ChannelEndpoint:
             self.subscriptions.remove(sub)
         except ValueError:
             raise ChannelError("subscription is not active") from None
+        if not self.subscriptions:
+            self.bus._subscriptions_changed()
 
     # -- publication ---------------------------------------------------------------
 
@@ -139,9 +143,13 @@ class ChannelEndpoint:
         self.bytes_out.add(now, size * len(targets))
 
         deliveries: list[SimEvent] = []
-        for host in targets:
-            conn = self._connection_to(host)
-            deliveries.append(conn.send(event, size))
+        if targets:
+            # One reallocation for the whole fan-out instead of one per
+            # target flow: everything happens at the same instant.
+            with self.node.stack.fabric.batch():
+                for host in targets:
+                    conn = self._connection_to(host)
+                    deliveries.append(conn.send(event, size))
         # Local subscribers see the event immediately.
         local = self.bus.endpoint(self.name, self.node.name)
         if local is self and self.is_subscriber:
@@ -155,7 +163,7 @@ class ChannelEndpoint:
         # Derived channels: run each derivation at this publisher and
         # re-submit its output on the derived channel (recursively
         # handles chains; the bus rejects cycles at registration).
-        for derivation in self.bus.derivations_of(self.name):
+        for derivation in tuple(self.bus.derivations_of(self.name)):
             if not self.bus.has_audience(derivation.derived,
                                          self.node.name):
                 continue
@@ -222,12 +230,26 @@ class ChannelEndpoint:
 
 
 class KechoBus:
-    """Cluster-wide channel wiring: registry + endpoint map."""
+    """Cluster-wide channel wiring: registry + endpoint map.
+
+    Subscriber lookups are on every publisher's per-poll hot path, so
+    the bus caches the ordered subscriber list per channel and
+    invalidates it with a version counter bumped on any subscribe,
+    unsubscribe, connect or close — instead of re-walking every
+    member's endpoint on every submit.
+    """
 
     def __init__(self, registry: Optional[ChannelRegistry] = None) -> None:
         self.registry = registry or ChannelRegistry()
         self._endpoints: dict[tuple[str, str], ChannelEndpoint] = {}
         self._derivations: dict[str, list] = {}
+        #: Bumped whenever any channel's subscriber set may have changed.
+        self.subscription_version = 0
+        #: name -> (version, ordered subscriber hosts).
+        self._subscriber_cache: dict[str, tuple[int, list[str]]] = {}
+
+    def _subscriptions_changed(self) -> None:
+        self.subscription_version += 1
 
     def connect(self, node: Node, name: str) -> ChannelEndpoint:
         """Open (or find) channel ``name`` and attach ``node`` to it.
@@ -242,6 +264,7 @@ class KechoBus:
         info, _created = self.registry.open(name, node.name)
         endpoint = ChannelEndpoint(self, node, info)
         self._endpoints[key] = endpoint
+        self._subscriptions_changed()
         return endpoint
 
     def endpoint(self, name: str, host: str) -> Optional[ChannelEndpoint]:
@@ -250,17 +273,26 @@ class KechoBus:
             return None
         return ep
 
-    def remote_subscribers(self, name: str, source: str) -> list[str]:
-        """Hosts (other than ``source``) with live subscriptions."""
+    def _subscribers(self, name: str) -> list[str]:
+        """Ordered hosts with live subscriptions on ``name`` (cached)."""
+        version = self.subscription_version
+        cached = self._subscriber_cache.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
         info = self.registry.lookup(name)
+        endpoints = self._endpoints
         out = []
         for host in info.members:
-            if host == source:
-                continue
-            ep = self.endpoint(name, host)
-            if ep is not None and ep.is_subscriber:
+            ep = endpoints.get((name, host))
+            if ep is not None and not ep.closed and ep.subscriptions:
                 out.append(host)
+        self._subscriber_cache[name] = (version, out)
         return out
+
+    def remote_subscribers(self, name: str, source: str) -> list[str]:
+        """Hosts (other than ``source``) with live subscriptions."""
+        subscribers = self._subscribers(name)
+        return [host for host in subscribers if host != source]
 
     def has_audience(self, name: str, source: str) -> bool:
         """True when anyone (remote or local) subscribes to ``name``."""
@@ -268,10 +300,7 @@ class KechoBus:
             self.registry.lookup(name)
         except Exception:
             return False
-        if self.remote_subscribers(name, source):
-            return True
-        local = self.endpoint(name, source)
-        return local is not None and local.is_subscriber
+        return bool(self._subscribers(name))
 
     # -- derived channels ---------------------------------------------------------
 
@@ -306,9 +335,9 @@ class KechoBus:
         self._derivations.setdefault(source, []).append(spec)
         return spec
 
-    def derivations_of(self, source: str) -> list:
-        """Live derivations registered on ``source``."""
-        return list(self._derivations.get(source, ()))
+    def derivations_of(self, source: str):
+        """Live derivations registered on ``source`` (do not mutate)."""
+        return self._derivations.get(source, ())
 
     def remove_derivation(self, spec) -> None:
         specs = self._derivations.get(spec.source, [])
@@ -320,3 +349,4 @@ class KechoBus:
     def _detach(self, endpoint: ChannelEndpoint) -> None:
         self.registry.leave(endpoint.name, endpoint.node.name)
         self._endpoints.pop((endpoint.name, endpoint.node.name), None)
+        self._subscriptions_changed()

@@ -27,6 +27,8 @@ class ChannelInfo:
     channel_id: int
     creator: str
     members: list[str] = field(default_factory=list)
+    #: Mirror of ``members`` for O(1) membership tests at scale.
+    member_set: set[str] = field(default_factory=set, repr=False)
 
 
 class ChannelRegistry:
@@ -51,8 +53,9 @@ class ChannelRegistry:
                                creator=host)
             self._channels[name] = info
             created = True
-        if host not in info.members:
+        if host not in info.member_set:
             info.members.append(host)
+            info.member_set.add(host)
         return info, created
 
     def lookup(self, name: str) -> ChannelInfo:
@@ -70,6 +73,7 @@ class ChannelRegistry:
         except ValueError:
             raise RegistryError(
                 f"{host!r} is not a member of channel {name!r}") from None
+        info.member_set.discard(host)
 
     def channels(self) -> list[str]:
         """All registered channel names."""

@@ -24,7 +24,7 @@ band used internally for process bootstrap and interrupts.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import InterruptError, SchedulingError, SimulationError
@@ -250,14 +250,18 @@ class Process(SimEvent):
             self._target.remove_callback(self._resume)
         self._target = None
 
+        # Hot loop: bind the generator's send/throw once per resume and
+        # test slots directly instead of going through properties.
+        send = self._generator.send
+        throw = self._generator.throw
         env._active = self
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = throw(event._value)
             except StopIteration as exc:
                 env._active = None
                 self.succeed(exc.value)
@@ -273,11 +277,11 @@ class Process(SimEvent):
                     f"process {self.name!r} yielded a non-event: {target!r}")
                 self.fail(error)
                 return
-            if target.processed:
-                # Already done: resume immediately with its outcome.
+            if target.callbacks is None:
+                # Already processed: resume immediately with its outcome.
                 event = target
                 continue
-            target.add_callback(self._resume)
+            target.callbacks.append(self._resume)
             self._target = target
             env._active = None
             return
@@ -349,6 +353,8 @@ class Environment:
         self._queue: list[tuple[float, int, int, SimEvent]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: Total events processed by :meth:`step` (throughput metric).
+        self.events_processed = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -391,9 +397,9 @@ class Environment:
                  delay: float = 0.0) -> None:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay!r}s in the past")
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -403,11 +409,13 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = _heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
         for fn in callbacks:
             fn(event)
         if not event._ok and not event.defused:
@@ -426,9 +434,11 @@ class Environment:
             a :class:`SimEvent` — run until the event is processed and
             return its value (re-raising its exception on failure).
         """
+        queue = self._queue
+        step = self.step
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                step()
             return None
 
         if isinstance(until, SimEvent):
@@ -439,8 +449,8 @@ class Environment:
                 raise stop._value
             finished = []
             stop.add_callback(finished.append)
-            while self._queue and not finished:
-                self.step()
+            while queue and not finished:
+                step()
             if not finished:
                 raise SimulationError(
                     "schedule ran dry before the awaited event triggered")
@@ -453,7 +463,7 @@ class Environment:
         if horizon < self._now:
             raise SchedulingError(
                 f"cannot run until {horizon} (now is {self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            step()
         self._now = horizon
         return None

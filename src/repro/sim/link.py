@@ -13,6 +13,15 @@ The network is modelled with *fluid flows* over capacitated links:
 The allocator in :func:`allocate_rates` implements the classic two-stage
 scheme: proportional scaling for fixed flows, then progressive filling
 (water-filling) for elastic flows on the residual capacities.
+
+Scalability: the allocator runs on every flow add/remove/completion, so
+its cost dominates large-cluster simulations.  :func:`allocate_rates`
+therefore works from a :class:`FlowIndex` — per-link flow maps that a
+caller (the :class:`~repro.sim.network.Fabric`) maintains incrementally
+across calls instead of rebuilding them from scratch on each
+reallocation.  The pre-optimisation implementation is retained verbatim
+as :func:`allocate_rates_reference` and the test suite asserts the two
+agree on randomized topologies.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ from repro.errors import NetworkError
 from repro.sim.core import SimEvent
 from repro.sim.trace import CounterTrace
 
-__all__ = ["Link", "Flow", "FlowKind", "allocate_rates", "settle_flows",
+__all__ = ["Link", "Flow", "FlowKind", "FlowIndex", "allocate_rates",
+           "allocate_rates_reference", "settle_flows",
            "ELASTIC_FLOOR_FRACTION"]
 
 _link_ids = itertools.count(1)
@@ -49,7 +59,8 @@ class Link:
     """One direction of a physical link (or a shared segment)."""
 
     def __init__(self, name: str, capacity: float,
-                 latency: float = 0.0) -> None:
+                 latency: float = 0.0,
+                 trace_max_samples: Optional[int] = None) -> None:
         if capacity <= 0:
             raise NetworkError(f"link {name!r} needs positive capacity")
         if latency < 0:
@@ -58,9 +69,11 @@ class Link:
         self.name = name
         self.capacity = float(capacity)   # bytes per second
         self.latency = float(latency)     # seconds, one-way
-        self.carried = CounterTrace(f"link:{name}:bytes")
+        self.carried = CounterTrace(f"link:{name}:bytes",
+                                    max_samples=trace_max_samples)
         #: Bytes offered by fixed flows but not carried (dropped).
-        self.dropped = CounterTrace(f"link:{name}:dropped")
+        self.dropped = CounterTrace(f"link:{name}:dropped",
+                                    max_samples=trace_max_samples)
 
     def utilization(self, now: float, window: float) -> float:
         """Recent carried load as a fraction of capacity."""
@@ -90,14 +103,19 @@ class Flow:
     carried_bytes: float = field(default=0.0, init=False)
     #: Cumulative bytes lost (FIXED flows under overload).
     lost_bytes: float = field(default=0.0, init=False)
+    #: Guaranteed minimum rate for ELASTIC flows (precomputed).
+    floor: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if not self.path:
             raise NetworkError(f"flow {self.name!r} has an empty path")
         if self.kind is FlowKind.FIXED and self.demand <= 0:
             raise NetworkError("fixed flow needs a positive demand")
-        if self.kind is FlowKind.ELASTIC and self.remaining <= 0:
-            raise NetworkError("elastic flow needs positive bytes")
+        if self.kind is FlowKind.ELASTIC:
+            if self.remaining <= 0:
+                raise NetworkError("elastic flow needs positive bytes")
+            self.floor = ELASTIC_FLOOR_FRACTION * min(
+                link.capacity for link in self.path)
 
     @property
     def loss_fraction(self) -> float:
@@ -112,18 +130,216 @@ class Flow:
         return sum(link.latency for link in self.path)
 
 
-def allocate_rates(flows: Iterable[Flow]) -> None:
+class FlowIndex:
+    """Per-link flow maps maintained incrementally across reallocations.
+
+    The index keeps, for every link id, insertion-ordered maps of the
+    fixed and elastic flows whose paths cross that link.  Keeping these
+    maps current on flow add/remove (O(path) per change) lets
+    :func:`allocate_rates` skip the O(flows × path) map rebuild it
+    would otherwise repeat on every call, and makes "traffic crossing
+    one link" queries proportional to that link's population rather
+    than to the whole cluster's flow count.
+    """
+
+    __slots__ = ("fixed", "elastic", "fixed_by_link", "elastic_by_link")
+
+    def __init__(self, flows: Iterable[Flow] = ()) -> None:
+        #: Insertion-ordered maps fid -> Flow by traffic class.
+        self.fixed: dict[int, Flow] = {}
+        self.elastic: dict[int, Flow] = {}
+        #: Per-link insertion-ordered maps fid -> Flow.
+        self.fixed_by_link: dict[int, dict[int, Flow]] = {}
+        self.elastic_by_link: dict[int, dict[int, Flow]] = {}
+        for flow in flows:
+            self.add(flow)
+
+    def add(self, flow: Flow) -> None:
+        if flow.kind is FlowKind.FIXED:
+            flows, by_link = self.fixed, self.fixed_by_link
+        else:
+            flows, by_link = self.elastic, self.elastic_by_link
+        if flow.fid in flows:
+            raise NetworkError(f"flow {flow.name!r} already indexed")
+        flows[flow.fid] = flow
+        for link in flow.path:
+            per_link = by_link.get(link.lid)
+            if per_link is None:
+                per_link = by_link[link.lid] = {}
+            per_link[flow.fid] = flow
+
+    def remove(self, flow: Flow) -> None:
+        if flow.kind is FlowKind.FIXED:
+            flows, by_link = self.fixed, self.fixed_by_link
+        else:
+            flows, by_link = self.elastic, self.elastic_by_link
+        if flows.pop(flow.fid, None) is None:
+            raise NetworkError(f"flow {flow.name!r} is not indexed")
+        for link in flow.path:
+            by_link[link.lid].pop(flow.fid, None)
+
+    def __len__(self) -> int:
+        return len(self.fixed) + len(self.elastic)
+
+    def flows(self) -> list[Flow]:
+        """All indexed flows (fixed first, then elastic, in add order)."""
+        return [*self.fixed.values(), *self.elastic.values()]
+
+    # -- per-link aggregate queries ----------------------------------------
+
+    def allocated_on(self, link: Link) -> float:
+        """Sum of currently allocated rates crossing ``link``."""
+        lid = link.lid
+        total = 0.0
+        per_link = self.fixed_by_link.get(lid)
+        if per_link:
+            for f in per_link.values():
+                total += f.rate
+        per_link = self.elastic_by_link.get(lid)
+        if per_link:
+            for f in per_link.values():
+                total += f.rate
+        return total
+
+    def offered_on(self, link: Link) -> float:
+        """Sum of fixed-flow demands crossing ``link``."""
+        per_link = self.fixed_by_link.get(link.lid)
+        if not per_link:
+            return 0.0
+        return sum(f.demand for f in per_link.values())
+
+    def flows_on(self, link: Link) -> list[Flow]:
+        """All indexed flows whose path crosses ``link``."""
+        out = list(self.fixed_by_link.get(link.lid, {}).values())
+        out.extend(self.elastic_by_link.get(link.lid, {}).values())
+        return out
+
+
+def allocate_rates(flows: Iterable[Flow],
+                   index: Optional[FlowIndex] = None) -> None:
     """Assign ``flow.rate`` for every flow, in place.
 
     Stage 1 — fixed flows: each starts at its demand and is repeatedly
-    scaled down on every oversubscribed link (a few iterations converge
-    for practical topologies; fixed flows never use more than demand).
+    scaled down on the single most-oversubscribed link; only the links
+    touched by the scaled flows have their load recomputed (the
+    reference implementation rebuilt every map on every iteration).
 
     Stage 2 — elastic flows: progressive filling of the residual
     capacity.  Repeatedly find the bottleneck link (smallest equal
     share), freeze its flows at that share, and continue with the rest.
     Every elastic flow additionally receives at least
-    ``ELASTIC_FLOOR_FRACTION`` of its tightest link's capacity.
+    ``ELASTIC_FLOOR_FRACTION`` of its tightest link's capacity
+    (precomputed per flow as ``Flow.floor``).
+
+    ``index`` may carry a :class:`FlowIndex` already covering exactly
+    ``flows``; callers that mutate the flow set incrementally (the
+    Fabric) pass their long-lived index so no per-call map rebuild is
+    needed.  Without it a transient index is built from ``flows``.
+    """
+    if index is None:
+        index = FlowIndex(flows)
+    fixed = index.fixed
+    elastic = index.elastic
+    if not fixed and not elastic:
+        return
+
+    # -- stage 1: fixed flows ------------------------------------------------
+    if fixed:
+        fixed_by_link = index.fixed_by_link
+        load: dict[int, float] = {}
+        caps: dict[int, float] = {}
+        for f in fixed.values():
+            f.rate = f.demand
+        for f in fixed.values():
+            rate = f.rate
+            for link in f.path:
+                lid = link.lid
+                if lid in load:
+                    load[lid] += rate
+                else:
+                    load[lid] = rate
+                    caps[lid] = link.capacity
+        for _ in range(64):  # iterative proportional scaling
+            # Scale the single most-oversubscribed link, then re-derive
+            # the load on the links its flows touch — scaling several
+            # links in one pass would shrink a flow once per link it
+            # crosses instead of once overall.
+            worst_lid, worst_ratio = None, 1.0 + 1e-12
+            for lid, total in load.items():
+                ratio = total / caps[lid]
+                if ratio > worst_ratio:
+                    worst_lid, worst_ratio = lid, ratio
+            if worst_lid is None:
+                break
+            touched: dict[int, bool] = {}
+            for f in fixed_by_link[worst_lid].values():
+                f.rate /= worst_ratio
+                for link in f.path:
+                    touched[link.lid] = True
+            for lid in touched:
+                load[lid] = sum(
+                    f.rate for f in fixed_by_link[lid].values())
+
+    # -- stage 2: elastic flows on the residual -----------------------------
+    if not elastic:
+        return
+    residual: dict[int, float] = {}
+    count: dict[int, int] = {}
+    for f in elastic.values():
+        for link in f.path:
+            lid = link.lid
+            if lid in residual:
+                count[lid] += 1
+            else:
+                residual[lid] = link.capacity
+                count[lid] = 1
+    if fixed:
+        fixed_by_link = index.fixed_by_link
+        for lid in residual:
+            per_link = fixed_by_link.get(lid)
+            if per_link:
+                r = residual[lid]
+                for f in per_link.values():
+                    r -= f.rate
+                    if r < 0.0:
+                        r = 0.0
+                residual[lid] = r
+
+    elastic_by_link = index.elastic_by_link
+    active = set(elastic)
+    while active:
+        # The bottleneck offers the smallest equal share to its
+        # remaining elastic flows.
+        bottleneck = None
+        share = 0.0
+        for lid, c in count.items():
+            if c > 0:
+                s = residual[lid] / c
+                if bottleneck is None or s < share:
+                    bottleneck, share = lid, s
+        if bottleneck is None:
+            break
+        frozen = [f for fid, f in elastic_by_link[bottleneck].items()
+                  if fid in active]
+        if not frozen:  # pragma: no cover - defensive
+            break
+        for flow in frozen:
+            floor = flow.floor
+            flow.rate = share if share > floor else floor
+            active.discard(flow.fid)
+            for link in flow.path:
+                lid = link.lid
+                r = residual[lid] - share
+                residual[lid] = r if r > 0.0 else 0.0
+                count[lid] -= 1
+
+
+def allocate_rates_reference(flows: Iterable[Flow]) -> None:
+    """The pre-optimisation allocator, kept as the behavioural oracle.
+
+    This is the original O(iterations × flows × path) implementation;
+    ``tests/sim/test_link_allocator_equivalence.py`` asserts that
+    :func:`allocate_rates` matches it on randomized topologies.
     """
     flows = list(flows)
     fixed = [f for f in flows if f.kind is FlowKind.FIXED]

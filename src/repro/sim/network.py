@@ -11,18 +11,25 @@ byte progress, recomputes all rates with the max-min allocator, and
 re-arms a single completion timer for the earliest-finishing elastic
 flow.  Elastic transfers complete their ``done`` event after the path's
 propagation latency.
+
+Scalability: the fabric keeps a :class:`~repro.sim.link.FlowIndex`
+current across flow churn so each reallocation skips the per-call map
+rebuild, caches host-pair paths, and supports *batched* flow updates
+(:meth:`Fabric.batch`) so a publish fanning out to hundreds of
+subscribers triggers one reallocation instead of one per target.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import NetworkError, RoutingError
 from repro.sim.core import Environment, SimEvent
-from repro.sim.link import (Flow, FlowKind, Link, allocate_rates,
-                            settle_flows)
+from repro.sim.link import (Flow, FlowIndex, FlowKind, Link,
+                            allocate_rates, settle_flows)
 from repro.units import mbps, usec
 
 __all__ = ["Fabric", "HostPort", "SharedSegment", "FixedFlowHandle",
@@ -130,9 +137,14 @@ class Fabric:
         self.switch_latency = float(switch_latency)
         self.hosts: dict[str, HostPort] = {}
         self.segments: dict[str, SharedSegment] = {}
-        self._flows: list[Flow] = []
+        #: Live flows in add order (fid -> Flow; O(1) removal).
+        self._flows: dict[int, Flow] = {}
+        #: Per-link flow maps, kept current across flow churn.
+        self._index = FlowIndex()
+        self._path_cache: dict[tuple[str, str], tuple[Link, ...]] = {}
         self._last_settle = env.now
         self._timer_generation = 0
+        self._batch_depth = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -170,6 +182,9 @@ class Fabric:
 
     def path(self, src: str, dst: str) -> tuple[Link, ...]:
         """Links traversed from ``src`` to ``dst`` (TX, segments, RX)."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if src == dst:
             raise RoutingError(f"no self-path for host {src!r}")
         try:
@@ -188,7 +203,9 @@ class Fabric:
             segs.append(dport.segment.link)
         links.extend(segs)
         links.append(dport.rx)
-        return tuple(links)
+        result = tuple(links)
+        self._path_cache[(src, dst)] = result
+        return result
 
     # -- traffic -------------------------------------------------------------
 
@@ -205,9 +222,7 @@ class Fabric:
         done = self.env.event()
         flow = Flow(path=links, kind=FlowKind.ELASTIC,
                     remaining=float(nbytes), name=name, done=done)
-        self._settle()
-        self._flows.append(flow)
-        self._reallocate()
+        self._add_flow(flow)
         return TransferHandle(flow, done)
 
     def open_fixed_flow(self, src: str, dst: str, demand: float,
@@ -216,14 +231,32 @@ class Fabric:
         links = self.path(src, dst)
         flow = Flow(path=links, kind=FlowKind.FIXED,
                     demand=float(demand), name=name)
-        self._settle()
-        self._flows.append(flow)
-        self._reallocate()
+        self._add_flow(flow)
         return FixedFlowHandle(self, flow)
+
+    @contextmanager
+    def batch(self):
+        """Group several flow additions/removals into one reallocation.
+
+        All changes inside the ``with`` block happen at the same
+        simulated instant (no events are processed mid-callback), so
+        settling once on entry and reallocating once on exit is
+        equivalent to — and much cheaper than — reallocating per
+        change.  Batches nest; only the outermost one reallocates.
+        """
+        if self._batch_depth == 0:
+            self._settle()
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._reallocate()
 
     def flows_through(self, link: Link) -> list[Flow]:
         """All live flows whose path includes ``link``."""
-        return [f for f in self._flows if link in f.path]
+        return self._index.flows_on(link)
 
     def available_bandwidth(self, src: str, dst: str) -> float:
         """Instantaneous residual capacity on the src→dst path.
@@ -232,11 +265,20 @@ class Fabric:
         tightest link's capacity minus its currently allocated rates.
         """
         self._settle()
+        index = self._index
         best = math.inf
         for link in self.path(src, dst):
-            used = sum(f.rate for f in self._flows if link in f.path)
-            best = min(best, max(0.0, link.capacity - used))
+            used = index.allocated_on(link)
+            free = link.capacity - used
+            best = min(best, free if free > 0.0 else 0.0)
         return best
+
+    def link_congestion(self, link: Link) -> float:
+        """Fractional load on one link: max(allocated, offered)/capacity."""
+        index = self._index
+        used = index.allocated_on(link)
+        offered = index.offered_on(link)
+        return (used if used > offered else offered) / link.capacity
 
     def settle(self) -> None:
         """Bring all flow/link byte accounting up to the current instant."""
@@ -244,13 +286,22 @@ class Fabric:
 
     # -- internals ------------------------------------------------------------
 
+    def _add_flow(self, flow: Flow) -> None:
+        if self._batch_depth == 0:
+            self._settle()
+        self._flows[flow.fid] = flow
+        self._index.add(flow)
+        if self._batch_depth == 0:
+            self._reallocate()
+
     def _remove_flow(self, flow: Flow) -> None:
-        self._settle()
-        try:
-            self._flows.remove(flow)
-        except ValueError:
-            raise NetworkError("flow is not live") from None
-        self._reallocate()
+        if self._batch_depth == 0:
+            self._settle()
+        if self._flows.pop(flow.fid, None) is None:
+            raise NetworkError("flow is not live")
+        self._index.remove(flow)
+        if self._batch_depth == 0:
+            self._reallocate()
 
     def _settle(self) -> None:
         """Advance all flow byte counters to ``env.now``."""
@@ -259,39 +310,51 @@ class Fabric:
         if dt <= 0:
             self._last_settle = now
             return
-        settle_flows(self._flows, dt)
-        for f in self._flows:
+        flows = self._flows.values()
+        settle_flows(flows, dt)
+        for f in flows:
             carried = f.rate * dt
-            for link in f.path:
-                link.carried.add(now, carried)
-                if f.kind is FlowKind.FIXED and f.demand > f.rate:
-                    link.dropped.add(now, (f.demand - f.rate) * dt)
+            if f.kind is FlowKind.FIXED and f.demand > f.rate:
+                dropped = (f.demand - f.rate) * dt
+                for link in f.path:
+                    link.carried.add(now, carried)
+                    link.dropped.add(now, dropped)
+            else:
+                for link in f.path:
+                    link.carried.add(now, carried)
         self._last_settle = now
 
     def _reallocate(self) -> None:
         """Recompute rates and re-arm the completion timer."""
-        allocate_rates(self._flows)
+        flows = self._flows
+        index = self._index
+        allocate_rates(flows.values(), index=index)
         # Finish elastic flows that have drained.
-        finished = [f for f in self._flows
-                    if f.kind is FlowKind.ELASTIC and f.remaining <= 1e-6]
+        finished = [f for f in index.elastic.values()
+                    if f.remaining <= 1e-6]
         for f in finished:
-            self._flows.remove(f)
+            del flows[f.fid]
+            index.remove(f)
             latency = f.path_latency + self.switch_latency
             delivery = self.env.timeout(latency)
             done = f.done
             assert done is not None
             delivery.add_callback(lambda _ev, d=done, fl=f: d.succeed(fl))
         if finished:
-            allocate_rates(self._flows)
+            allocate_rates(flows.values(), index=index)
 
         self._timer_generation += 1
-        etas = [f.remaining / f.rate
-                for f in self._flows
-                if f.kind is FlowKind.ELASTIC and f.rate > 0]
-        if not etas:
+        eta = math.inf
+        for f in index.elastic.values():
+            rate = f.rate
+            if rate > 0:
+                t = f.remaining / rate
+                if t < eta:
+                    eta = t
+        if math.isinf(eta):
             return
         generation = self._timer_generation
-        timer = self.env.timeout(min(etas))
+        timer = self.env.timeout(eta)
         timer.add_callback(lambda _ev: self._on_timer(generation))
 
     def _on_timer(self, generation: int) -> None:

@@ -10,6 +10,18 @@ simulator activity into rates and averages:
   CPU_MON for run-queue averaging over an application-chosen period).
 * :class:`EwmaLoad` — UNIX-style exponentially weighted load average
   (the classic /proc/loadavg 1/5/15-minute figures).
+
+Bounded mode
+------------
+Long cluster runs (thousands of simulated seconds on hundreds of
+nodes) would otherwise grow every per-node trace without bound.  Both
+:class:`TimeSeries` and :class:`CounterTrace` accept an optional
+``max_samples``: once the sample count exceeds the bound the *oldest*
+samples are discarded in amortised-O(1) chunks, keeping recent-window
+queries (``mean(since=...)``, ``rate(now, window)``) exact while
+capping memory.  Queries that reach back past the retained horizon see
+only the retained samples (for a counter, cumulative totals remain
+correct because the trace stores running totals).
 """
 
 from __future__ import annotations
@@ -17,7 +29,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from collections import deque
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -25,20 +37,39 @@ __all__ = ["TimeSeries", "CounterTrace", "WindowAverage", "EwmaLoad"]
 
 
 class TimeSeries:
-    """Append-only sequence of time-stamped samples."""
+    """Append-only sequence of time-stamped samples.
 
-    def __init__(self, name: str = "") -> None:
+    With ``max_samples`` set, only the most recent ``max_samples``
+    samples are retained (trimmed in chunks, amortised O(1) per
+    append).
+    """
+
+    def __init__(self, name: str = "",
+                 max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be positive")
         self.name = name
+        self.max_samples = max_samples
         self.times: list[float] = []
         self.values: list[float] = []
+        #: Number of samples discarded by the retention bound.
+        self.dropped_samples = 0
 
     def record(self, t: float, value: float) -> None:
         """Append one sample.  Timestamps must be non-decreasing."""
-        if self.times and t < self.times[-1]:
+        times = self.times
+        if times and t < times[-1]:
             raise ValueError(
-                f"non-monotonic sample at t={t} (last {self.times[-1]})")
-        self.times.append(float(t))
+                f"non-monotonic sample at t={t} (last {times[-1]})")
+        times.append(float(t))
         self.values.append(float(value))
+        bound = self.max_samples
+        if bound is not None and len(times) >= 2 * bound:
+            # Trim in one chunk so appends stay amortised O(1).
+            cut = len(times) - bound
+            del times[:cut]
+            del self.values[:cut]
+            self.dropped_samples += cut
 
     def __len__(self) -> int:
         return len(self.times)
@@ -96,12 +127,29 @@ class TimeSeries:
 
 
 class CounterTrace:
-    """A monotonically increasing event counter with rate queries."""
+    """A monotonically increasing event counter with rate queries.
 
-    def __init__(self, name: str = "") -> None:
+    The trace stores ``(time, cumulative-total)`` pairs in two parallel
+    lists so windowed queries are a pair of bisects, never a scan.
+    With ``max_samples`` set, the oldest update records are discarded
+    (the running total is preserved, so ``total`` and recent-window
+    queries stay exact; queries reaching past the horizon treat the
+    oldest retained record as the epoch).
+    """
+
+    def __init__(self, name: str = "",
+                 max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be positive")
         self.name = name
-        self._events: list[tuple[float, float]] = []  # (time, cumulative)
+        self.max_samples = max_samples
+        self._times: list[float] = []
+        self._cumulative: list[float] = []
         self._total = 0.0
+        #: Cumulative total at the retention horizon (0 when unbounded).
+        self._base = 0.0
+        #: Number of update records discarded by the retention bound.
+        self.dropped_samples = 0
 
     @property
     def total(self) -> float:
@@ -112,10 +160,19 @@ class CounterTrace:
         """Record ``amount`` more units at time ``t``."""
         if amount < 0:
             raise ValueError("counters only increase")
-        if self._events and t < self._events[-1][0]:
+        times = self._times
+        if times and t < times[-1]:
             raise ValueError("non-monotonic counter update")
         self._total += amount
-        self._events.append((t, self._total))
+        times.append(t)
+        self._cumulative.append(self._total)
+        bound = self.max_samples
+        if bound is not None and len(times) >= 2 * bound:
+            cut = len(times) - bound
+            self._base = self._cumulative[cut - 1]
+            del times[:cut]
+            del self._cumulative[:cut]
+            self.dropped_samples += cut
 
     def count_between(self, t0: float, t1: float) -> float:
         """Units accumulated in the half-open window ``(t0, t1]``."""
@@ -130,12 +187,14 @@ class CounterTrace:
         return self.count_between(now - window, now) / window
 
     def _cumulative_at(self, t: float) -> float:
-        times = [e[0] for e in self._events]
-        i = bisect_left(times, t)
-        # include events exactly at t
-        while i < len(self._events) and self._events[i][0] <= t:
+        # Index of the first record strictly after t; everything at or
+        # before t has happened.
+        i = bisect_left(self._times, t)
+        times = self._times
+        n = len(times)
+        while i < n and times[i] <= t:
             i += 1
-        return self._events[i - 1][1] if i > 0 else 0.0
+        return self._cumulative[i - 1] if i > 0 else self._base
 
 
 class WindowAverage:

@@ -220,15 +220,13 @@ class NetStack:
 
     def _path_congestion(self, dst: str) -> float:
         """Max fractional utilisation along the path to ``dst`` (0..1+)."""
-        self.fabric._settle()
+        fabric = self.fabric
+        fabric._settle()
         worst = 0.0
-        for link in self.fabric.path(self.host, dst):
-            used = sum(f.rate for f in self.fabric._flows
-                       if link in f.path)
-            offered = sum(
-                f.demand for f in self.fabric._flows
-                if link in f.path and f.demand > 0)
-            worst = max(worst, max(used, offered) / link.capacity)
+        for link in fabric.path(self.host, dst):
+            c = fabric.link_congestion(link)
+            if c > worst:
+                worst = c
         return worst
 
     def total_bandwidth(self, window: float = 1.0) -> float:

@@ -195,6 +195,52 @@ class TestCancel:
         env.run()
 
 
+class TestUtilization:
+    def test_windowed_utilization_honors_since(self, env):
+        """Regression: `since` used to be ignored (global mean)."""
+        cpu = CPU(env, n_cpus=1, mflops_per_cpu=10.0)
+        cpu.execute(50.0)           # busy on [0, 5]
+        env.run(until=10.0)         # idle on [5, 10]
+        cpu.settle()
+        assert cpu.utilization(since=0.0) == pytest.approx(0.5)
+        # A window entirely inside the idle span must read zero — the
+        # old implementation returned the global mean here.
+        assert cpu.utilization(since=5.0) == pytest.approx(0.0)
+        assert cpu.utilization(since=6.0, now=9.0) == pytest.approx(0.0)
+
+    def test_window_straddling_transition_interpolates(self, env):
+        cpu = CPU(env, n_cpus=1, mflops_per_cpu=10.0)
+        cpu.execute(50.0)           # busy on [0, 5]
+        env.run(until=10.0)
+        cpu.settle()
+        # [2.5, 7.5]: busy for 2.5 of 5 seconds.
+        assert cpu.utilization(since=2.5, now=7.5) == pytest.approx(0.5)
+        # [4, 6]: busy for 1 of 2 seconds.
+        assert cpu.utilization(since=4.0, now=6.0) == pytest.approx(0.5)
+
+    def test_utilization_extrapolates_past_last_checkpoint(self, env):
+        cpu = CPU(env, n_cpus=2, mflops_per_cpu=10.0)
+        cpu.execute(1000.0)         # one long job -> one CPU busy
+        env.run(until=4.0)
+        # No settle: the window end lies beyond the last checkpoint, so
+        # busy time extrapolates at the current concurrency (1 of 2).
+        assert cpu.utilization(since=0.0) == pytest.approx(0.5)
+
+    def test_multi_cpu_partial_load(self, env):
+        cpu = CPU(env, n_cpus=4, mflops_per_cpu=10.0)
+        cpu.execute(50.0)
+        cpu.execute(50.0)           # 2 of 4 CPUs busy on [0, 5]
+        env.run(until=5.0)
+        cpu.settle()
+        assert cpu.utilization(since=0.0) == pytest.approx(0.5)
+        assert cpu.utilization(since=1.0, now=3.0) == pytest.approx(0.5)
+
+    def test_empty_window_rejected(self, env):
+        cpu = CPU(env, n_cpus=1)
+        with pytest.raises(SimulationError):
+            cpu.utilization(since=0.0, now=0.0)
+
+
 class TestDeterminism:
     def test_identical_runs_identical_traces(self):
         def scenario():

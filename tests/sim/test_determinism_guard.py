@@ -1,0 +1,85 @@
+"""Guard: the kernel's event ordering is frozen.
+
+The expected sequence below was recorded from the simulation kernel
+before the fast-path optimisations (local heap bindings, direct
+callback-list appends in ``Process._resume``, the O(1) run-queue
+counter).  Any change to how same-time events are ordered — FIFO by
+scheduling sequence, urgent band for interrupts/bootstrap — shows up
+here as a diff, not as a silent behaviour change in every benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterruptError
+from repro.sim import Environment
+
+#: Recorded pre-optimisation ordering of the mixed schedule below.
+EXPECTED = [
+    (0.0, "a:start"),
+    (0.0, "b:start"),
+    (0.0, "victim:start"),
+    (1.0, "timeout:0"),
+    (1.0, "timeout:1"),
+    (1.0, "timeout:2"),
+    (1.0, "a:t1"),
+    (1.0, "b:t1"),
+    (1.0, "interrupter:fired"),
+    (1.0, "victim:interrupted:now"),
+    (1.5, "victim:recovered"),
+    (2.0, "a:t2"),
+    (2.0, "b:t2"),
+]
+
+
+def _mixed_schedule() -> list[tuple[float, str]]:
+    """Timeouts, processes and an interrupt all colliding at t=1.0."""
+    env = Environment()
+    log: list[tuple[float, str]] = []
+
+    def runner(name):
+        log.append((env.now, f"{name}:start"))
+        yield env.timeout(1.0)
+        log.append((env.now, f"{name}:t1"))
+        yield env.timeout(1.0)
+        log.append((env.now, f"{name}:t2"))
+
+    def interruptee():
+        log.append((env.now, "victim:start"))
+        try:
+            yield env.timeout(10.0)
+        except InterruptError as exc:
+            log.append((env.now, f"victim:interrupted:{exc.cause}"))
+        yield env.timeout(0.5)
+        log.append((env.now, "victim:recovered"))
+
+    def interrupter(victim):
+        yield env.timeout(1.0)
+        log.append((env.now, "interrupter:fired"))
+        victim.interrupt("now")
+
+    env.process(runner("a"))
+    env.process(runner("b"))
+    victim = env.process(interruptee())
+    env.process(interrupter(victim))
+    for i in range(3):
+        t = env.timeout(1.0, value=i)
+        t.add_callback(
+            lambda ev: log.append((env.now, f"timeout:{ev.value}")))
+    env.run()
+    return log
+
+
+def test_schedule_order_matches_recorded_fixture():
+    assert _mixed_schedule() == EXPECTED
+
+
+def test_schedule_is_repeatable():
+    assert _mixed_schedule() == _mixed_schedule()
+
+
+def test_events_processed_counter_counts_steps():
+    env = Environment()
+    for _ in range(5):
+        env.timeout(1.0)
+    env.run()
+    assert env.events_processed == 5
