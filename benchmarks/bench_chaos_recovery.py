@@ -1,0 +1,106 @@
+"""Chaos-recovery benchmark: dproc through loss, partition, and reboot.
+
+Drives a monitored cluster through the fault-injection scenario in
+:mod:`repro.harness.chaos` — 30 % message loss, a half/half partition,
+and the crash + reboot of one node — and reports how long monitoring
+takes to recover::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_recovery.py
+    PYTHONPATH=src python benchmarks/bench_chaos_recovery.py \
+        --nodes 12 --duration 40            # CI smoke
+    PYTHONPATH=src python benchmarks/bench_chaos_recovery.py \
+        --repeats 3                         # determinism check
+
+With ``--repeats`` the scenario is re-run with the same seed and the
+event traces are compared — any divergence (a nondeterministic RNG
+draw, an unstable iteration order) fails the benchmark.
+
+Results land in ``BENCH_chaos_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.chaos import chaos_recovery
+
+OUTPUT = Path(__file__).resolve().parent.parent / \
+    "BENCH_chaos_recovery.json"
+
+
+def run_once(n: int, duration: float, seed: int) -> tuple[dict, tuple]:
+    t0 = time.perf_counter()
+    report = chaos_recovery(n_nodes=n, duration=duration, seed=seed)
+    wall = time.perf_counter() - t0
+    record = {
+        "n_nodes": report.n_nodes,
+        "seed": report.seed,
+        "sim_seconds": report.duration,
+        "wall_seconds": round(wall, 3),
+        "victim": report.victim,
+        "recovery_time": report.recovery_time,
+        "rejoin_time": report.rejoin_time,
+        "victim_reported_dead": report.victim_reported_dead,
+        "victim_never_silently_fresh":
+            report.victim_never_silently_fresh,
+        "n_events": len(report.events),
+        "fault_events": [
+            [t, text] for t, text in report.events
+            if not text.startswith(("survivors", "victim seen"))],
+    }
+    return record, report.trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="dproc chaos-recovery benchmark")
+    parser.add_argument("--nodes", type=int, default=100,
+                        help="cluster size (default: %(default)s)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="re-run and compare traces for determinism")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help="JSON report path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    print(f"== chaos recovery: {args.nodes} nodes, "
+          f"{args.duration:g} simulated seconds ==")
+    record, trace = run_once(args.nodes, args.duration, args.seed)
+    print(f"  wall {record['wall_seconds']:.2f}s  "
+          f"recovery {record['recovery_time']}s after heal  "
+          f"rejoin {record['rejoin_time']}s after reboot")
+    print(f"  victim flagged while down: "
+          f"{record['victim_reported_dead']}  "
+          f"never silently fresh: "
+          f"{record['victim_never_silently_fresh']}")
+
+    deterministic = True
+    for i in range(1, args.repeats):
+        repeat_record, repeat_trace = run_once(
+            args.nodes, args.duration, args.seed)
+        same = repeat_trace == trace
+        deterministic = deterministic and same
+        print(f"  repeat {i}: wall "
+              f"{repeat_record['wall_seconds']:.2f}s  "
+              f"trace {'identical' if same else 'DIVERGED'}")
+    record["repeats"] = args.repeats
+    record["deterministic"] = deterministic
+
+    payload = {"benchmark": "chaos_recovery", "results": [record]}
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if deterministic else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,8 @@ Public surface:
 from repro.dproc.aggregate import ClusterView
 from repro.dproc.central import CentralCollector, CentralConfig
 from repro.dproc.control_file import parse_control_text
-from repro.dproc.dmon import (DMon, DMonConfig, RemoteMetric,
+from repro.dproc.dmon import (DMon, DMonConfig, PEER_DEAD, PEER_FRESH,
+                              PEER_STALE, PEER_UNKNOWN, RemoteMetric,
                               register_default_modules)
 from repro.dproc.federation import (GridFederation, Site, SiteSummary,
                                     WanLink)
@@ -38,6 +39,7 @@ __all__ = [
     "GridFederation", "Site", "SiteSummary", "WanLink",
     "parse_control_text",
     "DMon", "DMonConfig", "RemoteMetric", "register_default_modules",
+    "PEER_FRESH", "PEER_STALE", "PEER_DEAD", "PEER_UNKNOWN",
     "DeployedFilter", "FilterManager",
     "METRIC_CONSTANTS", "METRIC_FILES", "MODULE_METRICS", "MetricId",
     "metric_by_name", "module_of",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from repro.dproc.dmon import PEER_DEAD, PEER_FRESH
 from repro.dproc.metrics import MetricId
 from repro.dproc.toolkit import Dproc
 from repro.errors import DprocError
@@ -86,6 +87,29 @@ class ClusterView:
         pick = max if largest else min
         host = pick(values, key=lambda h: values[h])
         return host, values[host]
+
+    # -- liveness -----------------------------------------------------------------
+
+    def liveness(self) -> dict[str, str]:
+        """Per-host liveness state for every mounted cluster member.
+
+        Hosts whose monitoring data has never arrived are ``unknown``;
+        the rest transition fresh → stale → dead as their d-mon's polls
+        go unheard (see :meth:`repro.dproc.dmon.DMon.peer_state`).
+        """
+        dmon = self.dproc.dmon
+        return {host: dmon.peer_state(host)
+                for host in self.dproc.hosts()}
+
+    def live_hosts(self) -> list[str]:
+        """Hosts currently reported *fresh* (sorted)."""
+        return sorted(h for h, state in self.liveness().items()
+                      if state == PEER_FRESH)
+
+    def dead_hosts(self) -> list[str]:
+        """Hosts currently reported *dead* (sorted)."""
+        return sorted(h for h, state in self.liveness().items()
+                      if state == PEER_DEAD)
 
     # -- placement-style queries ---------------------------------------------------
 

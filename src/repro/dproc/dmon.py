@@ -17,6 +17,7 @@ Instrumentation mirrors the paper's measurements:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
@@ -24,7 +25,7 @@ from repro.dproc.filters import FilterManager
 from repro.dproc.metrics import (MODULE_METRICS, MetricId, metric_by_name)
 from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.dproc.params import MetricPolicy, parse_threshold_spec
-from repro.errors import ControlSyntaxError, DprocError
+from repro.errors import ControlSyntaxError, DprocError, InterruptError
 from repro.kecho import (ChannelEvent, ClearParameter, ControlMessage,
                          DeployFilter, KechoBus, RemoveFilter,
                          SetParameter, control_message_size)
@@ -32,9 +33,17 @@ from repro.sim.node import Node
 from repro.sim.trace import CounterTrace, TimeSeries
 
 __all__ = ["DMonConfig", "DMon", "RemoteMetric",
-           "register_default_modules"]
+           "register_default_modules",
+           "PEER_FRESH", "PEER_STALE", "PEER_DEAD", "PEER_UNKNOWN"]
 
 UpdateHook = Callable[[str, MetricId, float, float], None]
+
+#: Peer-liveness states, derived from how long ago a peer's monitoring
+#: data was last heard (in units of the polling interval).
+PEER_FRESH = "fresh"
+PEER_STALE = "stale"
+PEER_DEAD = "dead"
+PEER_UNKNOWN = "unknown"
 
 
 @dataclass(frozen=True)
@@ -60,6 +69,13 @@ class DMonConfig:
     #: from growing without bound while never trimming within the
     #: benchmark horizons used by the paper figures.
     trace_max_samples: Optional[int] = 65536
+    #: A peer unheard for more than this many polling intervals is
+    #: reported *stale* ...
+    stale_after_intervals: float = 3.0
+    #: ... and after this many, *dead*.  Stale/dead entries stay
+    #: readable (last-known values) but are flagged, never silently
+    #: fresh.
+    dead_after_intervals: float = 10.0
 
     def with_padding(self, padding: float) -> "DMonConfig":
         return replace(self, payload_padding=padding)
@@ -91,6 +107,9 @@ class DMon:
         self._last_sent_at: dict[MetricId, float] = {}
         # remote cache ------------------------------------------------------
         self.remote: dict[str, dict[MetricId, RemoteMetric]] = {}
+        #: host -> sim time its monitoring data was last received
+        #: (drives the fresh/stale/dead liveness states).
+        self.peer_last_heard: dict[str, float] = {}
         self.update_hooks: list[UpdateHook] = []
         # instrumentation ---------------------------------------------------
         bound = self.config.trace_max_samples
@@ -110,6 +129,9 @@ class DMon:
         self._monitor_ep = None
         self._control_ep = None
         self._poll_proc = None
+        #: Bumped on every start/stop so a stale polling process from a
+        #: previous life exits instead of double-polling after restart.
+        self._epoch = 0
         # cached audience check: (bus subscription version, result)
         self._audience_cache: tuple[int, bool] | None = None
 
@@ -132,10 +154,16 @@ class DMon:
             module.start()
 
     def start(self) -> None:
-        """Connect channels, start modules, begin the polling loop."""
+        """Connect channels, start modules, begin the polling loop.
+
+        Restartable: after :meth:`stop` the d-mon comes back with fresh
+        endpoints and instrumentation marks (the remote cache is kept —
+        a rebooted node remembers, but its entries age normally).
+        """
         if self.running:
             raise DprocError(f"d-mon on {self.node.name} already running")
         self.running = True
+        self._epoch += 1
         self._monitor_ep = self.bus.connect(
             self.node, self.config.monitor_channel)
         self._control_ep = self.bus.connect(
@@ -149,28 +177,48 @@ class DMon:
         self._poll_proc = self.node.spawn(self._poll_loop(), name="d-mon")
 
     def stop(self) -> None:
-        """Stop polling and detach from the channels."""
+        """Stop polling and detach from the channels.
+
+        Every piece of per-life state is reset so a later
+        :meth:`start` begins clean: endpoints, the audience cache, the
+        receive-cost mark (a stale mark would make the first
+        ``receive_overhead`` sample after restart negative) and the
+        polling process.
+        """
         if not self.running:
             return
         self.running = False
+        self._epoch += 1
         for module in self.modules.values():
             module.stop()
         if self._monitor_ep is not None:
             self._monitor_ep.close()
         if self._control_ep is not None:
             self._control_ep.close()
+        self._monitor_ep = None
+        self._control_ep = None
+        self._rx_cost_mark = 0.0
+        self._audience_cache = None
+        proc, self._poll_proc = self._poll_proc, None
+        if proc is not None and proc.is_alive \
+                and self.node.env.active_process is not proc:
+            proc.interrupt("d-mon stopped")
 
     # -- the polling loop --------------------------------------------------------
 
     def _poll_loop(self):
         env = self.node.env
-        # Small deterministic stagger so an n-node cluster's d-mons do
-        # not submit in lock-step.
-        yield env.timeout(
-            float(self.node.rng.uniform(0, self.config.poll_interval)))
-        while self.running:
-            self.poll_once()
-            yield env.timeout(self.config.poll_interval)
+        epoch = self._epoch
+        try:
+            # Small deterministic stagger so an n-node cluster's d-mons
+            # do not submit in lock-step.
+            yield env.timeout(
+                float(self.node.rng.uniform(0, self.config.poll_interval)))
+            while self.running and self._epoch == epoch:
+                self.poll_once()
+                yield env.timeout(self.config.poll_interval)
+        except InterruptError:
+            return
 
     def poll_once(self) -> float:
         """One polling iteration; returns its submission overhead (s)."""
@@ -301,6 +349,7 @@ class DMon:
         if store is None:
             store = self.remote[host] = {}
         now = self.node.env.now
+        self.peer_last_heard[host] = now
         hooks = self.update_hooks
         if hooks:
             for metric, (value, ts) in payload["metrics"].items():
@@ -332,6 +381,41 @@ class DMon:
         """Latest cached value of ``metric`` at ``host`` (None if unseen)."""
         return self.remote.get(host, {}).get(metric)
 
+    # -- peer liveness ---------------------------------------------------------
+
+    def peer_age(self, host: str) -> float:
+        """Seconds since ``host``'s monitoring data was last heard
+        (``inf`` if never; 0 for the local node)."""
+        if host == self.node.name:
+            return 0.0
+        heard = self.peer_last_heard.get(host)
+        if heard is None:
+            return math.inf
+        return self.node.env.now - heard
+
+    def peer_state(self, host: str) -> str:
+        """Liveness of one peer: fresh, stale, dead or unknown.
+
+        Entries transition fresh → stale → dead as polls go unheard;
+        a cached value is therefore never *silently* fresh — consumers
+        (procfs, :class:`~repro.dproc.aggregate.ClusterView`) can see
+        exactly how much to trust it.
+        """
+        age = self.peer_age(host)
+        if math.isinf(age):
+            return PEER_UNKNOWN
+        interval = self.config.poll_interval
+        if age > self.config.dead_after_intervals * interval:
+            return PEER_DEAD
+        if age > self.config.stale_after_intervals * interval:
+            return PEER_STALE
+        return PEER_FRESH
+
+    def peer_states(self) -> dict[str, str]:
+        """Liveness of every peer ever heard from (sorted by host)."""
+        return {host: self.peer_state(host)
+                for host in sorted(self.peer_last_heard)}
+
     # -- local customization API ----------------------------------------------------
 
     def resolve_metrics(self, spec: str) -> list[MetricId]:
@@ -342,8 +426,11 @@ class DMon:
         """
         spec = spec.strip().lower()
         if spec == "*":
-            return [m for module in self.modules.values()
-                    for m in module.metrics()]
+            # Modules may share metric ids: de-duplicate, keeping the
+            # stable first-registration order.
+            return list(dict.fromkeys(
+                m for module in self.modules.values()
+                for m in module.metrics()))
         if spec in self.modules:
             return list(self.modules[spec].metrics())
         if spec in MODULE_METRICS:
@@ -353,6 +440,11 @@ class DMon:
     def apply_control(self, msg: ControlMessage) -> None:
         """Apply a control message to this d-mon (local or remote origin)."""
         if isinstance(msg, SetParameter):
+            # Validate the whole message before touching any policy, so
+            # a rejected control write leaves no partial state behind.
+            if msg.parameter not in ("period", "threshold"):
+                raise ControlSyntaxError(
+                    f"unknown parameter {msg.parameter!r}")
             metrics = self.resolve_metrics(msg.metric)
             if msg.parameter == "period":
                 try:
@@ -360,30 +452,32 @@ class DMon:
                 except ValueError:
                     raise ControlSyntaxError(
                         f"bad period {msg.spec!r}") from None
+                if not seconds > 0 or not math.isfinite(seconds):
+                    raise ControlSyntaxError(
+                        f"update period must be positive, got "
+                        f"{msg.spec!r}")
                 for metric in metrics:
                     self.policies.setdefault(
                         metric, MetricPolicy()).set_period(seconds)
-            elif msg.parameter == "threshold":
+            else:
                 rule = parse_threshold_spec(msg.spec.split())
                 for metric in metrics:
                     self.policies.setdefault(
                         metric, MetricPolicy()).add_threshold(rule)
-            else:
+        elif isinstance(msg, ClearParameter):
+            # The parameter name is validated even when no policy exists
+            # yet for any resolved metric.
+            if msg.parameter not in ("period", "threshold"):
                 raise ControlSyntaxError(
                     f"unknown parameter {msg.parameter!r}")
-        elif isinstance(msg, ClearParameter):
-            metrics = self.resolve_metrics(msg.metric)
-            for metric in metrics:
+            for metric in self.resolve_metrics(msg.metric):
                 policy = self.policies.get(metric)
                 if policy is None:
                     continue
                 if msg.parameter == "period":
                     policy.clear_period()
-                elif msg.parameter == "threshold":
-                    policy.clear_thresholds()
                 else:
-                    raise ControlSyntaxError(
-                        f"unknown parameter {msg.parameter!r}")
+                    policy.clear_thresholds()
         elif isinstance(msg, DeployFilter):
             scope = msg.metric if msg.metric in ("*", *self.modules) \
                 else self._scope_of(msg.metric)

@@ -23,7 +23,7 @@ design at grid scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.dproc.aggregate import ClusterView
 from repro.dproc.metrics import MetricId
@@ -65,13 +65,26 @@ class WanLink:
 
     Messages serialise at ``bandwidth`` and arrive after ``latency``;
     both gateways pay the usual kernel messaging costs.
+
+    WAN links fail: while the link is marked down (:meth:`fail_link`)
+    or the destination gateway is down (the ``node_down`` probe, wired
+    to the fault plane by :meth:`GridFederation.connect`), deliveries
+    are retried with exponential backoff — ``retry_initial`` doubling
+    up to ``retry_max`` seconds — instead of being dropped, so site
+    summaries resume on their own after a WAN outage heals.
     """
 
     def __init__(self, env: Environment, a: Node, b: Node,
                  bandwidth: float = mbps(10),
-                 latency: float = msec(40)) -> None:
+                 latency: float = msec(40),
+                 retry_initial: float = 0.5,
+                 retry_max: float = 8.0,
+                 node_down: Optional[Callable[[str], bool]] = None)\
+            -> None:
         if bandwidth <= 0 or latency < 0:
             raise NetworkError("invalid WAN link parameters")
+        if retry_initial <= 0 or retry_max < retry_initial:
+            raise NetworkError("invalid WAN retry parameters")
         if a.name == b.name:
             raise NetworkError(
                 f"WAN endpoints need distinct node names, both are "
@@ -80,12 +93,28 @@ class WanLink:
         self.endpoints = {a.name: a, b.name: b}
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
+        self.retry_initial = float(retry_initial)
+        self.retry_max = float(retry_max)
+        #: True while the named gateway is unreachable (defaults to
+        #: never; GridFederation wires it to the cluster fault planes).
+        self.node_down = node_down or (lambda host: False)
+        #: Administratively/fault down: deliveries stall and retry.
+        self.down = False
         self.bytes_carried = CounterTrace(f"wan:{a.name}<->{b.name}")
+        self.retries = CounterTrace(f"wan:{a.name}<->{b.name}:retries")
         self._queues: dict[str, Store] = {a.name: Store(env),
                                           b.name: Store(env)}
         self._handlers: dict[str, object] = {}
         for name in self.endpoints:
             env.process(self._pump(name), name=f"wan-pump:{name}")
+
+    def fail_link(self) -> None:
+        """Mark the link down; queued messages stall and back off."""
+        self.down = True
+
+    def restore_link(self) -> None:
+        """Bring the link back; stalled deliveries retry and drain."""
+        self.down = False
 
     def other(self, name: str) -> Node:
         try:
@@ -117,7 +146,17 @@ class WanLink:
         queue = self._queues[dst]
         while True:
             payload, size = yield queue.get()
-            yield self.env.timeout(size / self.bandwidth + self.latency)
+            backoff = self.retry_initial
+            while True:
+                # A retry resends the bytes: the serialisation and
+                # propagation delay is paid again on every attempt.
+                yield self.env.timeout(
+                    size / self.bandwidth + self.latency)
+                if not self.down and not self.node_down(dst):
+                    break
+                self.retries.add(self.env.now, 1.0)
+                yield self.env.timeout(backoff)
+                backoff = min(self.retry_max, backoff * 2.0)
             node = self.endpoints[dst]
             node.charge_kernel_seconds(node.costs.receive_cost(size))
             self.bytes_carried.add(self.env.now, size)
@@ -175,16 +214,36 @@ class GridFederation:
 
     def connect(self, site_a: str, site_b: str,
                 bandwidth: float = mbps(10),
-                latency: float = msec(40)) -> WanLink:
-        """Lay a WAN link between two sites' gateways."""
+                latency: float = msec(40),
+                retry_initial: float = 0.5,
+                retry_max: float = 8.0) -> WanLink:
+        """Lay a WAN link between two sites' gateways.
+
+        The link's ``node_down`` probe consults each site's cluster
+        fault plane, so an injected gateway crash stalls summary
+        exchange (with backoff) instead of losing summaries.
+        """
         try:
             a = self.sites[site_a]
             b = self.sites[site_b]
         except KeyError as exc:
             raise DprocError(f"unknown site {exc.args[0]!r}") from None
+
+        owners = {a.gateway: a, b.gateway: b}
+
+        def gateway_down(host: str) -> bool:
+            site = owners.get(host)
+            if site is None:
+                return False
+            faults = site.cluster.fabric.faults
+            return faults is not None and faults.node_down(host)
+
         link = WanLink(self.env,
                        a.cluster[a.gateway], b.cluster[b.gateway],
-                       bandwidth=bandwidth, latency=latency)
+                       bandwidth=bandwidth, latency=latency,
+                       retry_initial=retry_initial,
+                       retry_max=retry_max,
+                       node_down=gateway_down)
         link.bind(a.gateway, lambda payload, s=site_a:
                   self._receive(s, payload))
         link.bind(b.gateway, lambda payload, s=site_b:

@@ -89,6 +89,9 @@ class Dproc:
             ProcFile(read_fn=lambda h=host: self._control_read(h),
                      write_fn=lambda text, h=host:
                      self._control_write(h, text)))
+        self.procfs.mount(
+            f"{base}/status",
+            ProcFile(read_fn=lambda h=host: self._status_read(h)))
 
     def hosts(self) -> list[str]:
         """Nodes visible under /proc/cluster."""
@@ -108,6 +111,10 @@ class Dproc:
 
     def freemem(self, host: str) -> float:
         return self.metric(host, MetricId.FREEMEM)
+
+    def peer_state(self, host: str) -> str:
+        """Liveness of one cluster member (fresh/stale/dead/unknown)."""
+        return self.dmon.peer_state(host)
 
     # -- internals ------------------------------------------------------------
 
@@ -133,6 +140,13 @@ class Dproc:
             value = self.metric(host, metric)
             return f"{value:.6g}\n"
         return read
+
+    def _status_read(self, host: str) -> str:
+        """``/proc/cluster/<host>/status``: liveness state and data age."""
+        state = self.dmon.peer_state(host)
+        age = self.dmon.peer_age(host)
+        age_text = "inf" if math.isinf(age) else f"{age:.3f}"
+        return f"state: {state}\nage: {age_text}\n"
 
     def _control_read(self, host: str) -> str:
         """Control files read back the accepted command log."""

@@ -68,6 +68,10 @@ class TransportError(NetworkError):
     """Transport-level failure (e.g. sending on a closed connection)."""
 
 
+class FaultInjectionError(SimulationError):
+    """Invalid fault-injection request (bad probability, unknown host)."""
+
+
 # --- E-code --------------------------------------------------------------
 
 class EcodeError(ReproError):

@@ -11,6 +11,7 @@ from repro.harness.appbench import (SmartPointerRig,
                                     fig9b_event_rate,
                                     fig10_latency_vs_network,
                                     fig11_hybrid_monitors)
+from repro.harness.chaos import ChaosReport, chaos_recovery
 from repro.harness.profile import HotspotReport, profile_call
 from repro.harness.reporting import (EXPERIMENTS, ExperimentSpec,
                                      run_all, run_experiment)
@@ -23,5 +24,6 @@ __all__ = [
     "SmartPointerRig", "fig9a_latency_timeline", "fig9b_event_rate",
     "fig10_latency_vs_network", "fig11_hybrid_monitors",
     "EXPERIMENTS", "ExperimentSpec", "run_all", "run_experiment",
+    "ChaosReport", "chaos_recovery",
     "HotspotReport", "profile_call",
 ]

@@ -58,6 +58,16 @@ class SubmitReceipt:
     remote_targets: list[str]
     #: Per-target delivery events (for tests / synchronisation).
     deliveries: list[SimEvent] = field(default_factory=list)
+    #: Targets whose delivery failed (filled in as the simulation runs:
+    #: a crashed/partitioned subscriber lands here instead of raising
+    #: into the publisher — the submit itself always completes).
+    failed_targets: list[str] = field(default_factory=list)
+
+    @property
+    def delivered_targets(self) -> list[str]:
+        """Remote targets not (yet) known to have failed."""
+        return [t for t in self.remote_targets
+                if t not in self.failed_targets]
 
 
 class ChannelEndpoint:
@@ -143,13 +153,24 @@ class ChannelEndpoint:
         self.bytes_out.add(now, size * len(targets))
 
         deliveries: list[SimEvent] = []
+        failed: list[str] = []
         if targets:
             # One reallocation for the whole fan-out instead of one per
             # target flow: everything happens at the same instant.
             with self.node.stack.fabric.batch():
                 for host in targets:
                     conn = self._connection_to(host)
-                    deliveries.append(conn.send(event, size))
+                    delivery = conn.send(event, size)
+                    # A delivery killed by an injected fault (partition,
+                    # loss, crashed subscriber) is recorded on the
+                    # receipt; the publisher's endpoint state is
+                    # untouched and later submits proceed normally.
+                    delivery.add_callback(
+                        lambda ev, h=host: (
+                            failed.append(h),
+                            setattr(ev, "defused", True),
+                        ) if not ev._ok else None)
+                    deliveries.append(delivery)
         # Local subscribers see the event immediately.
         local = self.bus.endpoint(self.name, self.node.name)
         if local is self and self.is_subscriber:
@@ -178,15 +199,23 @@ class ChannelEndpoint:
                               attributes={"derived_from": self.name})
         return SubmitReceipt(event=event, cpu_seconds=cpu,
                              remote_targets=targets,
-                             deliveries=deliveries)
+                             deliveries=deliveries,
+                             failed_targets=failed)
 
     # -- teardown ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Detach from the channel (idempotent)."""
+        """Detach from the channel (idempotent).
+
+        Outstanding subscriptions are deactivated, not orphaned: a
+        later ``Subscription.cancel()`` is a no-op rather than a
+        :class:`ChannelError`.
+        """
         if self.closed:
             return
         self.closed = True
+        for sub in self.subscriptions:
+            sub.active = False
         self.subscriptions.clear()
         self.node.stack.unbind(self._tag)
         self.bus._detach(self)

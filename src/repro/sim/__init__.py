@@ -10,6 +10,7 @@ from repro.sim.core import (AllOf, AnyOf, Condition, Environment, Process,
 from repro.sim.cluster import Cluster, PAPER_NODE_NAMES, build_cluster
 from repro.sim.cpu import CPU, CpuJob
 from repro.sim.disk import Disk
+from repro.sim.faults import FaultInjector, FaultPlane
 from repro.sim.link import Flow, FlowKind, Link
 from repro.sim.memory import Allocation, Memory
 from repro.sim.network import Fabric, FixedFlowHandle, HostPort, \
@@ -30,6 +31,7 @@ __all__ = [
     "Timeout",
     "Cluster", "PAPER_NODE_NAMES", "build_cluster",
     "CPU", "CpuJob", "Disk", "Memory", "Allocation",
+    "FaultInjector", "FaultPlane",
     "Flow", "FlowKind", "Link",
     "Fabric", "FixedFlowHandle", "HostPort", "SharedSegment",
     "TransferHandle",

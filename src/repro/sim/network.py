@@ -137,6 +137,9 @@ class Fabric:
         self.switch_latency = float(switch_latency)
         self.hosts: dict[str, HostPort] = {}
         self.segments: dict[str, SharedSegment] = {}
+        #: Attached fault state (set by ``repro.sim.faults.FaultInjector``);
+        #: ``None`` means a fault-free fabric and zero added overhead.
+        self.faults = None
         #: Live flows in add order (fid -> Flow; O(1) removal).
         self._flows: dict[int, Flow] = {}
         #: Per-link flow maps, kept current across flow churn.

@@ -51,6 +51,8 @@ class Message:
     delivered_at: Optional[float] = None
     retransmissions: int = 0
     lost: bool = False
+    #: Set once an injected stall has been applied to this delivery.
+    stalled: bool = False
 
 
 class Connection:
@@ -160,19 +162,24 @@ class NetStack:
         conn.bytes_sent.add(now, size)
         self.bytes_out.add(now, size)
 
+        # Injected faults are checked before protocol effects: a message
+        # into a partition or onto a lossy link never reaches the wire.
+        faults = self.fabric.faults
+        if faults is not None:
+            if faults.blocked(self.host, conn.dst):
+                return self._drop(msg, conn, "path blocked")
+            p = faults.loss_probability(
+                self.host, conn.dst, self.fabric.path(self.host, conn.dst))
+            # Draw from the sender's seeded stream only when a loss rule
+            # applies, so fault-free runs stay bit-identical.
+            if p > 0.0 and self.rng.random() < p:
+                return self._drop(msg, conn, "injected loss")
+
         congestion = self._path_congestion(conn.dst)
         if conn.proto == Protocol.UDP:
             p_loss = min(0.9, max(0.0, congestion - 0.9) * 5.0)
             if self.rng.random() < p_loss:
-                msg.lost = True
-                conn.losses.add(now, 1.0)
-                done = self.env.event()
-                fail = self.env.timeout(0.0)
-                fail.add_callback(
-                    lambda _ev: (done.fail(
-                        TransportError(f"udp message {msg.mid} lost")),
-                        setattr(done, "defused", True)))
-                return done
+                return self._drop(msg, conn, "congestion")
         else:
             # TCP: congestion manifests as retransmissions once the
             # path nears saturation.
@@ -189,8 +196,43 @@ class NetStack:
             lambda _ev, m=msg, c=conn, d=done: self._delivered(m, c, d))
         return done
 
+    def _drop(self, msg: Message, conn: Connection,
+              reason: str) -> SimEvent:
+        """Fail a message's delivery event (pre-defused: a dropped
+        message that nobody awaits must not crash the simulation)."""
+        now = self.env.now
+        msg.lost = True
+        conn.losses.add(now, 1.0)
+        done = self.env.event()
+        fail = self.env.timeout(0.0)
+        fail.add_callback(
+            lambda _ev: (done.fail(TransportError(
+                f"message {msg.mid} {msg.src}->{msg.dst} lost "
+                f"({reason})")),
+                setattr(done, "defused", True)))
+        return done
+
     def _delivered(self, msg: Message, conn: Connection,
                    done: SimEvent) -> None:
+        # Faults are re-checked on arrival: a partition or crash that
+        # landed while the bytes were in flight still kills them.
+        faults = self.fabric.faults
+        if faults is not None:
+            stall = faults.extra_delay(msg.src, msg.dst)
+            if stall > 0.0 and not msg.stalled:
+                msg.stalled = True
+                timer = self.env.timeout(stall)
+                timer.add_callback(
+                    lambda _ev: self._delivered(msg, conn, done))
+                return
+            if faults.blocked(msg.src, msg.dst):
+                msg.lost = True
+                conn.losses.add(self.env.now, 1.0)
+                done.fail(TransportError(
+                    f"message {msg.mid} {msg.src}->{msg.dst} lost in "
+                    f"flight"))
+                done.defused = True
+                return
         now = self.env.now
         msg.delivered_at = now
         delay = now - msg.sent_at

@@ -120,3 +120,19 @@ class TestPlacementQueries:
         candidates = v.placement_candidates(min_free_bytes=MB(100),
                                             max_loadavg=1.0)
         assert candidates == ["alan"]
+
+
+class TestLiveness:
+    def test_all_fresh_when_running(self, view):
+        v, _dprocs, cluster = view
+        assert v.liveness() == {h: "fresh" for h in cluster.names}
+        assert v.live_hosts() == sorted(cluster.names)
+        assert v.dead_hosts() == []
+
+    def test_stopped_peer_ages_out(self, env, view):
+        v, dprocs, _ = view
+        dprocs["maui"].dmon.stop()
+        env.run(until=30.0)
+        assert v.liveness()["maui"] == "dead"
+        assert "maui" in v.dead_hosts()
+        assert "maui" not in v.live_hosts()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.dproc import (DMon, DMonConfig, MetricId, MetricPolicy,
@@ -291,3 +293,147 @@ class TestFiltersInPolling:
         remote = b.remote_value("alan", MetricId.FREEMEM)
         local = a.last_samples[MetricId.FREEMEM]
         assert remote.value == pytest.approx(local / 2.0, rel=0.05)
+
+
+class TestControlValidation:
+    """Regressions: apply_control must validate before mutating."""
+
+    def test_nonpositive_period_rejected(self, cluster3):
+        a = make_dmon(cluster3, "alan")
+        for bad in ("0", "-5", "inf", "nan"):
+            with pytest.raises(ControlSyntaxError, match="positive"):
+                a.apply_control(SetParameter(sender="x", metric="cpu",
+                                             parameter="period",
+                                             spec=bad))
+
+    def test_rejected_set_leaves_no_partial_state(self, cluster3):
+        """A failed SetParameter must not create policy entries as a
+        side effect of resolving its metrics."""
+        from repro.kecho import KechoBus as _Bus
+        a = DMon(cluster3["alan"], _Bus())  # no modules, no policies
+        with pytest.raises(ControlSyntaxError):
+            a.apply_control(SetParameter(sender="x", metric="loadavg",
+                                         parameter="period", spec="0"))
+        assert a.policies == {}
+
+    def test_clear_unknown_parameter_always_rejected(self, cluster3):
+        """ClearParameter with a bad parameter name must raise even
+        when no policy exists for the metric (the old code skipped
+        validation via ``continue``)."""
+        from repro.kecho import KechoBus as _Bus
+        a = DMon(cluster3["alan"], _Bus())
+        assert MetricId.LOADAVG not in a.policies
+        with pytest.raises(ControlSyntaxError, match="unknown parameter"):
+            a.apply_control(ClearParameter(sender="x", metric="loadavg",
+                                           parameter="frobs"))
+
+    def test_set_unknown_parameter_rejected_before_resolution(
+            self, cluster3):
+        a = make_dmon(cluster3, "alan")
+        with pytest.raises(ControlSyntaxError, match="unknown parameter"):
+            a.apply_control(SetParameter(sender="x", metric="*",
+                                         parameter="frobs", spec="1"))
+
+    def test_resolve_star_has_no_duplicates(self, cluster3):
+        """Modules sharing a metric id must not yield duplicate ids."""
+
+        class EchoLoad(MonitoringModule):
+            name = "echoload"
+
+            def metrics(self):
+                return (MetricId.LOADAVG,)
+
+            def collect(self, now):
+                return [MetricSample(MetricId.LOADAVG, 1.0, now)]
+
+        a = make_dmon(cluster3, "alan")
+        a.register_service(EchoLoad(cluster3["alan"]))
+        resolved = a.resolve_metrics("*")
+        assert len(resolved) == len(set(resolved))
+        # Stable first-registration order: cpu registered first.
+        assert resolved[0] == MetricId.LOADAVG
+
+
+class TestRestart:
+    """Regressions: stop() must fully reset per-life state."""
+
+    def test_receive_overhead_never_negative_after_restart(
+            self, env, cluster3):
+        """A stale _rx_cost_mark from the previous life made the first
+        receive_overhead sample after restart negative."""
+        a, b = deploy_pair(cluster3)
+        env.run(until=5.0)
+        assert a.receive_overhead.values, "need rx samples before stop"
+        a.stop()
+        a.start()
+        restart = env.now
+        env.run(until=restart + 5.0)
+        import bisect
+        i = bisect.bisect_left(a.receive_overhead.times, restart)
+        after = a.receive_overhead.values[i:]
+        assert after and min(after) >= 0.0
+
+    def test_restart_does_not_double_poll(self, env, cluster3):
+        """A stop → quick restart must not leave the old polling
+        process alive alongside the new one."""
+        a = make_dmon(cluster3, "alan",
+                      config=DMonConfig(poll_interval=1.0))
+        a.start()
+        env.run(until=2.0)
+        a.stop()
+        a.start()
+        before = a.polls
+        env.run(until=12.0)
+        # ~10 seconds of polling at 1/s; a leaked second loop would
+        # roughly double this.
+        assert a.polls - before <= 12
+
+    def test_restart_reconnects_and_publishes(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=3.0)
+        a.stop()
+        assert a._monitor_ep is None and a._control_ep is None
+        assert a._audience_cache is None and a._poll_proc is None
+        a.stop()  # idempotent
+        a.start()
+        mark = env.now
+        env.run(until=mark + 5.0)
+        remote = b.remote_value("alan", MetricId.LOADAVG)
+        assert remote is not None and remote.received_at > mark
+
+
+class TestPeerLiveness:
+    def test_fresh_to_stale_to_dead(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=3.0)
+        assert a.peer_state("maui") == "fresh"
+        b.stop()
+        down = env.now
+        interval = a.config.poll_interval
+        env.run(until=down + a.config.stale_after_intervals * interval
+                + 2.0)
+        assert a.peer_state("maui") == "stale"
+        env.run(until=down + a.config.dead_after_intervals * interval
+                + 2.0)
+        assert a.peer_state("maui") == "dead"
+        # Stale/dead entries stay readable (last-known values).
+        assert a.remote_value("maui", MetricId.LOADAVG) is not None
+
+    def test_rejoin_becomes_fresh_again(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        env.run(until=3.0)
+        b.stop()
+        env.run(until=20.0)
+        assert a.peer_state("maui") == "dead"
+        b.start()
+        env.run(until=25.0)
+        assert a.peer_state("maui") == "fresh"
+
+    def test_unknown_and_local_states(self, env, cluster3):
+        a, b = deploy_pair(cluster3)
+        assert a.peer_state("etna") == "unknown"
+        assert a.peer_age("etna") == math.inf
+        assert a.peer_age("alan") == 0.0
+        assert a.peer_state("alan") == "fresh"
+        env.run(until=3.0)
+        assert a.peer_states() == {"maui": "fresh"}

@@ -162,3 +162,82 @@ class TestFederation:
         with pytest.raises(DprocError):
             federation.add_site("bad", east.cluster, east.dprocs,
                                 gateway="ghost")
+
+
+class TestWanRetry:
+    def test_down_link_stalls_then_drains(self, env):
+        """Messages queued while the link is down are retried with
+        backoff and delivered after restore — never dropped."""
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"],
+                       bandwidth=mbps(10), latency=msec(40),
+                       retry_initial=0.5, retry_max=8.0)
+        got = []
+        link.bind("gb", lambda p: got.append((env.now, p)))
+        link.fail_link()
+        link.send("ga", "queued", size=1250.0)
+        env.run(until=5.0)
+        assert got == []
+        assert link.retries.total >= 1
+        link.restore_link()
+        env.run(until=20.0)
+        assert [p for _t, p in got] == ["queued"]
+        assert got[0][0] > 5.0
+
+    def test_backoff_doubles_up_to_cap(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        link = WanLink(env, cluster["ga"], cluster["gb"],
+                       bandwidth=mbps(10), latency=0.0,
+                       retry_initial=1.0, retry_max=4.0)
+        link.fail_link()
+        link.send("ga", "x", size=1250.0)
+        env.run(until=30.0)
+        times = link.retries._times
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Gap ≈ backoff + retransmit time: 1, 2, 4, 4, 4 ... (capped).
+        assert gaps[0] < gaps[1] < gaps[2]
+        assert gaps[3] == pytest.approx(gaps[2], rel=0.01)
+        assert max(gaps) < 4.5
+
+    def test_node_down_probe_stalls_delivery(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        down = {"gb"}
+        link = WanLink(env, cluster["ga"], cluster["gb"],
+                       retry_initial=0.5,
+                       node_down=lambda host: host in down)
+        got = []
+        link.bind("gb", lambda p: got.append(p))
+        link.send("ga", "x", size=500.0)
+        env.run(until=3.0)
+        assert got == []
+        down.clear()
+        env.run(until=10.0)
+        assert got == ["x"]
+
+    def test_bad_retry_parameters_rejected(self, env):
+        cluster = build_cluster(env, 2, names=["ga", "gb"])
+        with pytest.raises(NetworkError, match="retry"):
+            WanLink(env, cluster["ga"], cluster["gb"], retry_initial=0)
+        with pytest.raises(NetworkError, match="retry"):
+            WanLink(env, cluster["ga"], cluster["gb"],
+                    retry_initial=2.0, retry_max=1.0)
+
+    def test_gateway_crash_pauses_summaries_until_reboot(self, env):
+        """connect() wires node_down to the site fault planes: summaries
+        survive a gateway crash + reboot."""
+        from repro.sim import FaultInjector
+        federation = GridFederation(env, summary_period=2.0)
+        east = make_site(env, federation, "east", "e")
+        west = make_site(env, federation, "west", "w")
+        federation.connect("east", "west")
+        federation.start()
+        injector = FaultInjector(west.cluster)
+        injector.schedule_crash(3.0, "w0", reboot_at=12.0)
+        env.run(until=10.0)
+        link = federation._links["east"][0]
+        assert link.retries.total >= 1
+        stuck = federation.summary("west", "east")
+        assert stuck is None or stuck.received_at < 4.0
+        env.run(until=25.0)
+        fresh = federation.summary("west", "east")
+        assert fresh is not None and fresh.received_at > 12.0

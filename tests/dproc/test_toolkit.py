@@ -176,3 +176,24 @@ class TestScenario:
         env.run(until=110.0)
         after = alan.remote_value("maui", MetricId.FREEMEM).received_at
         assert after == before  # no fresh FREEMEM while loaded
+
+
+class TestStatusFiles:
+    def test_status_reports_fresh_peer(self, env, dprocs):
+        env.run(until=3.0)
+        text = dprocs["alan"].read("/proc/cluster/maui/status")
+        assert text.startswith("state: fresh\n")
+        assert dprocs["alan"].peer_state("maui") == "fresh"
+
+    def test_status_tracks_downed_peer(self, env, dprocs):
+        env.run(until=3.0)
+        dprocs["maui"].stop()
+        env.run(until=30.0)
+        text = dprocs["alan"].read("/proc/cluster/maui/status")
+        assert text.startswith("state: dead\n")
+        age = float(text.splitlines()[1].split()[1])
+        assert age > 10.0
+
+    def test_status_unknown_before_any_data(self, dprocs):
+        text = dprocs["alan"].read("/proc/cluster/maui/status")
+        assert text == "state: unknown\nage: inf\n"

@@ -1,0 +1,52 @@
+"""Chaos-recovery scenario: acceptance criteria and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.chaos import ChaosReport, chaos_recovery
+
+SMALL = dict(n_nodes=10, duration=40.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def report() -> ChaosReport:
+    """One small chaos run shared by the acceptance assertions."""
+    return chaos_recovery(**SMALL)
+
+
+class TestAcceptance:
+    def test_survivors_recover_after_heal(self, report):
+        """After the partition heals and loss clears, every surviving
+        pair exchanges fresh data again."""
+        assert report.recovery_time is not None
+        assert report.recovery_time < 15.0
+
+    def test_rebooted_node_rejoins(self, report):
+        assert report.rejoin_time is not None
+        assert report.rejoin_time < 15.0
+
+    def test_downed_peer_flagged_never_silently_fresh(self, report):
+        assert report.victim_reported_dead
+        assert report.victim_never_silently_fresh
+
+    def test_cluster_ends_fully_fresh(self, report):
+        assert set(report.final_liveness.values()) == {"fresh"}
+
+    def test_trace_contains_fault_schedule(self, report):
+        texts = [text for _t, text in report.events]
+        assert "loss 0.3 on all links" in texts
+        assert "partition healed" in texts
+        assert f"crash {report.victim}" in texts
+        assert f"reboot {report.victim}" in texts
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, report):
+        again = chaos_recovery(**SMALL)
+        assert again.trace == report.trace
+        assert again.events == report.events
+
+    def test_different_seed_diverges(self, report):
+        other = chaos_recovery(n_nodes=10, duration=40.0, seed=8)
+        assert other.trace != report.trace

@@ -57,6 +57,49 @@ class TestEndpointLifecycle:
         with pytest.raises(ChannelError):
             ep.submit("x", size=0)
 
+    def test_cancel_after_close_is_noop(self, bus, cluster3):
+        """Closing an endpoint deactivates its subscriptions, so a
+        later cancel() is idempotent instead of a ChannelError."""
+        ep = bus.connect(cluster3["alan"], "monitor")
+        sub = ep.subscribe(lambda e: None)
+        ep.close()
+        assert not sub.active
+        sub.cancel()  # must not raise
+        sub.cancel()
+
+
+class TestSubmitUnderFaults:
+    def test_partition_lands_in_failed_targets(self, env, bus, cluster3):
+        from repro.sim import FaultInjector
+        eps = wire(bus, cluster3)
+        eps["maui"].subscribe(lambda e: None)
+        eps["etna"].subscribe(lambda e: None)
+        FaultInjector(cluster3).partition(["alan", "etna"], ["maui"])
+        receipt = eps["alan"].submit({"loadavg": 1.0}, size=100)
+        assert receipt.remote_targets == ["maui", "etna"]
+        env.run()
+        assert receipt.failed_targets == ["maui"]
+        assert receipt.delivered_targets == ["etna"]
+
+    def test_endpoint_survives_failed_submit(self, env, bus, cluster3):
+        """A partition-time submit must not corrupt publisher state:
+        once the partition heals, the next submit goes through."""
+        from repro.sim import FaultInjector
+        eps = wire(bus, cluster3)
+        got = []
+        eps["maui"].subscribe(lambda e: got.append(e))
+        injector = FaultInjector(cluster3)
+        injector.partition(["alan"], ["maui", "etna"])
+        first = eps["alan"].submit("during", size=100)
+        env.run()
+        assert first.failed_targets == ["maui"]
+        assert not got
+        injector.heal()
+        second = eps["alan"].submit("after", size=100)
+        env.run()
+        assert second.failed_targets == []
+        assert [e.payload for e in got] == ["after"]
+
 
 class TestPublishSubscribe:
     def test_event_reaches_remote_subscriber(self, env, bus, cluster3):
