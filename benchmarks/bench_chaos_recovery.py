@@ -53,6 +53,9 @@ def run_once(n: int, duration: float, seed: int) -> tuple[dict, tuple]:
         "fault_events": [
             [t, text] for t, text in report.events
             if not text.startswith(("survivors", "victim seen"))],
+        # Self-telemetry: what the monitoring cost, measured by the
+        # monitored system itself (repro.telemetry registries).
+        "overhead": report.overhead,
     }
     return record, report.trace
 

@@ -37,6 +37,7 @@ from repro.dproc import DMonConfig, MetricId
 from repro.dproc.toolkit import Dproc
 from repro.kecho import KechoBus
 from repro.sim import Environment, build_cluster
+from repro.telemetry import overhead_summary
 
 DEFAULT_SIZES = (8, 64, 256, 1000)
 DEFAULT_DURATION = 60.0
@@ -74,8 +75,12 @@ def scale_config(n: int) -> ScaleConfig:
 
 
 def build_monitored_cluster(n: int, profile: ScaleConfig,
-                            duration: float) -> Environment:
-    """An n-node cluster with dproc deployed per ``profile``."""
+                            duration: float):
+    """An n-node cluster with dproc deployed per ``profile``.
+
+    Returns ``(env, cluster)`` so callers can harvest per-node
+    telemetry after the run.
+    """
     env = Environment()
     cluster = build_cluster(env, n_nodes=n, seed=1)
     bus = KechoBus()
@@ -96,14 +101,14 @@ def build_monitored_cluster(n: int, profile: ScaleConfig,
             dprocs[name].add_cluster_node(host)
     for dproc in dprocs.values():
         dproc.start()
-    return env
+    return env, cluster
 
 
 def run_once(n: int, duration: float) -> dict:
     """Run one size; returns the result record for the JSON report."""
     profile = scale_config(n)
     t0 = time.perf_counter()
-    env = build_monitored_cluster(n, profile, duration)
+    env, cluster = build_monitored_cluster(n, profile, duration)
     setup_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -125,6 +130,11 @@ def run_once(n: int, duration: float) -> dict:
             "metrics": list(profile.metrics),
             "modules": list(profile.modules),
         },
+        # Self-telemetry: the monitoring system's own account of what
+        # it cost (CPU seconds, publishes, drops) during this run.
+        "overhead": overhead_summary(
+            {name: cluster[name].telemetry for name in cluster.names},
+            sim_seconds=duration),
     }
 
 

@@ -17,7 +17,8 @@ from scipy import stats as sps
 
 from repro.harness.experiment import ExperimentResult, SeriesResult
 
-__all__ = ["Summary", "summarize", "replicate", "truncate_warmup"]
+__all__ = ["Summary", "summarize", "replicate", "truncate_warmup",
+           "HistogramResult", "histogram"]
 
 
 @dataclass(frozen=True)
@@ -45,15 +46,27 @@ class Summary:
 
 
 def summarize(samples: Sequence[float],
-              confidence: float = 0.95) -> Summary:
+              confidence: float = 0.95,
+              nan_policy: str = "propagate") -> Summary:
     """Mean with a Student-t confidence interval.
 
     A single sample yields an infinite interval honestly rather than
-    pretending to certainty.
+    pretending to certainty.  ``nan_policy`` controls NaN samples:
+    ``"propagate"`` (default) lets them poison the mean/std — visible,
+    never silently wrong; ``"omit"`` drops them; ``"raise"`` rejects
+    them with :class:`ValueError`.
     """
     if not 0 < confidence < 1:
         raise ValueError("confidence must be in (0, 1)")
+    if nan_policy not in ("propagate", "omit", "raise"):
+        raise ValueError(f"unknown nan_policy {nan_policy!r}")
     data = np.asarray(list(samples), dtype=float)
+    n_nan = int(np.count_nonzero(np.isnan(data)))
+    if n_nan:
+        if nan_policy == "raise":
+            raise ValueError(f"{n_nan} NaN sample(s) in input")
+        if nan_policy == "omit":
+            data = data[~np.isnan(data)]
     if data.size == 0:
         raise ValueError("no samples to summarize")
     mean = float(np.mean(data))
@@ -65,6 +78,77 @@ def summarize(samples: Sequence[float],
     half = t * std / math.sqrt(data.size)
     return Summary(n=int(data.size), mean=mean, std=std,
                    half_width=half, confidence=confidence)
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """A binned distribution with honest edge-case accounting."""
+
+    #: Per-bin counts (length ``len(edges) - 1``).
+    counts: tuple[int, ...]
+    #: Bin edges (ascending; ``edges[i] <= bin i < edges[i+1]``).
+    edges: tuple[float, ...]
+    #: Number of binned (finite) samples.
+    n: int
+    #: NaN samples seen (never binned, never silently dropped).
+    nan_count: int
+    mean: float
+    min: float
+    max: float
+
+    @property
+    def total(self) -> int:
+        """All samples offered, including NaNs."""
+        return self.n + self.nan_count
+
+
+def histogram(samples: Sequence[float], bins: int = 10,
+              value_range: tuple[float, float] | None = None,
+              nan_policy: str = "omit") -> HistogramResult:
+    """Bin a sample sequence, handling the awkward cases explicitly.
+
+    * **empty input** — zero counts over ``value_range`` (or the unit
+      interval), NaN summary stats; never an exception;
+    * **single sample** (or all-equal samples) — a degenerate range is
+      widened by ±0.5 around the value, as ``np.histogram`` does;
+    * **NaN samples** — cannot be binned: ``"omit"`` (default) counts
+      them in ``nan_count``; ``"propagate"`` additionally poisons the
+      summary stats (mean/min/max become NaN); ``"raise"`` rejects
+      them.  They are *never* silently included or discarded.
+    """
+    if nan_policy not in ("propagate", "omit", "raise"):
+        raise ValueError(f"unknown nan_policy {nan_policy!r}")
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    if value_range is not None and not value_range[0] <= value_range[1]:
+        raise ValueError("value_range must be (lo, hi) with lo <= hi")
+    data = np.asarray(list(samples), dtype=float)
+    nan_mask = np.isnan(data)
+    nan_count = int(np.count_nonzero(nan_mask))
+    if nan_count and nan_policy == "raise":
+        raise ValueError(f"{nan_count} NaN sample(s) in input")
+    finite = data[~nan_mask]
+
+    if finite.size == 0:
+        lo, hi = value_range if value_range is not None else (0.0, 1.0)
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+        edges = np.linspace(lo, hi, bins + 1)
+        counts = np.zeros(bins, dtype=int)
+        mean = low = high = math.nan
+    else:
+        counts, edges = np.histogram(finite, bins=bins,
+                                     range=value_range)
+        mean = float(finite.mean())
+        low = float(finite.min())
+        high = float(finite.max())
+    if nan_count and nan_policy == "propagate":
+        mean = low = high = math.nan
+    return HistogramResult(
+        counts=tuple(int(c) for c in counts),
+        edges=tuple(float(e) for e in edges),
+        n=int(finite.size), nan_count=nan_count,
+        mean=mean, min=low, max=high)
 
 
 def replicate(experiment: Callable[[int], ExperimentResult],

@@ -122,6 +122,20 @@ class DMon:
         self.records_published = CounterTrace(f"{node.name}:records",
                                               max_samples=bound)
         self.polls = 0
+        # self-telemetry: named instruments in the node registry, bound
+        # once (hot path).  All no-ops when the node disables telemetry.
+        telemetry = node.telemetry
+        self._t_polls = telemetry.counter("dmon.polls")
+        self._t_collect = telemetry.counter("dmon.collect_seconds")
+        self._t_filter = telemetry.counter("dmon.filter_seconds")
+        self._t_param = telemetry.counter("dmon.param_seconds")
+        self._t_submit = telemetry.counter("dmon.submit_seconds")
+        self._t_receive = telemetry.counter("dmon.receive_seconds")
+        self._t_events = telemetry.counter("dmon.events_published")
+        self._t_records = telemetry.counter("dmon.records_published")
+        self._t_poll_spans = telemetry.spans("dmon.poll")
+        #: module name -> its dmon.module.<name>.collect_seconds counter.
+        self._t_module_collect: dict[str, object] = {}
         #: Most recent local samples (served for the node's own
         #: /proc/cluster/<self>/ entries).
         self.last_samples: dict[MetricId, float] = {}
@@ -148,6 +162,8 @@ class DMon:
                 f"module {module.name!r} already registered on "
                 f"{self.node.name}")
         self.modules[module.name] = module
+        self._t_module_collect[module.name] = self.node.telemetry.counter(
+            f"dmon.module.{module.name}.collect_seconds")
         for metric in module.metrics():
             self.policies.setdefault(metric, MetricPolicy())
         if self.running and not module.started:
@@ -224,14 +240,17 @@ class DMon:
         """One polling iteration; returns its submission overhead (s)."""
         now = self.node.env.now
         self.polls += 1
+        self._t_polls.inc()
         costs = self.node.costs
 
         # 1. Collect from every registered module ("retrieve monitoring
         #    information from them at regular intervals").
         samples: dict[MetricId, float] = {}
         collect_cost = 0.0
+        module_counters = self._t_module_collect
         for module in self.modules.values():
             collect_cost += costs.module_poll
+            module_counters[module.name].inc(costs.module_poll)
             for sample in module.collect(now):
                 samples[sample.metric] = sample.value
         if self.config.metric_subset is not None:
@@ -261,16 +280,25 @@ class DMon:
                 submit_cost = receipt.cpu_seconds
                 self.events_published.add(now, 1.0)
                 self.records_published.add(now, float(len(to_send)))
+                self._t_events.inc()
+                self._t_records.inc(len(to_send))
                 for metric, value in to_send.items():
                     self._last_sent[metric] = value
                     self._last_sent_at[metric] = now
 
         # 4. Instrumentation (the paper's rdtsc-style measurements).
         self.submit_overhead.record(now, submit_cost)
+        self._t_collect.inc(collect_cost)
+        self._t_submit.inc(submit_cost)
         if self._monitor_ep is not None:
             rx = self._monitor_ep.receive_cpu_seconds
             self.receive_overhead.record(now, rx - self._rx_cost_mark)
+            self._t_receive.inc(rx - self._rx_cost_mark)
             self._rx_cost_mark = rx
+        self._t_poll_spans.record(
+            "poll", now, now,
+            cpu=collect_cost + decide_cost + submit_cost,
+            records=len(to_send))
         return submit_cost
 
     def _has_audience(self) -> bool:
@@ -305,6 +333,7 @@ class DMon:
                                                now)
             outputs = self.filters.run(global_filter, records)
             cost += costs.filter_exec
+            self._t_filter.inc(costs.filter_exec)
             for record in outputs:
                 metric = metric_by_name(record.name)
                 if metric in samples:
@@ -320,6 +349,7 @@ class DMon:
                         samples, self._last_sent, now)
                 outputs = self.filters.run(scoped, filter_input)
                 cost += costs.filter_exec
+                self._t_filter.inc(costs.filter_exec)
                 module_metrics = set(module.metrics())
                 for record in outputs:
                     metric = metric_by_name(record.name)
@@ -330,6 +360,7 @@ class DMon:
                     if metric not in samples:
                         continue
                     cost += costs.param_check
+                    self._t_param.inc(costs.param_check)
                     policy = self.policies[metric]
                     if policy.should_send(
                             samples[metric], now,
@@ -536,9 +567,9 @@ def register_default_modules(dmon: DMon,
                                                      "pmc")) -> None:
     """Attach the standard module set (or a named subset) to a d-mon."""
     from repro.dproc.modules import (CpuMon, DiskMon, MemMon, NetMon,
-                                     PmcMon)
+                                     PmcMon, SelfMon)
     factory = {"cpu": CpuMon, "mem": MemMon, "disk": DiskMon,
-               "net": NetMon, "pmc": PmcMon}
+               "net": NetMon, "pmc": PmcMon, "dproc": SelfMon}
     for name in names:
         try:
             cls = factory[name]

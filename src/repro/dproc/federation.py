@@ -102,6 +102,18 @@ class WanLink:
         self.down = False
         self.bytes_carried = CounterTrace(f"wan:{a.name}<->{b.name}")
         self.retries = CounterTrace(f"wan:{a.name}<->{b.name}:retries")
+        # self-telemetry on each endpoint's node registry: queue depth
+        # and retry/backoff activity show up in that node's overhead
+        # report (no-ops when the node disables telemetry).
+        self._telemetry = {
+            name: {
+                "deliveries": n.telemetry.counter("wan.deliveries"),
+                "retries": n.telemetry.counter("wan.retries"),
+                "backoff": n.telemetry.counter("wan.backoff_seconds"),
+                "queue": n.telemetry.gauge("wan.queue_depth"),
+            }
+            for name, n in self.endpoints.items()
+        }
         self._queues: dict[str, Store] = {a.name: Store(env),
                                           b.name: Store(env)}
         self._handlers: dict[str, object] = {}
@@ -140,12 +152,15 @@ class WanLink:
         node.charge_kernel_seconds(
             node.costs.encode_cost(size) + node.costs.send_cost(size, 1))
         dst = self.other(src).name
+        self._telemetry[dst]["queue"].adjust(1)
         self._queues[dst].put((payload, size))
 
     def _pump(self, dst: str):
         queue = self._queues[dst]
+        telemetry = self._telemetry[dst]
         while True:
             payload, size = yield queue.get()
+            telemetry["queue"].adjust(-1)
             backoff = self.retry_initial
             while True:
                 # A retry resends the bytes: the serialisation and
@@ -155,10 +170,13 @@ class WanLink:
                 if not self.down and not self.node_down(dst):
                     break
                 self.retries.add(self.env.now, 1.0)
+                telemetry["retries"].inc()
+                telemetry["backoff"].inc(backoff)
                 yield self.env.timeout(backoff)
                 backoff = min(self.retry_max, backoff * 2.0)
             node = self.endpoints[dst]
             node.charge_kernel_seconds(node.costs.receive_cost(size))
+            telemetry["deliveries"].inc()
             self.bytes_carried.add(self.env.now, size)
             handler = self._handlers.get(dst)
             if handler is not None:

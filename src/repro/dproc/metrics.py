@@ -33,6 +33,11 @@ class MetricId(IntEnum):
     NET_USED = 11      #: NET_MON — used outbound bandwidth (bytes/s)
     BATTERY = 12       #: BATTERY_MON — remaining charge (percent)
     NET_DELAY = 13     #: NET_MON — mean end-to-end delay (seconds)
+    # Self-telemetry (SELF_MON): dproc monitoring its own overhead.
+    # Appended, never renumbered — the values above are the filter ABI.
+    DMON_POLL_COST = 14  #: SELF_MON — mean CPU s per polling iteration
+    DMON_RX_COST = 15    #: SELF_MON — mean receive-path CPU s per poll
+    DMON_EVENT_RATE = 16  #: SELF_MON — monitoring events published /s
 
 
 #: Which monitoring module owns which metrics.
@@ -45,6 +50,8 @@ MODULE_METRICS: dict[str, tuple[MetricId, ...]] = {
             MetricId.NET_LOST, MetricId.NET_USED, MetricId.NET_DELAY),
     "pmc": (MetricId.CACHE_MISS, MetricId.INSTRUCTIONS),
     "battery": (MetricId.BATTERY,),
+    "dproc": (MetricId.DMON_POLL_COST, MetricId.DMON_RX_COST,
+              MetricId.DMON_EVENT_RATE),
 }
 
 #: Constants handed to the E-code compiler so filters can write
@@ -67,6 +74,9 @@ METRIC_FILES: dict[MetricId, str] = {
     MetricId.NET_USED: "net_used",
     MetricId.BATTERY: "battery",
     MetricId.NET_DELAY: "net_delay",
+    MetricId.DMON_POLL_COST: "dproc_poll_cost",
+    MetricId.DMON_RX_COST: "dproc_rx_cost",
+    MetricId.DMON_EVENT_RATE: "dproc_event_rate",
 }
 
 _BY_NAME = {m.name.lower(): m for m in MetricId}

@@ -29,6 +29,7 @@ from repro.errors import DprocError
 from repro.kecho import KechoBus
 from repro.sim.cluster import Cluster
 from repro.sim.node import Node
+from repro.telemetry import MONITOR_CPU_COUNTERS, render_text
 
 __all__ = ["Dproc", "deploy_dproc"]
 
@@ -92,6 +93,20 @@ class Dproc:
         self.procfs.mount(
             f"{base}/status",
             ProcFile(read_fn=lambda h=host: self._status_read(h)))
+        # Self-telemetry, dogfooded through /proc: dproc reporting on
+        # dproc.  The local node renders its live registry; remote
+        # hosts render whatever their SELF_MON module published.
+        self.procfs.mount(
+            f"{base}/dproc/overhead",
+            ProcFile(read_fn=lambda h=host: self._overhead_read(h)))
+        self.procfs.mount(
+            f"{base}/dproc/channels",
+            ProcFile(read_fn=lambda h=host:
+                     self._telemetry_read(h, "kecho.")))
+        self.procfs.mount(
+            f"{base}/dproc/dmon",
+            ProcFile(read_fn=lambda h=host:
+                     self._telemetry_read(h, "dmon.")))
 
     def hosts(self) -> list[str]:
         """Nodes visible under /proc/cluster."""
@@ -147,6 +162,47 @@ class Dproc:
         age = self.dmon.peer_age(host)
         age_text = "inf" if math.isinf(age) else f"{age:.3f}"
         return f"state: {state}\nage: {age_text}\n"
+
+    def _overhead_read(self, host: str) -> str:
+        """``/proc/cluster/<host>/dproc/overhead``: monitoring cost.
+
+        The local file is computed from the node's live telemetry
+        registry; a remote host's file shows the last SELF_MON report
+        received from it (NaN until that host publishes one).
+        """
+        if host == self.node.name:
+            reg = self.node.telemetry
+            polls = reg.value("dmon.polls")
+            components = {name.split(".", 1)[1]: reg.value(name)
+                          for name in MONITOR_CPU_COUNTERS}
+            total = sum(components.values())
+            lines = [f"polls: {polls:.6g}",
+                     f"monitor_cpu_seconds: {total:.6g}"]
+            lines += [f"{key}: {value:.6g}"
+                      for key, value in components.items()]
+            mean_cost = total / polls if polls else 0.0
+            lines += [
+                f"mean_poll_cost: {mean_cost:.6g}",
+                f"events_published: "
+                f"{reg.value('dmon.events_published'):.6g}",
+                f"records_published: "
+                f"{reg.value('dmon.records_published'):.6g}",
+            ]
+            return "".join(f"{line}\n" for line in lines)
+        return (
+            f"poll_cost: "
+            f"{self.metric(host, MetricId.DMON_POLL_COST):.6g}\n"
+            f"rx_cost: "
+            f"{self.metric(host, MetricId.DMON_RX_COST):.6g}\n"
+            f"event_rate: "
+            f"{self.metric(host, MetricId.DMON_EVENT_RATE):.6g}\n")
+
+    def _telemetry_read(self, host: str, prefix: str) -> str:
+        """Raw telemetry dump for one name prefix (local host only)."""
+        if host == self.node.name:
+            return render_text(self.node.telemetry, prefix=prefix)
+        return (f"unavailable: {prefix}* telemetry is node-local; "
+                f"see dproc/overhead\n")
 
     def _control_read(self, host: str) -> str:
         """Control files read back the accepted command log."""

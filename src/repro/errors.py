@@ -26,6 +26,7 @@ __all__ = [
     "ControlSyntaxError",
     "UnknownMetricError",
     "FilterDeploymentError",
+    "TelemetryError",
 ]
 
 
@@ -136,3 +137,9 @@ class UnknownMetricError(DprocError):
 
 class FilterDeploymentError(DprocError):
     """A dynamic filter failed to compile or deploy at the target host."""
+
+
+# --- telemetry ---------------------------------------------------------------
+
+class TelemetryError(ReproError):
+    """Misuse of the self-telemetry registry (e.g. kind mismatch)."""

@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.dproc import PEER_FRESH, DMonConfig, deploy_dproc
 from repro.sim import Environment, FaultInjector, build_cluster
+from repro.telemetry import overhead_summary
 
 __all__ = ["ChaosReport", "chaos_recovery"]
 
@@ -63,6 +64,11 @@ class ChaosReport:
     #: monitoring-state transitions.
     events: tuple[tuple[float, str], ...]
     final_liveness: dict[str, str]
+    #: Cluster-wide self-telemetry summary (monitoring CPU/network
+    #: overhead, from :func:`repro.telemetry.overhead_summary`).
+    #: Deliberately *not* part of :attr:`trace` — it reports costs, the
+    #: trace pins behaviour.
+    overhead: Optional[dict] = None
 
     @property
     def trace(self) -> tuple:
@@ -176,4 +182,7 @@ def chaos_recovery(n_nodes: int = 100,
         victim_never_silently_fresh=not state["silently_fresh"],
         events=events,
         final_liveness=final,
+        overhead=overhead_summary(
+            {name: cluster[name].telemetry for name in names},
+            sim_seconds=duration),
     )

@@ -89,6 +89,20 @@ class ChannelEndpoint:
         self.bytes_in = CounterTrace(f"{node.name}:{info.name}:rx")
         #: Cumulative receive-path kernel CPU seconds (Figure 8 metric).
         self.receive_cpu_seconds = 0.0
+        # self-telemetry (bound once; no-ops when the node disables it)
+        telemetry = node.telemetry
+        base = f"kecho.{info.name}"
+        self._t_submits = telemetry.counter(f"{base}.submits")
+        self._t_submit_seconds = telemetry.counter(
+            f"{base}.submit_seconds")
+        self._t_fanout = telemetry.histogram(
+            f"{base}.fanout", bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self._t_delivery_seconds = telemetry.histogram(
+            f"{base}.delivery_seconds")
+        self._t_receives = telemetry.counter(f"{base}.receives")
+        self._t_failed = telemetry.counter(f"{base}.failed_deliveries")
+        self._t_tx_bytes = telemetry.counter(f"{base}.tx_bytes")
+        self._t_rx_bytes = telemetry.counter(f"{base}.rx_bytes")
         node.stack.bind(self._tag, self._on_message)
 
     # -- subscription ------------------------------------------------------------
@@ -151,6 +165,10 @@ class ChannelEndpoint:
         self.node.charge_kernel_seconds(cpu)
         self.submitted.add(now, 1.0)
         self.bytes_out.add(now, size * len(targets))
+        self._t_submits.inc()
+        self._t_submit_seconds.inc(cpu)
+        self._t_fanout.observe(len(targets))
+        self._t_tx_bytes.inc(size * len(targets))
 
         deliveries: list[SimEvent] = []
         failed: list[str] = []
@@ -168,6 +186,7 @@ class ChannelEndpoint:
                     delivery.add_callback(
                         lambda ev, h=host: (
                             failed.append(h),
+                            self._t_failed.inc(),
                             setattr(ev, "defused", True),
                         ) if not ev._ok else None)
                     deliveries.append(delivery)
@@ -248,6 +267,9 @@ class ChannelEndpoint:
         now = self.node.env.now
         self.received.add(now, 1.0)
         self.bytes_in.add(now, event.size)
+        self._t_receives.inc()
+        self._t_rx_bytes.inc(event.size)
+        self._t_delivery_seconds.observe(now - event.submitted_at)
         if charge:
             # The NetStack already charged the kernel; record it here
             # for the Figure 8 per-channel measurement.

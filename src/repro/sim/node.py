@@ -21,6 +21,7 @@ from repro.sim.disk import Disk
 from repro.sim.memory import Memory
 from repro.sim.network import Fabric
 from repro.sim.transport import NetStack
+from repro.telemetry import TelemetryRegistry
 from repro.units import MB, usec
 
 __all__ = ["KernelCostModel", "NodeConfig", "Node"]
@@ -88,6 +89,10 @@ class NodeConfig:
     memory_bytes: float = MB(512)
     disk_rate: float = MB(20)
     costs: KernelCostModel = field(default_factory=KernelCostModel)
+    #: Collect self-telemetry (counters/histograms/spans) on this node.
+    #: Purely observational — event scheduling, RNG draws and kernel
+    #: cost accounting are identical either way.
+    telemetry: bool = True
 
     def with_cpus(self, n_cpus: int) -> "NodeConfig":
         """Convenience for heterogeneous clusters."""
@@ -105,6 +110,8 @@ class Node:
         self.name = name
         self.config = config or NodeConfig()
         self.rng = rng
+        self.telemetry = TelemetryRegistry(
+            scope=name, enabled=self.config.telemetry)
         self.cpu = CPU(env, n_cpus=self.config.n_cpus,
                        mflops_per_cpu=self.config.mflops_per_cpu)
         self.memory = Memory(env, capacity_bytes=self.config.memory_bytes)
@@ -113,7 +120,8 @@ class Node:
         self.stack = NetStack(
             env, name, fabric, rng,
             kernel_charge=self.charge_kernel_seconds,
-            receive_cost=self.config.costs.receive_cost)
+            receive_cost=self.config.costs.receive_cost,
+            telemetry=self.telemetry)
         #: Attached subsystems (dproc toolkit, applications) by name.
         self.services: dict[str, Any] = {}
 

@@ -23,6 +23,7 @@ from repro.errors import TransportError
 from repro.sim.core import Environment, SimEvent
 from repro.sim.network import Fabric
 from repro.sim.trace import CounterTrace, TimeSeries
+from repro.telemetry import TelemetryRegistry
 
 __all__ = ["Message", "Connection", "NetStack", "Protocol"]
 
@@ -109,12 +110,23 @@ class NetStack:
     def __init__(self, env: Environment, host: str, fabric: Fabric,
                  rng: np.random.Generator,
                  kernel_charge: Callable[[float], Any] | None = None,
-                 receive_cost: Callable[[float], float] | None = None)\
-            -> None:
+                 receive_cost: Callable[[float], float] | None = None,
+                 telemetry: TelemetryRegistry | None = None) -> None:
         self.env = env
         self.host = host
         self.fabric = fabric
         self.rng = rng
+        # Self-telemetry (hot path: instruments bound once here).
+        # Explicit None check: a registry with no instruments yet has
+        # len() == 0 and would read as falsy.
+        if telemetry is None:
+            telemetry = TelemetryRegistry(enabled=False)
+        self._t_in_flight = telemetry.gauge("net.in_flight")
+        self._t_delivered = telemetry.counter("net.delivered")
+        self._t_drops_fault = telemetry.counter("net.drops_fault")
+        self._t_drops_congestion = telemetry.counter(
+            "net.drops_congestion")
+        self._t_retx = telemetry.counter("net.retransmissions")
         #: Charges ``seconds`` of kernel CPU time (set by Node).
         self.kernel_charge = kernel_charge or (lambda seconds: None)
         #: Maps message size -> kernel seconds for the receive path.
@@ -167,18 +179,21 @@ class NetStack:
         faults = self.fabric.faults
         if faults is not None:
             if faults.blocked(self.host, conn.dst):
+                self._t_drops_fault.inc()
                 return self._drop(msg, conn, "path blocked")
             p = faults.loss_probability(
                 self.host, conn.dst, self.fabric.path(self.host, conn.dst))
             # Draw from the sender's seeded stream only when a loss rule
             # applies, so fault-free runs stay bit-identical.
             if p > 0.0 and self.rng.random() < p:
+                self._t_drops_fault.inc()
                 return self._drop(msg, conn, "injected loss")
 
         congestion = self._path_congestion(conn.dst)
         if conn.proto == Protocol.UDP:
             p_loss = min(0.9, max(0.0, congestion - 0.9) * 5.0)
             if self.rng.random() < p_loss:
+                self._t_drops_congestion.inc()
                 return self._drop(msg, conn, "congestion")
         else:
             # TCP: congestion manifests as retransmissions once the
@@ -187,10 +202,12 @@ class NetStack:
             msg.retransmissions = int(self.rng.poisson(mean_retx))
             if msg.retransmissions:
                 conn.retransmissions.add(now, msg.retransmissions)
+                self._t_retx.inc(msg.retransmissions)
 
         effective = size * (1 + msg.retransmissions)
         handle = self.fabric.transfer(self.host, conn.dst, effective,
                                       name=f"{conn.tag}:{msg.mid}")
+        self._t_in_flight.adjust(1)
         done = self.env.event()
         handle.done.add_callback(
             lambda _ev, m=msg, c=conn, d=done: self._delivered(m, c, d))
@@ -228,12 +245,16 @@ class NetStack:
             if faults.blocked(msg.src, msg.dst):
                 msg.lost = True
                 conn.losses.add(self.env.now, 1.0)
+                self._t_in_flight.adjust(-1)
+                self._t_drops_fault.inc()
                 done.fail(TransportError(
                     f"message {msg.mid} {msg.src}->{msg.dst} lost in "
                     f"flight"))
                 done.defused = True
                 return
         now = self.env.now
+        self._t_in_flight.adjust(-1)
+        self._t_delivered.inc()
         msg.delivered_at = now
         delay = now - msg.sent_at
         conn.bytes_delivered.add(now, msg.size)

@@ -1,0 +1,36 @@
+"""Self-telemetry for the dproc reproduction.
+
+The paper's core argument is that monitoring must be *resource-aware*:
+dproc quantifies its own perturbation (CPU and network overhead of
+d-mon polling, KECho submission, E-code filtering) before trusting its
+adaptation decisions.  This package is that introspection layer:
+
+* :mod:`repro.telemetry.instruments` — deterministic, sim-clock-based
+  counters, gauges, fixed-bucket histograms and span logs;
+* :mod:`repro.telemetry.registry` — the per-node
+  :class:`TelemetryRegistry` (``node.telemetry``) from which any module
+  get-or-creates named instruments without pipeline changes;
+* :mod:`repro.telemetry.report` — text rendering for the dogfooded
+  ``/proc/cluster/<node>/dproc/...`` files and the ``overhead``
+  section of the benchmark JSON reports.
+
+Instrumentation is passive (never schedules events, charges CPU, or
+draws randomness) so seeded traces are bit-identical with telemetry on
+or off; a registry created with ``enabled=False`` degenerates to
+shared no-op instruments.
+"""
+
+from repro.telemetry.instruments import (Counter, Gauge, Histogram,
+                                         Span, SpanLog,
+                                         DEFAULT_LATENCY_BOUNDS)
+from repro.telemetry.registry import TelemetryRegistry
+from repro.telemetry.report import (MONITOR_CPU_COUNTERS,
+                                    overhead_summary, render_json,
+                                    render_text)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Span", "SpanLog",
+    "DEFAULT_LATENCY_BOUNDS", "TelemetryRegistry",
+    "MONITOR_CPU_COUNTERS", "overhead_summary", "render_json",
+    "render_text",
+]

@@ -1,0 +1,156 @@
+"""The per-node telemetry registry.
+
+One :class:`TelemetryRegistry` lives on every simulated node
+(``node.telemetry``).  Subsystems get-or-create named instruments from
+it — a new module needs no pipeline changes to gain metrics, just::
+
+    polls = node.telemetry.counter("mymod.polls")
+    cost = node.telemetry.histogram("mymod.cost_seconds")
+
+Names are dotted paths; reports group on the first component.  The
+same name always returns the same instrument (asking for a different
+kind under an existing name is a :class:`~repro.errors.TelemetryError`),
+so instrumentation sites can bind eagerly at construction or lazily at
+first use and still share state.
+
+A registry created with ``enabled=False`` hands out shared null
+instruments: every record call is a no-op, nothing is retained, and
+``snapshot()`` is empty — the near-zero-cost off switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import TelemetryError
+from repro.telemetry.instruments import (NULL_COUNTER, NULL_GAUGE,
+                                         NULL_HISTOGRAM, NULL_SPANLOG,
+                                         Counter, Gauge, Histogram,
+                                         SpanLog)
+
+__all__ = ["TelemetryRegistry"]
+
+Instrument = Union[Counter, Gauge, Histogram, SpanLog]
+
+
+class TelemetryRegistry:
+    """Named instruments for one scope (usually one node)."""
+
+    __slots__ = ("scope", "enabled", "max_spans", "_instruments")
+
+    def __init__(self, scope: str = "", enabled: bool = True,
+                 max_spans: int = 256) -> None:
+        self.scope = scope
+        self.enabled = bool(enabled)
+        self.max_spans = max_spans
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``bounds`` applies only on first creation; later callers share
+        the existing bucket layout.
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TelemetryError(
+                    f"{self._label(name)} is a "
+                    f"{type(existing).__name__}, not a Histogram")
+            return existing
+        instrument = Histogram(name, bounds=bounds)
+        self._instruments[name] = instrument
+        return instrument
+
+    def spans(self, name: str) -> SpanLog:
+        """Get or create the span log called ``name``."""
+        if not self.enabled:
+            return NULL_SPANLOG
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, SpanLog):
+                raise TelemetryError(
+                    f"{self._label(name)} is a "
+                    f"{type(existing).__name__}, not a SpanLog")
+            return existing
+        instrument = SpanLog(name, max_spans=self.max_spans)
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter/gauge (``default`` if absent)."""
+        instrument = self._instruments.get(name)
+        if isinstance(instrument, (Counter, Gauge)):
+            return instrument.value
+        return default
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Sorted instrument names, optionally filtered by prefix."""
+        return sorted(n for n in self._instruments
+                      if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """Name → instrument snapshot, sorted, optionally filtered.
+
+        The result is plain JSON-serialisable data — this is what the
+        golden-trace test pins and what the report renderers consume.
+        """
+        return {name: self._instruments[name].snapshot()
+                for name in self.names(prefix)}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __bool__(self) -> bool:
+        """Always truthy: an *empty* registry is still a registry
+        (``__len__`` alone would make ``reg or fallback`` drop it)."""
+        return True
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- internals ------------------------------------------------------------
+
+    def _get(self, name: str, cls) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TelemetryError(
+                    f"{self._label(name)} is a "
+                    f"{type(existing).__name__}, not a {cls.__name__}")
+            return existing
+        instrument = cls(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def _label(self, name: str) -> str:
+        return f"instrument {self.scope + ':' if self.scope else ''}" \
+               f"{name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return (f"<TelemetryRegistry {self.scope or '?'} {state} "
+                f"{len(self._instruments)} instruments>")

@@ -7,6 +7,19 @@ import pytest
 from repro.sim import Environment, build_cluster
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite the checked-in golden-trace files from the "
+             "current code instead of comparing against them")
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    """True when the run should regenerate golden files."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh simulation environment."""

@@ -141,3 +141,59 @@ class TestGeneral:
         (msg,) = parse("filter *\nperiod cpu 2")
         assert isinstance(msg, DeployFilter)
         assert "period cpu 2" in msg.source
+
+
+class TestRoundTrip:
+    """Control text -> messages -> text -> identical messages."""
+
+    def test_threshold_specs_survive_the_grammar(self):
+        from repro.dproc import parse_threshold_spec
+        for spec in ("above 0.8", "below 1e-06", "change 15",
+                     "range 0 1", "range -10 10"):
+            (msg,) = parse(f"threshold cpu {spec}")
+            assert isinstance(msg, SetParameter)
+            # The spec the message carries parses to the same rule the
+            # original text described.
+            assert parse_threshold_spec(msg.spec.split()) \
+                == parse_threshold_spec(spec.split())
+
+    def test_period_value_survives(self):
+        (msg,) = parse("period mem 2.5")
+        assert float(msg.spec) == 2.5
+
+    def test_messages_rerender_to_equal_messages(self):
+        """Render parsed commands back to text; reparse; compare."""
+        text = ("period cpu 2\n"
+                "threshold cpu above 0.8\n"
+                "threshold mem range 0 1e9\n"
+                "clear disk threshold\n")
+        first = parse(text)
+
+        def render(msg):
+            if isinstance(msg, SetParameter):
+                if msg.parameter == "period":
+                    return f"period {msg.metric} {msg.spec}"
+                return f"threshold {msg.metric} {msg.spec}"
+            assert isinstance(msg, ClearParameter)
+            return f"clear {msg.metric} {msg.parameter}"
+
+        second = parse("\n".join(render(m) for m in first))
+        assert second == first
+
+    def test_comments_and_spacing_do_not_change_messages(self):
+        plain = parse("period cpu 2\nthreshold cpu above 0.8")
+        noisy = parse("# tune the cpu stream\n\n"
+                      "  period   cpu   2  \n"
+                      "\n# and gate it\n"
+                      "threshold cpu above 0.8\n")
+        assert noisy == plain
+
+    def test_filter_source_passes_through_verbatim(self):
+        source = "{ if (input[0].value > 2) { output[0] = input[0]; } }"
+        (msg,) = parse(f"filter cpu id=f1 {source}")
+        assert isinstance(msg, DeployFilter)
+        assert msg.source == source
+        # Re-render and reparse: still the same deployment.
+        (again,) = parse(f"filter {msg.metric} id={msg.filter_id} "
+                         f"{msg.source}")
+        assert again == msg

@@ -35,8 +35,11 @@ class TestRegistration:
         dmon = make_dmon(cluster3, "alan")
         assert set(dmon.modules) == {"cpu", "mem", "disk", "net", "pmc"}
         # Every metric of the default modules gets a policy (BATTERY
-        # belongs to the optional battery module).
-        assert set(dmon.policies) == set(MetricId) - {MetricId.BATTERY}
+        # and the DMON_* self-telemetry metrics belong to the optional
+        # battery / dproc modules).
+        optional = {MetricId.BATTERY, MetricId.DMON_POLL_COST,
+                    MetricId.DMON_RX_COST, MetricId.DMON_EVENT_RATE}
+        assert set(dmon.policies) == set(MetricId) - optional
 
     def test_duplicate_module_rejected(self, cluster3):
         dmon = make_dmon(cluster3, "alan")
@@ -208,7 +211,10 @@ class TestParameters:
         assert a.resolve_metrics("cpu") == [MetricId.LOADAVG]
         assert a.resolve_metrics("loadavg") == [MetricId.LOADAVG]
         assert set(a.resolve_metrics("*")) \
-            == set(MetricId) - {MetricId.BATTERY}
+            == set(MetricId) - {MetricId.BATTERY,
+                                MetricId.DMON_POLL_COST,
+                                MetricId.DMON_RX_COST,
+                                MetricId.DMON_EVENT_RATE}
         assert set(a.resolve_metrics("net")) == {
             MetricId.NET_BANDWIDTH, MetricId.NET_RTT, MetricId.NET_RETX,
             MetricId.NET_LOST, MetricId.NET_USED, MetricId.NET_DELAY}

@@ -156,3 +156,115 @@ class TestMetricPolicy:
         policy.set_period(2.0)
         policy.add_threshold(ChangeThreshold(15))
         assert policy.describe() == "period 2; change 15"
+
+
+class TestThresholdStacking:
+    """Conjunctive stacking of the three threshold families.
+
+    The paper composes conditions: "update the CPU information once
+    every 2 seconds IF the CPU utilization is above 80 %".  A policy
+    may stack a percentage-change rule, a range rule and a
+    relative-to-value (above/below) rule; a sample publishes only when
+    *every* rule agrees.
+    """
+
+    @staticmethod
+    def stacked() -> MetricPolicy:
+        policy = MetricPolicy()
+        policy.add_threshold(ChangeThreshold(10))       # moved >= 10 %
+        policy.add_threshold(RangeThreshold(0.0, 1.0))  # plausible util
+        policy.add_threshold(AboveThreshold(0.8))       # interesting
+        return policy
+
+    def test_all_rules_must_agree(self):
+        policy = self.stacked()
+        # moved 12.5 % from 0.8, inside [0, 1], above 0.8: publish.
+        assert policy.should_send(0.9, 10.0, 0.8, 9.0)
+
+    def test_change_rule_vetoes(self):
+        policy = self.stacked()
+        # In range and above the bound, but only ~1 % moved.
+        assert not policy.should_send(0.90, 10.0, 0.89, 9.0)
+
+    def test_range_rule_vetoes(self):
+        policy = self.stacked()
+        # Big move, above the bound, but outside [0, 1].
+        assert not policy.should_send(1.5, 10.0, 0.8, 9.0)
+
+    def test_above_rule_vetoes(self):
+        policy = self.stacked()
+        # Big move, in range, but not above 0.8.
+        assert not policy.should_send(0.5, 10.0, 0.9, 9.0)
+
+    def test_first_sample_gated_only_by_value_rules(self):
+        # last_sent=None: the change rule always passes, but the
+        # value-based rules still apply.
+        policy = self.stacked()
+        assert policy.should_send(0.9, 0.0, None, None)
+        assert not policy.should_send(0.5, 0.0, None, None)
+
+    def test_period_stacks_conjunctively_with_thresholds(self):
+        policy = self.stacked()
+        policy.set_period(2.0)
+        # Every threshold passes but the period has not elapsed.
+        assert not policy.should_send(0.99, 10.5, 0.8, 9.0)
+        # Same sample once the period elapses.
+        assert policy.should_send(0.99, 11.0, 0.8, 9.0)
+
+    def test_stacking_order_is_irrelevant(self):
+        a = MetricPolicy()
+        a.add_threshold(ChangeThreshold(10))
+        a.add_threshold(AboveThreshold(0.8))
+        b = MetricPolicy()
+        b.add_threshold(AboveThreshold(0.8))
+        b.add_threshold(ChangeThreshold(10))
+        for value, last in [(0.9, 0.8), (0.81, 0.8), (0.7, 0.1),
+                            (0.95, None)]:
+            assert a.should_send(value, 5.0, last, 4.0) \
+                == b.should_send(value, 5.0, last, 4.0)
+
+    def test_below_and_range_stack(self):
+        policy = MetricPolicy()
+        policy.add_threshold(BelowThreshold(0.5))
+        policy.add_threshold(RangeThreshold(0.1, 0.9))
+        assert policy.should_send(0.3, 1.0, None, None)
+        assert not policy.should_send(0.05, 1.0, None, None)  # below lo
+        assert not policy.should_send(0.7, 1.0, None, None)   # not below
+
+    def test_describe_lists_every_stacked_rule(self):
+        policy = self.stacked()
+        policy.set_period(2.0)
+        assert policy.describe() \
+            == "period 2; change 10; range 0 1; above 0.8"
+
+
+class TestSpecRoundTrips:
+    """rule -> spec() -> parse_threshold_spec -> identical rule."""
+
+    @pytest.mark.parametrize("rule", [
+        AboveThreshold(0.8), AboveThreshold(123456.0),
+        BelowThreshold(-2.5), BelowThreshold(1e-6),
+        ChangeThreshold(15), ChangeThreshold(0.5),
+        RangeThreshold(0.0, 1.0), RangeThreshold(-10.0, 10.0),
+        RangeThreshold(2.0, 2.0),  # degenerate but legal
+    ])
+    def test_rule_round_trips_exactly(self, rule):
+        assert parse_threshold_spec(rule.spec().split()) == rule
+
+    def test_stacked_policy_round_trips_via_describe(self):
+        """A whole policy survives describe() -> re-parse."""
+        policy = MetricPolicy()
+        policy.set_period(2.0)
+        policy.add_threshold(ChangeThreshold(10))
+        policy.add_threshold(RangeThreshold(0.0, 1.0))
+        policy.add_threshold(AboveThreshold(0.8))
+
+        rebuilt = MetricPolicy()
+        for part in policy.describe().split("; "):
+            words = part.split()
+            if words[0] == "period":
+                rebuilt.set_period(float(words[1]))
+            else:
+                rebuilt.add_threshold(parse_threshold_spec(words))
+        assert rebuilt.period == policy.period
+        assert rebuilt.thresholds == policy.thresholds

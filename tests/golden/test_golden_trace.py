@@ -1,0 +1,105 @@
+"""Golden-trace regression test: a pinned 50-node chaos scenario.
+
+One seeded scenario runs end to end; its behavioural event trace
+*and* its self-telemetry overhead report are compared field-for-field
+against the checked-in ``golden_trace.json``.  Any drift — a changed
+event time, a different recovery latency, a shifted monitoring-CPU
+total — fails loudly with a diffable message.
+
+When a change intentionally alters the trace (new cost model, new
+protocol step), regenerate the golden file and review the diff like
+any other code change::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+Floats are rounded to six significant digits before pinning so the
+file stays readable; the simulation itself is bit-deterministic, so
+the rounding is presentation, not slack.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.chaos import chaos_recovery
+
+GOLDEN = Path(__file__).with_name("golden_trace.json")
+
+#: The pinned scenario: 50 nodes, lossy window, a partition and a
+#: crash/reboot, all inside 40 simulated seconds.
+SCENARIO = {
+    "n_nodes": 50,
+    "seed": 11,
+    "duration": 40.0,
+    "loss_probability": 0.3,
+    "loss_start": 5.0,
+    "loss_end": 20.0,
+    "partition_start": 10.0,
+    "partition_end": 18.0,
+    "crash_at": 12.0,
+    "reboot_at": 20.0,
+    "poll_interval": 1.0,
+    "probe_interval": 0.5,
+}
+
+
+def _round(value):
+    """Round every float to 6 significant digits, recursively."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.6g}")
+    if isinstance(value, dict):
+        return {k: _round(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round(v) for v in value]
+    return value
+
+
+def build_record() -> dict:
+    report = chaos_recovery(**SCENARIO)
+    return _round({
+        "scenario": SCENARIO,
+        "victim": report.victim,
+        "recovery_time": report.recovery_time,
+        "rejoin_time": report.rejoin_time,
+        "victim_reported_dead": report.victim_reported_dead,
+        "victim_never_silently_fresh":
+            report.victim_never_silently_fresh,
+        "events": [[t, desc] for t, desc in report.events],
+        "final_liveness": dict(sorted(report.final_liveness.items())),
+        "overhead": report.overhead,
+    })
+
+
+class TestGoldenTrace:
+    def test_scenario_matches_golden_file(self, regen_golden):
+        record = build_record()
+        if regen_golden:
+            GOLDEN.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"regenerated {GOLDEN.name}")
+        assert GOLDEN.exists(), \
+            f"{GOLDEN} missing - run with --regen-golden to create it"
+        expected = json.loads(GOLDEN.read_text())
+        # Compare section by section so a failure names the drifted
+        # part instead of dumping two full documents.
+        for key in expected:
+            assert record[key] == expected[key], f"drift in {key!r}"
+        assert set(record) == set(expected)
+
+    def test_golden_file_is_well_formed(self):
+        """Fast guard (no simulation): the checked-in file parses and
+        carries both halves of the pin — behaviour and telemetry."""
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["scenario"] == _round(SCENARIO)
+        assert doc["events"], "pinned trace has no events"
+        assert all(isinstance(t, (int, float)) and isinstance(d, str)
+                   for t, d in doc["events"])
+        overhead = doc["overhead"]
+        assert overhead["source"] == "repro.telemetry"
+        assert overhead["n_nodes"] == SCENARIO["n_nodes"]
+        assert overhead["monitor_cpu_seconds"]["total"] > 0

@@ -1,0 +1,180 @@
+"""Property tests: E-code parse→unparse→parse round-trip stability.
+
+Random-but-seeded *whole filter programs* (declarations, assignments,
+``if``/``for`` statements, output emission) are rendered to source,
+normalised through ``unparse(parse(...))`` and checked two ways:
+
+* **syntactic fixed point** — the normalised form re-parses and
+  re-renders to exactly itself (no drift, ever);
+* **semantic agreement** — the compiled original and the compiled
+  normalised form produce identical results (return value and emitted
+  output records) over a fixed record set, so the unparser cannot
+  silently change meaning.
+
+Programs are generated well-typed by construction (no division, all
+names predeclared), so every sample compiles and runs cleanly — a
+failure is a genuine round-trip bug, not a generator artefact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecode import MetricRecord, compile_filter, parse, unparse
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+CONSTS = {"LOADAVG": 0, "FREEMEM": 1, "DISKUSAGE": 2, "CACHE_MISS": 3}
+
+RECORDS = [
+    MetricRecord("loadavg", 2.75, last_value_sent=1.5),
+    MetricRecord("freemem", 48e6, last_value_sent=52e6),
+    MetricRecord("diskusage", 12000.0, last_value_sent=9000.0),
+    MetricRecord("cache_miss", 37.0, last_value_sent=35.0),
+]
+
+_INT_NAMES = ("a", "b")
+_FLOAT_NAMES = ("x", "y")
+_METRICS = tuple(CONSTS)
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+#: Division and modulo are deliberately absent: the generated programs
+#: must never fault at run time, so a mismatch is always a round-trip
+#: bug.
+_SAFE_OPS = ("+", "-", "*")
+
+_int_lit = st.integers(min_value=-9, max_value=9)
+_float_lit = st.floats(min_value=-100.0, max_value=100.0,
+                       allow_nan=False, allow_infinity=False)
+
+
+def _int_exprs(depth: int):
+    leaf = st.one_of(_int_lit.map(str), st.sampled_from(_INT_NAMES))
+    if depth == 0:
+        return leaf
+    sub = _int_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, st.sampled_from(_SAFE_OPS), sub)
+          .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        # Parenthesise the operand: "-(-1)" stays two tokens and never
+        # lexes as the decrement operator "--".
+        sub.map(lambda e: f"(-({e}))"),
+    )
+
+
+def _float_exprs(depth: int):
+    leaf = st.one_of(
+        _float_lit.map(lambda v: repr(float(v))),
+        st.sampled_from(_FLOAT_NAMES),
+        st.sampled_from(_METRICS).map(lambda m: f"input[{m}].value"),
+        st.sampled_from(_METRICS)
+          .map(lambda m: f"input[{m}].last_value_sent"),
+    )
+    if depth == 0:
+        return leaf
+    sub = _float_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, st.sampled_from(_SAFE_OPS), sub)
+          .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+    )
+
+
+def _conditions():
+    num = st.one_of(_int_exprs(1), _float_exprs(1))
+    simple = st.tuples(num, st.sampled_from(_CMP_OPS), num) \
+        .map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+    return st.one_of(
+        simple,
+        st.tuples(simple, st.sampled_from(("&&", "||")), simple)
+          .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        simple.map(lambda c: f"(!{c})"),
+    )
+
+
+def _statements(depth: int):
+    assign_int = st.tuples(st.sampled_from(_INT_NAMES), _int_exprs(2)) \
+        .map(lambda t: f"{t[0]} = {t[1]};")
+    assign_float = st.tuples(st.sampled_from(_FLOAT_NAMES),
+                             _float_exprs(2)) \
+        .map(lambda t: f"{t[0]} = {t[1]};")
+    emit = st.sampled_from(_METRICS) \
+        .map(lambda m: f"output[n] = input[{m}]; n = n + 1;")
+    options = [assign_int, assign_float, emit]
+    if depth > 0:
+        block = st.lists(_statements(depth - 1), min_size=1, max_size=3) \
+            .map(lambda stmts: " ".join(stmts))
+        # Loop bodies are straight-line only (depth 0): every loop
+        # shares the counter `i`, so a nested `for` would reset the
+        # outer counter and loop forever.
+        flat = st.lists(st.one_of(assign_int, assign_float, emit),
+                        min_size=1, max_size=3) \
+            .map(lambda stmts: " ".join(stmts))
+        options.append(
+            st.tuples(_conditions(), block)
+              .map(lambda t: f"if ({t[0]}) {{ {t[1]} }}"))
+        options.append(
+            st.tuples(_conditions(), block, block)
+              .map(lambda t: f"if ({t[0]}) {{ {t[1]} }} "
+                             f"else {{ {t[2]} }}"))
+        options.append(
+            st.tuples(st.integers(min_value=0, max_value=4), flat)
+              .map(lambda t: f"for (i = 0; i < {t[0]}; i = i + 1) "
+                             f"{{ {t[1]} }}"))
+    return st.one_of(options)
+
+
+@st.composite
+def programs(draw) -> str:
+    a = draw(_int_lit)
+    b = draw(_int_lit)
+    x = draw(_float_lit)
+    y = draw(_float_lit)
+    body = " ".join(draw(
+        st.lists(_statements(2), min_size=1, max_size=6)))
+    return (
+        "{ "
+        f"int i = 0; int n = 0; int a = {a}; int b = {b}; "
+        f"double x = {float(x)!r}; double y = {float(y)!r}; "
+        f"{body} "
+        "return ((x + y) + (a + b)); "
+        "}"
+    )
+
+
+def normalize(src: str) -> str:
+    return unparse(parse(src))
+
+
+def run(src: str):
+    return compile_filter(src, constants=CONSTS)(list(RECORDS))
+
+
+class TestRoundTripStability:
+    @SETTINGS
+    @given(programs())
+    def test_normal_form_is_a_fixed_point(self, src):
+        """parse→unparse→parse→unparse lands where one pass landed."""
+        once = normalize(src)
+        assert normalize(once) == once
+
+    @SETTINGS
+    @given(programs())
+    def test_compiled_original_and_normalised_agree(self, src):
+        """The unparser preserves semantics, not just syntax."""
+        original = run(src)
+        roundtrip = run(normalize(src))
+        assert roundtrip.returned == original.returned
+        assert [(o.name, o.value) for o in roundtrip.outputs] \
+            == [(o.name, o.value) for o in original.outputs]
+
+    @SETTINGS
+    @given(programs())
+    def test_second_normalisation_preserves_semantics(self, src):
+        """Iterating the round trip never drifts behaviour."""
+        form = normalize(normalize(src))
+        original = run(src)
+        twice = run(form)
+        assert twice.returned == original.returned
+        assert len(twice.outputs) == len(original.outputs)

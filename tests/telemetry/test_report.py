@@ -1,0 +1,125 @@
+"""Unit tests for telemetry rendering and the overhead summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (MONITOR_CPU_COUNTERS, TelemetryRegistry,
+                             overhead_summary, render_json, render_text)
+
+
+def make_registry(scope: str = "n0") -> TelemetryRegistry:
+    reg = TelemetryRegistry(scope=scope)
+    reg.counter("dmon.polls").inc(10.0)
+    reg.counter("dmon.collect_seconds").inc(0.25)
+    reg.counter("dmon.submit_seconds").inc(0.05)
+    reg.gauge("net.in_flight").adjust(2)
+    reg.histogram("kecho.health.delivery_seconds", bounds=(0.01, 0.1)) \
+        .observe(0.02)
+    reg.spans("dmon.poll").record("poll", 1.0, 1.0, cpu=0.01)
+    return reg
+
+
+class TestRenderText:
+    def test_one_line_per_instrument(self):
+        text = render_text(make_registry())
+        lines = text.strip().splitlines()
+        assert len(lines) == 6
+        assert text.endswith("\n")
+
+    def test_counter_and_gauge_lines(self):
+        text = render_text(make_registry())
+        assert "dmon.polls: 10\n" in text
+        assert "net.in_flight: 2 (high 2)\n" in text
+
+    def test_histogram_line(self):
+        text = render_text(make_registry())
+        assert ("kecho.health.delivery_seconds: count=1 mean=0.02 "
+                in text)
+
+    def test_span_line_is_a_summary(self):
+        text = render_text(make_registry())
+        assert "dmon.poll: recorded=1 retained=1\n" in text
+
+    def test_prefix_slices(self):
+        text = render_text(make_registry(), prefix="dmon.")
+        assert "dmon.polls" in text
+        assert "net.in_flight" not in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_text(TelemetryRegistry()) == ""
+
+    def test_rendering_does_not_mutate(self):
+        reg = make_registry()
+        before = reg.snapshot()
+        render_text(reg)
+        assert reg.snapshot() == before
+
+
+class TestRenderJson:
+    def test_matches_snapshot(self):
+        reg = make_registry()
+        assert render_json(reg) == reg.snapshot()
+        assert render_json(reg, "dmon.") == reg.snapshot("dmon.")
+
+    def test_serialisable(self):
+        json.dumps(render_json(make_registry()))
+
+
+class TestOverheadSummary:
+    def make_cluster(self):
+        regs = {}
+        for i, cost in enumerate((0.1, 0.3)):
+            reg = TelemetryRegistry(scope=f"n{i}")
+            reg.counter("dmon.polls").inc(5.0)
+            reg.counter("dmon.collect_seconds").inc(cost)
+            reg.counter("dmon.events_published").inc(2.0)
+            reg.counter("net.drops_fault").inc(1.0)
+            regs[f"n{i}"] = reg
+        return regs
+
+    def test_totals_and_means(self):
+        summary = overhead_summary(self.make_cluster(), sim_seconds=10.0)
+        assert summary["n_nodes"] == 2
+        assert summary["polls"] == 10.0
+        assert summary["events_published"] == 4.0
+        cpu = summary["monitor_cpu_seconds"]
+        assert cpu["total"] == pytest.approx(0.4)
+        assert cpu["per_node_mean"] == pytest.approx(0.2)
+        assert cpu["busiest_node"] == "n1"
+        assert cpu["busiest_node_seconds"] == pytest.approx(0.3)
+        assert cpu["components"]["collect_seconds"] == pytest.approx(0.4)
+
+    def test_cpu_fraction_normalises_by_node_count(self):
+        summary = overhead_summary(self.make_cluster(), sim_seconds=10.0)
+        # 0.4 CPU-seconds over 2 nodes * 10 s of node time each.
+        assert summary["cpu_fraction_of_node_time"] \
+            == pytest.approx(0.4 / 20.0)
+
+    def test_network_section(self):
+        summary = overhead_summary(self.make_cluster(), sim_seconds=1.0)
+        assert summary["network"]["drops_fault"] == 2.0
+        assert summary["network"]["wan_retries"] == 0.0
+
+    def test_empty_cluster(self):
+        summary = overhead_summary({}, sim_seconds=1.0)
+        assert summary["n_nodes"] == 0
+        assert summary["monitor_cpu_seconds"]["total"] == 0.0
+        assert summary["monitor_cpu_seconds"]["busiest_node"] is None
+        assert summary["cpu_fraction_of_node_time"] == 0.0
+
+    def test_rejects_nonpositive_span(self):
+        with pytest.raises(ValueError):
+            overhead_summary({}, sim_seconds=0.0)
+
+    def test_serialisable(self):
+        json.dumps(overhead_summary(self.make_cluster(),
+                                    sim_seconds=5.0))
+
+    def test_component_names_cover_the_monitor_counters(self):
+        summary = overhead_summary(self.make_cluster(), sim_seconds=1.0)
+        components = summary["monitor_cpu_seconds"]["components"]
+        assert set(components) \
+            == {name.split(".", 1)[1] for name in MONITOR_CPU_COUNTERS}
