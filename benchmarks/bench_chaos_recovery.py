@@ -34,9 +34,16 @@ OUTPUT = Path(__file__).resolve().parent.parent / \
     "BENCH_chaos_recovery.json"
 
 
-def run_once(n: int, duration: float, seed: int) -> tuple[dict, tuple]:
+def run_once(n: int, duration: float, seed: int,
+             trace_sample: float = 0.0) -> tuple[dict, tuple]:
+    tracer = None
+    if trace_sample > 0:
+        from repro.tracing import TraceCollector
+        tracer = TraceCollector(seed=seed, sample_rate=trace_sample,
+                                max_traces=16384)
     t0 = time.perf_counter()
-    report = chaos_recovery(n_nodes=n, duration=duration, seed=seed)
+    report = chaos_recovery(n_nodes=n, duration=duration, seed=seed,
+                            tracer=tracer)
     wall = time.perf_counter() - t0
     record = {
         "n_nodes": report.n_nodes,
@@ -57,6 +64,15 @@ def run_once(n: int, duration: float, seed: int) -> tuple[dict, tuple]:
         # monitored system itself (repro.telemetry registries).
         "overhead": report.overhead,
     }
+    if tracer is not None:
+        from repro.tracing import latency_breakdown
+        record["tracing"] = {
+            "sample_rate": trace_sample,
+            "traces": len(tracer),
+            "spans": tracer.spans_recorded,
+            "dropped_spans": tracer.spans_dropped,
+            "breakdown": latency_breakdown(tracer),
+        }
     return record, report.trace
 
 
@@ -71,13 +87,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="master seed (default: %(default)s)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="re-run and compare traces for determinism")
+    parser.add_argument("--trace", action="store_true",
+                        help="record causal traces and embed the "
+                             "critical-path latency breakdown in the "
+                             "report (recovery numbers are unchanged)")
+    parser.add_argument("--trace-sample", type=float, default=0.1,
+                        help="head-sampling rate with --trace "
+                             "(default: %(default)s)")
     parser.add_argument("--output", type=Path, default=OUTPUT,
                         help="JSON report path (default: %(default)s)")
     args = parser.parse_args(argv)
 
+    sample = args.trace_sample if args.trace else 0.0
     print(f"== chaos recovery: {args.nodes} nodes, "
           f"{args.duration:g} simulated seconds ==")
-    record, trace = run_once(args.nodes, args.duration, args.seed)
+    record, trace = run_once(args.nodes, args.duration, args.seed,
+                             trace_sample=sample)
+    if args.trace:
+        e2e = record["tracing"]["breakdown"]["end_to_end"]
+        print(f"  traced {record['tracing']['traces']} traces  "
+              f"end-to-end p50 {e2e['p50']:.6f}s p99 {e2e['p99']:.6f}s")
     print(f"  wall {record['wall_seconds']:.2f}s  "
           f"recovery {record['recovery_time']}s after heal  "
           f"rejoin {record['rejoin_time']}s after reboot")

@@ -5,11 +5,24 @@ starts on the client every ~200 s.  Expected shape: latency climbs with
 every thread for the no-filter case (tens of seconds by the end), less
 for the static filter, and stays nearly constant for the dynamic filter
 driven by dproc's CPU information.
+
+Script mode adds causal tracing (pytest reserves ``--trace``, so the
+flag lives here rather than in a benchmark fixture)::
+
+    PYTHONPATH=src python benchmarks/bench_fig09a_latency_cpu_load.py \
+        --trace     # embeds per-policy critical-path breakdowns in
+                    # BENCH_fig09a_latency_cpu_load.json
+
+Tracing is passive: the latency series are identical with and without
+it.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+try:
+    from conftest import run_once
+except ImportError:      # script mode, outside pytest
+    run_once = None
 
 from repro.harness import fig9a_latency_timeline
 
@@ -35,3 +48,75 @@ def test_fig9a_latency_timeline(benchmark):
     # Dynamic filter keeps latency flat and small throughout.
     assert max(dynamic.y) < 1.0
     assert dynamic.y[-1] < none.y[-1] / 20
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script mode: run the figure once, optionally with tracing."""
+    import argparse
+    import json
+    import sys
+    import time
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                           / "src"))
+    from repro.harness import fig9a_latency_timeline as fig9a
+    from repro.harness.appbench import cpu_experiment_policies
+
+    parser = argparse.ArgumentParser(
+        description="Figure 9(a) benchmark (script mode)")
+    parser.add_argument("--duration", type=float, default=800.0)
+    parser.add_argument("--thread-interval", type=float, default=100.0)
+    parser.add_argument("--sample-every", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", action="store_true",
+                        help="record causal traces and embed per-"
+                             "policy critical-path breakdowns in the "
+                             "report (series are unchanged)")
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_fig09a_latency_cpu_load.json")
+    args = parser.parse_args(argv)
+
+    tracers = None
+    if args.trace:
+        from repro.tracing import TraceCollector
+        # One collector per rig: the rigs reuse node names, and trace
+        # ids embed them.
+        tracers = {label: TraceCollector(seed=args.seed)
+                   for label in cpu_experiment_policies()}
+
+    t0 = time.perf_counter()
+    result = fig9a(duration=args.duration,
+                   thread_interval=args.thread_interval,
+                   sample_every=args.sample_every, seed=args.seed,
+                   tracers=tracers)
+    wall = time.perf_counter() - t0
+
+    payload = {
+        "benchmark": "fig9a_latency_cpu_load",
+        "wall_seconds": round(wall, 3),
+        "results": [{"label": s.label, "x": list(s.x), "y": list(s.y)}
+                    for s in result.series],
+    }
+    if tracers is not None:
+        from repro.tracing import latency_breakdown
+        payload["tracing"] = {
+            label: {"traces": len(c), "spans": c.spans_recorded,
+                    "breakdown": latency_breakdown(c)}
+            for label, c in tracers.items()}
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} ({wall:.1f}s wall)")
+    for s in result.series:
+        print(f"  {s.label}: final latency {s.y[-1]:.3f}s")
+    if tracers is not None:
+        for label, c in tracers.items():
+            e2e = latency_breakdown(c)["end_to_end"]
+            print(f"  {label}: {len(c)} traces, "
+                  f"p50 {e2e['p50']:.6f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

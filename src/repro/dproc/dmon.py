@@ -31,6 +31,7 @@ from repro.kecho import (ChannelEvent, ClearParameter, ControlMessage,
                          SetParameter, control_message_size)
 from repro.sim.node import Node
 from repro.sim.trace import CounterTrace, TimeSeries
+from repro.tracing.context import TraceRef
 
 __all__ = ["DMonConfig", "DMon", "RemoteMetric",
            "register_default_modules",
@@ -139,6 +140,11 @@ class DMon:
         #: Most recent local samples (served for the node's own
         #: /proc/cluster/<self>/ entries).
         self.last_samples: dict[MetricId, float] = {}
+        #: (host, metric) -> TraceRef of the traced event that last
+        #: updated the remote cache — the adaptation audit's evidence
+        #: link.  Bounded by cluster size x metric count.
+        self._provenance: dict[tuple[str, MetricId], TraceRef] = {}
+        self._ctl_seq = 0
         self._rx_cost_mark = 0.0
         self._monitor_ep = None
         self._control_ep = None
@@ -242,6 +248,16 @@ class DMon:
         self.polls += 1
         self._t_polls.inc()
         costs = self.node.costs
+        tracer = self.node.tracer
+        root = None
+        if tracer.enabled:
+            # Poll counts are monotonic across restarts, so the trace
+            # id is unique for the node's whole life.
+            root = tracer.begin_trace(
+                f"{self.node.name}:poll:{self.polls}",
+                name=f"poll:{self.node.name}", stage="dmon",
+                node=self.node.name, start=now, poll=self.polls)
+        ctx = root.context if root is not None else None
 
         # 1. Collect from every registered module ("retrieve monitoring
         #    information from them at regular intervals").
@@ -251,8 +267,15 @@ class DMon:
         for module in self.modules.values():
             collect_cost += costs.module_poll
             module_counters[module.name].inc(costs.module_poll)
+            n_before = len(samples)
             for sample in module.collect(now):
                 samples[sample.metric] = sample.value
+            if ctx is not None:
+                tracer.record_span(
+                    ctx, name=f"module:{module.name}", stage="module",
+                    node=self.node.name, start=now, end=now,
+                    samples=len(samples) - n_before,
+                    cpu_seconds=costs.module_poll)
         if self.config.metric_subset is not None:
             samples = {m: v for m, v in samples.items()
                        if m in self.config.metric_subset}
@@ -262,7 +285,7 @@ class DMon:
 
         # 2. Decide what to publish: dynamic filters first, parameters
         #    for every metric not governed by a filter.
-        to_send, decide_cost = self._decide(samples, now)
+        to_send, decide_cost = self._decide(samples, now, ctx)
         self.node.charge_kernel_seconds(collect_cost + decide_cost)
 
         # 3. Publish.
@@ -276,7 +299,8 @@ class DMon:
                     "host": self.node.name,
                     "metrics": {m: (v, now) for m, v in to_send.items()},
                 }
-                receipt = self._monitor_ep.submit(payload, size=size)
+                receipt = self._monitor_ep.submit(payload, size=size,
+                                                  trace=ctx)
                 submit_cost = receipt.cpu_seconds
                 self.events_published.add(now, 1.0)
                 self.records_published.add(now, float(len(to_send)))
@@ -299,6 +323,11 @@ class DMon:
             "poll", now, now,
             cpu=collect_cost + decide_cost + submit_cost,
             records=len(to_send))
+        if root is not None:
+            root.finish(now, published=bool(submit_cost),
+                        records=len(to_send),
+                        cpu_seconds=collect_cost + decide_cost
+                        + submit_cost)
         return submit_cost
 
     def _has_audience(self) -> bool:
@@ -320,12 +349,18 @@ class DMon:
         self._audience_cache = (version, result)
         return result
 
-    def _decide(self, samples: dict[MetricId, float],
-                now: float) -> tuple[dict[MetricId, float], float]:
-        """Apply filters/parameters; returns (metrics to send, cpu cost)."""
+    def _decide(self, samples: dict[MetricId, float], now: float,
+                trace=None) -> tuple[dict[MetricId, float], float]:
+        """Apply filters/parameters; returns (metrics to send, cpu cost).
+
+        With ``trace`` (a TraceContext), every filter execution and
+        parameter check records a decision span — the evidence the
+        adaptation audit trail links SmartPointer decisions back to.
+        """
         costs = self.node.costs
         cost = 0.0
         to_send: dict[MetricId, float] = {}
+        tracer = self.node.tracer if trace is not None else None
 
         global_filter = self.filters.global_filter
         if global_filter is not None:
@@ -338,6 +373,13 @@ class DMon:
                 metric = metric_by_name(record.name)
                 if metric in samples:
                     to_send[metric] = record.value
+            if tracer is not None:
+                tracer.record_span(
+                    trace, name=f"filter:{global_filter.filter_id}",
+                    stage="dmon.filter", node=self.node.name,
+                    start=now, end=now,
+                    filter_id=global_filter.filter_id, scope="*",
+                    kept=tuple(sorted(m.name.lower() for m in to_send)))
             return to_send, cost
 
         filter_input: Optional[list] = None
@@ -351,10 +393,19 @@ class DMon:
                 cost += costs.filter_exec
                 self._t_filter.inc(costs.filter_exec)
                 module_metrics = set(module.metrics())
+                kept = []
                 for record in outputs:
                     metric = metric_by_name(record.name)
                     if metric in module_metrics and metric in samples:
                         to_send[metric] = record.value
+                        kept.append(metric.name.lower())
+                if tracer is not None:
+                    tracer.record_span(
+                        trace, name=f"filter:{scoped.filter_id}",
+                        stage="dmon.filter", node=self.node.name,
+                        start=now, end=now,
+                        filter_id=scoped.filter_id, scope=module.name,
+                        kept=tuple(sorted(kept)))
             else:
                 for metric in module.metrics():
                     if metric not in samples:
@@ -362,11 +413,22 @@ class DMon:
                     cost += costs.param_check
                     self._t_param.inc(costs.param_check)
                     policy = self.policies[metric]
-                    if policy.should_send(
-                            samples[metric], now,
-                            self._last_sent.get(metric),
-                            self._last_sent_at.get(metric)):
+                    send = policy.should_send(
+                        samples[metric], now,
+                        self._last_sent.get(metric),
+                        self._last_sent_at.get(metric))
+                    if send:
                         to_send[metric] = samples[metric]
+                    if tracer is not None:
+                        tracer.record_span(
+                            trace,
+                            name=f"param:{metric.name.lower()}",
+                            stage="dmon.param", node=self.node.name,
+                            start=now, end=now,
+                            metric=metric.name.lower(),
+                            value=samples[metric],
+                            decision="send" if send else "suppress",
+                            rule=policy.describe())
         return to_send, cost
 
     # -- receiving remote monitoring data ------------------------------------------
@@ -381,6 +443,15 @@ class DMon:
             store = self.remote[host] = {}
         now = self.node.env.now
         self.peer_last_heard[host] = now
+        if event.trace is not None:
+            self.node.tracer.record_span(
+                event.trace, name=f"update:{self.node.name}",
+                stage="update", node=self.node.name, start=now, end=now,
+                source=host, records=len(payload["metrics"]))
+            ref = TraceRef(trace_id=event.trace.trace_id,
+                           received_at=now)
+            for metric in payload["metrics"]:
+                self._provenance[(host, metric)] = ref
         hooks = self.update_hooks
         if hooks:
             for metric, (value, ts) in payload["metrics"].items():
@@ -411,6 +482,16 @@ class DMon:
                      metric: MetricId) -> Optional[RemoteMetric]:
         """Latest cached value of ``metric`` at ``host`` (None if unseen)."""
         return self.remote.get(host, {}).get(metric)
+
+    def provenance(self, host: str,
+                   metric: MetricId) -> Optional[TraceRef]:
+        """Trace reference of the event that last updated (host, metric).
+
+        None when the cache entry was written by an untraced (or
+        sampled-out) event.  This is what the SmartPointer server hands
+        to :func:`repro.tracing.adaptation_audit` as decision evidence.
+        """
+        return self._provenance.get((host, metric))
 
     # -- peer liveness ---------------------------------------------------------
 
@@ -536,9 +617,29 @@ class DMon:
         """
         if self._control_ep is None:
             raise DprocError("d-mon not started: no control channel")
-        self._control_ep.submit(msg, size=control_message_size(msg))
+        now = self.node.env.now
+        tracer = self.node.tracer
+        root = None
+        if tracer.enabled:
+            self._ctl_seq += 1
+            root = tracer.begin_trace(
+                f"{self.node.name}:ctl:{self._ctl_seq}",
+                name=f"control:{type(msg).__name__}", stage="control",
+                node=self.node.name, start=now,
+                kind=type(msg).__name__,
+                target=getattr(msg, "metric", ""))
+        self._control_ep.submit(
+            msg, size=control_message_size(msg),
+            trace=root.context if root is not None else None)
         if msg.addressed_to(self.node.name):
             self.apply_control(msg)
+            if root is not None:
+                tracer.record_span(
+                    root.context, name=f"apply:{self.node.name}",
+                    stage="update", node=self.node.name,
+                    start=now, end=now, kind=type(msg).__name__)
+        if root is not None:
+            root.finish(now)
 
     def _on_control_event(self, event: ChannelEvent) -> None:
         msg = event.payload
@@ -549,6 +650,12 @@ class DMon:
             return  # we applied our own message at send time
         if msg.addressed_to(self.node.name):
             self.apply_control(msg)
+            if event.trace is not None:
+                now = self.node.env.now
+                self.node.tracer.record_span(
+                    event.trace, name=f"apply:{self.node.name}",
+                    stage="update", node=self.node.name,
+                    start=now, end=now, kind=type(msg).__name__)
 
     # -- instrumentation helpers ----------------------------------------------------
 

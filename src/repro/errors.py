@@ -27,6 +27,7 @@ __all__ = [
     "UnknownMetricError",
     "FilterDeploymentError",
     "TelemetryError",
+    "TracingError",
 ]
 
 
@@ -143,3 +144,8 @@ class FilterDeploymentError(DprocError):
 
 class TelemetryError(ReproError):
     """Misuse of the self-telemetry registry (e.g. kind mismatch)."""
+
+
+class TracingError(ReproError):
+    """Misuse of the causal-tracing collector (duplicate trace id,
+    double-finished span, invalid sampling configuration)."""

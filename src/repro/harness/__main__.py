@@ -1,4 +1,8 @@
-"""Command-line runner: ``python -m repro.harness [fig...] [--full]``."""
+"""Command-line runner: ``python -m repro.harness [fig...] [--full]``.
+
+``python -m repro.harness trace [...]`` dispatches to the causal-
+tracing subcommand (:mod:`repro.harness.tracecli`).
+"""
 
 from __future__ import annotations
 
@@ -10,6 +14,11 @@ from repro.harness.reporting import EXPERIMENTS, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        from repro.harness.tracecli import main as trace_main
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the dproc paper's evaluation figures.")

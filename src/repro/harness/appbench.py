@@ -71,7 +71,8 @@ class SmartPointerRig:
               seed: int = 0,
               shared_segment: bool = False,
               client_logs_to_disk: bool = False,
-              cpu_avg_period: float = 5.0) -> "SmartPointerRig":
+              cpu_avg_period: float = 5.0,
+              tracer=None) -> "SmartPointerRig":
         """Construct the two-node (plus iperf pair) experiment rig.
 
         The server is a quad-CPU machine; the client single-CPU (the
@@ -79,6 +80,11 @@ class SmartPointerRig:
         ``shared_segment`` all four hosts sit behind one 100 Mbps
         segment, reproducing "two different nodes sharing a link
         between the former two".
+
+        ``tracer`` (a :class:`repro.tracing.TraceCollector`) records
+        the rig's monitoring pipeline and adaptation decisions; each
+        rig needs its own collector (trace ids embed node names, which
+        repeat across rigs).
         """
         env = Environment()
         cluster = build_cluster(
@@ -93,6 +99,9 @@ class SmartPointerRig:
         dprocs = deploy_dproc(cluster,
                               config=DMonConfig(poll_interval=1.0),
                               hosts=["server", "client"])
+        if tracer is not None:
+            from repro.tracing import attach_tracer
+            attach_tracer(cluster, tracer)
         # Responsive CPU averaging, as an adaptive application would
         # configure via the control file.
         dprocs["server"].write("/proc/cluster/client/control",
@@ -130,8 +139,14 @@ def cpu_experiment_policies() -> dict[str, Callable[[], AdaptationPolicy]]:
 def fig9a_latency_timeline(duration: float = 2000.0,
                            thread_interval: float = 200.0,
                            sample_every: float = 20.0,
-                           seed: int = 0) -> ExperimentResult:
-    """Figure 9(a): latency vs time as linpack threads start."""
+                           seed: int = 0,
+                           tracers=None) -> ExperimentResult:
+    """Figure 9(a): latency vs time as linpack threads start.
+
+    ``tracers`` maps policy label -> TraceCollector (one collector per
+    rig: the rigs reuse the same node names).  Missing labels run
+    untraced; the plotted numbers are identical either way.
+    """
     result = ExperimentResult(
         experiment_id="fig9a",
         title="SmartPointer latency under increasing CPU load",
@@ -141,7 +156,8 @@ def fig9a_latency_timeline(duration: float = 2000.0,
                     "~flat for the dynamic filter")
     for label, factory in cpu_experiment_policies().items():
         rig = SmartPointerRig.build(factory(), CPU_PROFILE, CPU_RATE,
-                                    seed=seed)
+                                    seed=seed,
+                                    tracer=(tracers or {}).get(label))
         env = rig.env
 
         def loader():

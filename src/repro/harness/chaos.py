@@ -90,8 +90,15 @@ def chaos_recovery(n_nodes: int = 100,
                    reboot_at: float = 22.0,
                    duration: float = 60.0,
                    poll_interval: float = 1.0,
-                   probe_interval: float = 0.5) -> ChaosReport:
-    """Run the chaos scenario on a fresh cluster and report recovery."""
+                   probe_interval: float = 0.5,
+                   tracer=None) -> ChaosReport:
+    """Run the chaos scenario on a fresh cluster and report recovery.
+
+    ``tracer`` (a :class:`repro.tracing.TraceCollector`) records causal
+    traces through the run — faulted deliveries show up as dropped
+    spans annotated with the fault kind.  Tracing is passive: the
+    report is bit-identical with or without it (test-enforced).
+    """
     env = Environment()
     cluster = build_cluster(env, n_nodes=n_nodes, seed=seed)
     names = list(cluster.names)
@@ -100,6 +107,9 @@ def chaos_recovery(n_nodes: int = 100,
 
     config = DMonConfig(poll_interval=poll_interval)
     dprocs = deploy_dproc(cluster, config=config)
+    if tracer is not None:
+        from repro.tracing import attach_tracer
+        attach_tracer(cluster, tracer)
 
     injector = FaultInjector(cluster)
     # The monitored software dies and rejoins with the simulated

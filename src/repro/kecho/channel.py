@@ -142,13 +142,18 @@ class ChannelEndpoint:
 
     def submit(self, payload: Any, size: float,
                attributes: Optional[dict[str, Any]] = None,
-               ) -> SubmitReceipt:
+               trace: Optional[Any] = None) -> SubmitReceipt:
         """Publish an event to every subscriber on the channel.
 
         Local subscribers are dispatched synchronously (kernel upcall);
         remote subscribers receive the event over the network.  Kernel
         CPU for encoding and per-subscriber pushes is charged to this
         node and reported in the receipt.
+
+        ``trace`` (a :class:`repro.tracing.TraceContext`) threads a
+        causal trace through the channel: the submit records a span,
+        the event carries its context, and every transport hop and
+        delivery parents under it.
         """
         self._ensure_open()
         if size <= 0:
@@ -162,6 +167,14 @@ class ChannelEndpoint:
         cpu = costs.encode_cost(size)
         targets = self.bus.remote_subscribers(self.name, self.node.name)
         cpu += costs.send_cost(size, len(targets))
+        tspan = None
+        if trace is not None:
+            tspan = self.node.tracer.start_span(
+                trace, name=f"submit:{self.name}", stage="kecho",
+                node=self.node.name, start=now, channel=self.name,
+                size=float(size), fanout=len(targets))
+            if tspan is not None:
+                event.trace = tspan.context
         self.node.charge_kernel_seconds(cpu)
         self.submitted.add(now, 1.0)
         self.bytes_out.add(now, size * len(targets))
@@ -197,7 +210,8 @@ class ChannelEndpoint:
                 channel=event.channel, source=event.source,
                 payload=event.payload, size=event.size,
                 attributes=dict(event.attributes),
-                submitted_at=event.submitted_at)
+                submitted_at=event.submitted_at,
+                trace=event.trace)
             delivered.delivered_at = now
             self._dispatch(delivered, charge=False)
         # Derived channels: run each derivation at this publisher and
@@ -215,7 +229,11 @@ class ChannelEndpoint:
             derived_ep = self.bus.connect(self.node,
                                           derivation.derived)
             derived_ep.submit(derived_payload, derived_size,
-                              attributes={"derived_from": self.name})
+                              attributes={"derived_from": self.name},
+                              trace=(tspan.context
+                                     if tspan is not None else None))
+        if tspan is not None:
+            tspan.finish(now, cpu_seconds=cpu)
         return SubmitReceipt(event=event, cpu_seconds=cpu,
                              remote_targets=targets,
                              deliveries=deliveries,
@@ -255,11 +273,13 @@ class ChannelEndpoint:
 
     def _on_message(self, msg) -> None:
         event: ChannelEvent = msg.payload
+        span = getattr(msg, "span", None)
         delivered = ChannelEvent(
             channel=event.channel, source=event.source,
             payload=event.payload, size=event.size,
             attributes=dict(event.attributes),
-            submitted_at=event.submitted_at)
+            submitted_at=event.submitted_at,
+            trace=(span.context if span is not None else event.trace))
         delivered.delivered_at = self.node.env.now
         self._dispatch(delivered, charge=True)
 
@@ -270,6 +290,14 @@ class ChannelEndpoint:
         self._t_receives.inc()
         self._t_rx_bytes.inc(event.size)
         self._t_delivery_seconds.observe(now - event.submitted_at)
+        if event.trace is not None:
+            dspan = self.node.tracer.record_span(
+                event.trace, name=f"deliver:{self.node.name}",
+                stage="delivery", node=self.node.name, start=now, end=now,
+                channel=self.name, latency=now - event.submitted_at)
+            # Handlers (procfs update, SmartPointer streams, ...) parent
+            # their own spans under this delivery, not the transport hop.
+            event.trace = dspan.context if dspan is not None else None
         if charge:
             # The NetStack already charged the kernel; record it here
             # for the Figure 8 per-channel measurement.

@@ -29,6 +29,11 @@ class ChannelEvent:
     submitted_at: float = 0.0    #: simulation time of submission
     delivered_at: Optional[float] = None
     eid: int = field(default_factory=lambda: next(_event_ids))
+    #: Causal-trace context (a :class:`repro.tracing.TraceContext`).
+    #: Set at submit to the submit span; on each delivered copy it is
+    #: replaced by that delivery's span, so subscriber handlers parent
+    #: their own spans at the right place.  None when untraced.
+    trace: Optional[Any] = None
 
     @property
     def latency(self) -> Optional[float]:

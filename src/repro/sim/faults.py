@@ -103,6 +103,20 @@ class FaultPlane:
         return (src in self.down_hosts or dst in self.down_hosts
                 or self.partitioned(src, dst))
 
+    def blocked_reason(self, src: str, dst: str) -> Optional[str]:
+        """Which fault blocks the src→dst path (None when open).
+
+        Used by trace-aware drop accounting: a failed hop span is
+        annotated with the fault *kind*, not just "blocked".
+        """
+        if src in self.down_hosts:
+            return f"crash:{src}"
+        if dst in self.down_hosts:
+            return f"crash:{dst}"
+        if self.partitioned(src, dst):
+            return "partition"
+        return None
+
     def loss_probability(self, src: str, dst: str,
                          path: Sequence = ()) -> float:
         """Combined drop probability for one src→dst message.

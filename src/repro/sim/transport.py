@@ -24,6 +24,7 @@ from repro.sim.core import Environment, SimEvent
 from repro.sim.network import Fabric
 from repro.sim.trace import CounterTrace, TimeSeries
 from repro.telemetry import TelemetryRegistry
+from repro.tracing.collector import NULL_TRACER
 
 __all__ = ["Message", "Connection", "NetStack", "Protocol"]
 
@@ -54,6 +55,8 @@ class Message:
     lost: bool = False
     #: Set once an injected stall has been applied to this delivery.
     stalled: bool = False
+    #: Open causal-trace hop span (None when the payload is untraced).
+    span: Any = None
 
 
 class Connection:
@@ -131,6 +134,9 @@ class NetStack:
         self.kernel_charge = kernel_charge or (lambda seconds: None)
         #: Maps message size -> kernel seconds for the receive path.
         self.receive_cost = receive_cost or (lambda size: 0.0)
+        #: Causal-trace collector; updated by ``attach_tracer`` (the
+        #: stack exists before any collector does).
+        self.tracer = NULL_TRACER
         self.handlers: dict[str, Callable[[Message], None]] = {}
         self.connections: list[Connection] = []
         self.bytes_in = CounterTrace(f"{host}:rx-bytes")
@@ -171,6 +177,15 @@ class NetStack:
         msg = Message(mid=next(_msg_ids), src=self.host, dst=conn.dst,
                       tag=conn.tag, payload=payload, size=float(size),
                       sent_at=now, proto=conn.proto)
+        # Open the causal hop span before any fault check, so dropped
+        # messages leave an annotated failed span behind (duck-typed:
+        # any payload carrying a ``trace`` context gets a hop span).
+        trace = getattr(payload, "trace", None)
+        if trace is not None:
+            msg.span = self.tracer.start_span(
+                trace, name=f"hop:{self.host}->{conn.dst}",
+                stage="transport", node=self.host, start=now,
+                dst=conn.dst, proto=conn.proto, size=float(size))
         conn.bytes_sent.add(now, size)
         self.bytes_out.add(now, size)
 
@@ -180,7 +195,9 @@ class NetStack:
         if faults is not None:
             if faults.blocked(self.host, conn.dst):
                 self._t_drops_fault.inc()
-                return self._drop(msg, conn, "path blocked")
+                return self._drop(msg, conn, "path blocked",
+                                  fault=faults.blocked_reason(
+                                      self.host, conn.dst))
             p = faults.loss_probability(
                 self.host, conn.dst, self.fabric.path(self.host, conn.dst))
             # Draw from the sender's seeded stream only when a loss rule
@@ -203,6 +220,9 @@ class NetStack:
             if msg.retransmissions:
                 conn.retransmissions.add(now, msg.retransmissions)
                 self._t_retx.inc(msg.retransmissions)
+                if msg.span is not None:
+                    msg.span.annotate(
+                        retransmissions=msg.retransmissions)
 
         effective = size * (1 + msg.retransmissions)
         handle = self.fabric.transfer(self.host, conn.dst, effective,
@@ -214,11 +234,16 @@ class NetStack:
         return done
 
     def _drop(self, msg: Message, conn: Connection,
-              reason: str) -> SimEvent:
+              reason: str, fault: str | None = None) -> SimEvent:
         """Fail a message's delivery event (pre-defused: a dropped
         message that nobody awaits must not crash the simulation)."""
         now = self.env.now
         msg.lost = True
+        if msg.span is not None:
+            # Trace-aware drop accounting: the hop span survives as an
+            # annotated failure naming the fault kind.
+            msg.span.finish(now, status="dropped",
+                            fault=fault or reason)
         conn.losses.add(now, 1.0)
         done = self.env.event()
         fail = self.env.timeout(0.0)
@@ -238,12 +263,19 @@ class NetStack:
             stall = faults.extra_delay(msg.src, msg.dst)
             if stall > 0.0 and not msg.stalled:
                 msg.stalled = True
+                if msg.span is not None:
+                    msg.span.annotate(stalled_seconds=stall)
                 timer = self.env.timeout(stall)
                 timer.add_callback(
                     lambda _ev: self._delivered(msg, conn, done))
                 return
             if faults.blocked(msg.src, msg.dst):
                 msg.lost = True
+                if msg.span is not None:
+                    msg.span.finish(
+                        self.env.now, status="dropped",
+                        fault=faults.blocked_reason(msg.src, msg.dst),
+                        in_flight=True)
                 conn.losses.add(self.env.now, 1.0)
                 self._t_in_flight.adjust(-1)
                 self._t_drops_fault.inc()
@@ -256,6 +288,8 @@ class NetStack:
         self._t_in_flight.adjust(-1)
         self._t_delivered.inc()
         msg.delivered_at = now
+        if msg.span is not None:
+            msg.span.finish(now)
         delay = now - msg.sent_at
         conn.bytes_delivered.add(now, msg.size)
         conn.delays.record(now, delay)

@@ -64,6 +64,9 @@ class ServerStream:
         self.events_sent = CounterTrace(f"stream:{client_name}:sent")
         self.bytes_sent = CounterTrace(f"stream:{client_name}:bytes")
         self.quality = TimeSeries(f"stream:{client_name}:quality")
+        #: Transform last applied (None before the first frame) —
+        #: adaptation decisions are audited when it changes.
+        self._last_transform: Optional[Transform] = None
 
     def start(self) -> "ServerStream":
         if self.running:
@@ -89,6 +92,9 @@ class ServerStream:
                 window=max(4.0, 4.0 * interval))
             transform = self.policy.choose(
                 observations, self.profile, self.rate, self.caps)
+            if transform != self._last_transform:
+                self._record_adaptation(now, transform, observations)
+                self._last_transform = transform
             frame = self.generator.next_frame(now)
             size = transform.wire_size(self.profile)
             event = StreamEvent(
@@ -107,6 +113,44 @@ class ServerStream:
             self.bytes_sent.add(now, size)
             self.quality.record(now, transform.quality())
             yield env.timeout(interval)
+
+    def _record_adaptation(self, now: float, transform: Transform,
+                           observations: dict[str, float]) -> None:
+        """Audit one adaptation decision with its monitoring evidence.
+
+        Each dproc-fed observation becomes a trigger naming the metric
+        and, when the cache entry came from a traced event, the trace
+        id that delivered it (``DMon.provenance``) — the raw material
+        for :func:`repro.tracing.adaptation_audit`.
+        """
+        tracer = self.server.node.tracer
+        if not tracer.enabled:
+            return
+        dproc = self.server.dproc
+        triggers = []
+        if dproc is not None:
+            for obs_name, metric in (
+                    ("loadavg", MetricId.LOADAVG),
+                    ("net_bandwidth", MetricId.NET_BANDWIDTH),
+                    ("diskusage", MetricId.DISKUSAGE)):
+                ref = dproc.dmon.provenance(self.client_name, metric)
+                triggers.append({
+                    "metric": metric.name.lower(),
+                    "observation": obs_name,
+                    "value": observations.get(obs_name, math.nan),
+                    "trace_id":
+                        ref.trace_id if ref is not None else None,
+                    "received_at":
+                        ref.received_at if ref is not None else None,
+                })
+        previous = self._last_transform
+        tracer.record_adaptation(
+            time=now, node=self.server.node.name,
+            client=self.client_name, policy=self.policy.name,
+            previous=(previous.describe()
+                      if previous is not None else None),
+            chosen=transform.describe(), observations=observations,
+            triggers=triggers)
 
 
 class SmartPointerServer:

@@ -82,6 +82,12 @@ class Transform:
         """Server Mflop spent preprocessing one frame."""
         return profile.server_preprocess_cost * self.preprocess
 
+    def describe(self) -> str:
+        """Compact label (adaptation audit trail, trace annotations)."""
+        return (f"downsample={self.downsample:g} "
+                f"preprocess={self.preprocess:g} "
+                f"content={self.content:g}")
+
     def quality(self) -> float:
         """Relative stream fidelity in [0, 1] (1 = full feed).
 

@@ -28,6 +28,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.telemetry.ordering import check_interval, freeze_attrs
+
 __all__ = ["Counter", "Gauge", "Histogram", "Span", "SpanLog",
            "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
            "NULL_SPANLOG", "DEFAULT_LATENCY_BOUNDS"]
@@ -216,12 +218,12 @@ class SpanLog:
 
     def record(self, name: str, start: float, end: float,
                **attrs: object) -> Span:
-        if end < start:
-            raise ValueError(
-                f"span {name!r} ends ({end}) before it starts "
-                f"({start})")
+        # Interval validation and attribute normalisation are shared
+        # with the causal-trace collector (repro.telemetry.ordering),
+        # so SpanLog and TraceCollector agree on span semantics.
+        check_interval(name, start, end)
         span = Span(name=name, start=start, end=end,
-                    attrs=tuple(sorted(attrs.items())))
+                    attrs=freeze_attrs(attrs))
         self.spans.append(span)
         self.recorded += 1
         return span

@@ -1,0 +1,89 @@
+"""Golden span-tree regression test: one pinned causal trace.
+
+A small seeded tracing scenario runs end to end; the sampler's
+accounting and the full span tree of one fixed monitoring event are
+compared field-for-field against the checked-in
+``golden_span_tree.json``.  Any drift — a new instrumentation site, a
+reordered hop, a changed delivery time — fails loudly.
+
+Intentional changes (new span stage, different attrs) regenerate the
+pin like the behavioural golden trace::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+Floats are rounded to six significant digits for readability; the
+collector itself is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.tracecli import run_trace_scenario
+from tests.golden.test_golden_trace import _round
+
+GOLDEN = Path(__file__).with_name("golden_span_tree.json")
+
+#: The pinned scenario: small cluster, head sampling on, two CPU-load
+#: steps that force a traced SmartPointer adaptation.
+SCENARIO = {
+    "n_nodes": 8,
+    "seed": 3,
+    "duration": 12.0,
+    "sample_rate": 0.5,
+}
+
+
+def build_record() -> dict:
+    collector = run_trace_scenario(**SCENARIO)
+    # Pin the biggest complete tree: deterministic, and it exercises
+    # the full module -> dmon -> kecho -> transport -> delivery ->
+    # update fan-out.
+    best = max((t for t in collector.trees() if t.complete),
+               key=lambda t: (len(t.spans), t.trace_id))
+    return _round({
+        "scenario": SCENARIO,
+        "accounting": {
+            "traces_started": collector.traces_started,
+            "traces_sampled_out": collector.traces_sampled_out,
+            "traces_evicted": collector.traces_evicted,
+            "spans_recorded": collector.spans_recorded,
+            "spans_dropped": collector.spans_dropped,
+        },
+        "trace_ids": collector.trace_ids(),
+        "tree": best.snapshot(),
+    })
+
+
+class TestGoldenSpanTree:
+    def test_scenario_matches_golden_file(self, regen_golden):
+        record = build_record()
+        if regen_golden:
+            GOLDEN.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"regenerated {GOLDEN.name}")
+        assert GOLDEN.exists(), \
+            f"{GOLDEN} missing - run with --regen-golden to create it"
+        expected = json.loads(GOLDEN.read_text())
+        for key in expected:
+            assert record[key] == expected[key], f"drift in {key!r}"
+        assert set(record) == set(expected)
+
+    def test_golden_file_is_well_formed(self):
+        """Fast guard (no simulation): the pin parses and the tree is
+        a real end-to-end trace."""
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["scenario"] == _round(SCENARIO)
+        acct = doc["accounting"]
+        # Head sampling at 0.5 really dropped something.
+        assert acct["traces_sampled_out"] > 0
+        assert acct["traces_started"] == len(doc["trace_ids"])
+        tree = doc["tree"]
+        assert tree["trace_id"] in doc["trace_ids"]
+        stages = {span["stage"] for span in tree["spans"]}
+        assert {"dmon", "module", "kecho", "transport",
+                "delivery", "update"} <= stages
+        assert all(span["status"] == "ok" for span in tree["spans"])
