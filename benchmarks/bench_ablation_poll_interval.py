@@ -21,7 +21,7 @@ METRICS = frozenset({MetricId.LOADAVG, MetricId.FREEMEM,
 
 def run_interval(interval: float):
     env = Environment()
-    cluster = build_cluster(env, n_nodes=4, seed=3)
+    cluster = build_cluster(env, nodes=4, seed=3)
     dprocs = deploy_dproc(
         cluster,
         config=DMonConfig(poll_interval=interval,

@@ -42,7 +42,7 @@ def run_once(n: int, duration: float, seed: int,
         tracer = TraceCollector(seed=seed, sample_rate=trace_sample,
                                 max_traces=16384)
     t0 = time.perf_counter()
-    report = chaos_recovery(n_nodes=n, duration=duration, seed=seed,
+    report = chaos_recovery(nodes=n, duration=duration, seed=seed,
                             tracer=tracer)
     wall = time.perf_counter() - t0
     record = {

@@ -29,7 +29,7 @@ METRICS = frozenset({MetricId.LOADAVG, MetricId.FREEMEM,
 def run_p2p(n: int) -> float:
     """Max per-node monitoring CPU fraction under dproc."""
     env = Environment()
-    cluster = build_cluster(env, n_nodes=n, seed=1)
+    cluster = build_cluster(env, nodes=n, seed=1)
     dprocs = deploy_dproc(cluster,
                           config=DMonConfig(metric_subset=METRICS),
                           modules=("cpu", "mem", "disk", "net"))
@@ -46,7 +46,7 @@ def run_p2p(n: int) -> float:
 def run_central(n: int) -> float:
     """Max per-node monitoring CPU fraction under a central collector."""
     env = Environment()
-    cluster = build_cluster(env, n_nodes=n, seed=1)
+    cluster = build_cluster(env, nodes=n, seed=1)
     central = CentralCollector(
         cluster, collector=cluster.names[0],
         config=CentralConfig(metric_subset=METRICS)).start()
@@ -85,7 +85,7 @@ def test_p2p_load_stays_flatter_than_central(benchmark):
 def test_central_baseline_is_functionally_complete():
     """Sanity: the baseline actually disseminates everyone's data."""
     env = Environment()
-    cluster = build_cluster(env, n_nodes=4, seed=2)
+    cluster = build_cluster(env, nodes=4, seed=2)
     central = CentralCollector(
         cluster, collector=cluster.names[0],
         config=CentralConfig(metric_subset=METRICS)).start()

@@ -82,7 +82,7 @@ def build_monitored_cluster(n: int, profile: ScaleConfig,
     telemetry after the run.
     """
     env = Environment()
-    cluster = build_cluster(env, n_nodes=n, seed=1)
+    cluster = build_cluster(env, nodes=n, seed=1)
     bus = KechoBus()
     metric_subset = frozenset(MetricId[name] for name in profile.metrics)
     names = cluster.names

@@ -43,7 +43,7 @@ def scheduler_filter(n_cpus: int) -> str:
 
 def main() -> None:
     env = Environment()
-    cluster = build_cluster(env, n_nodes=4, seed=23)
+    cluster = build_cluster(env, nodes=4, seed=23)
     dprocs = deploy_dproc(cluster)
     head = dprocs["alan"]
     workers = [n for n in cluster.names if n != "alan"]

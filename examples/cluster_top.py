@@ -12,10 +12,10 @@ Run:  python examples/cluster_top.py
 
 from __future__ import annotations
 
-from repro.dproc import MetricId, deploy_dproc
+from repro.api import Scenario
+from repro.dproc import MetricId
 from repro.dproc.aggregate import ClusterView
 from repro.dproc.alarms import AlarmManager
-from repro.sim import Environment, build_cluster
 from repro.units import MB
 from repro.workloads import AmbientActivity, Linpack
 
@@ -43,9 +43,10 @@ def draw(view: ClusterView, env, alarms) -> None:
 
 
 def main() -> None:
-    env = Environment()
-    cluster = build_cluster(env, n_nodes=4, seed=31)
-    dprocs = deploy_dproc(cluster)
+    scenario = Scenario(nodes=4, seed=31).build()
+    env = scenario.env
+    cluster = scenario.nodes
+    dprocs = scenario.dprocs
     for node in cluster:
         AmbientActivity(node, intensity=0.5).start()
     for dp in dprocs.values():
@@ -64,19 +65,19 @@ def main() -> None:
             f"ALARM {h}: free memory down to {v / 2**20:.0f} MiB"))
 
     # Phase 1: quiet cluster.
-    env.run(until=10.0)
+    scenario.run_until(10.0)
     draw(view, env, alarm_lines)
 
     # Phase 2: someone starts a parallel job on maui + kilauea.
     for name in ("maui", "kilauea"):
         for _ in range(3):
             Linpack(cluster[name]).start()
-    env.run(until=60.0)
+    scenario.run_until(60.0)
     draw(view, env, alarm_lines)
 
     # Phase 3: etna leaks memory.
     cluster["etna"].memory.allocate(MB(350), tag="leak")
-    env.run(until=90.0)
+    scenario.run_until(90.0)
     draw(view, env, alarm_lines)
 
     print(f"\nleast loaded node right now: {view.least_loaded()}")

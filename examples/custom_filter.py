@@ -12,8 +12,8 @@ Run:  python examples/custom_filter.py
 
 from __future__ import annotations
 
-from repro.dproc import DMonConfig, deploy_dproc
-from repro.sim import Environment, build_cluster
+from repro.api import Scenario
+from repro.dproc import DMonConfig
 from repro.units import MB
 from repro.workloads import Linpack
 
@@ -48,19 +48,21 @@ def published_per_second(dmon, since: float, now: float) -> float:
 
 
 def main() -> None:
-    env = Environment()
-    cluster = build_cluster(env, n_nodes=2, seed=7)
-    dprocs = deploy_dproc(cluster, config=DMonConfig(poll_interval=1.0))
+    scenario = Scenario(nodes=2, seed=7,
+                        dmon=DMonConfig(poll_interval=1.0)).build()
+    env = scenario.env
+    cluster = scenario.nodes
+    dprocs = scenario.dprocs
     alan, maui = dprocs["alan"], dprocs["maui"]
 
     # Unfiltered baseline: maui publishes all metrics every second.
-    env.run(until=30.0)
+    scenario.run_until(30.0)
     base_rate = published_per_second(maui.dmon, 0.0, env.now)
     print(f"unfiltered: maui publishes {base_rate:.1f} records/s")
 
     # Deploy the Figure 3 filter on maui *from alan*.
     alan.write("/proc/cluster/maui/control", FIGURE3_FILTER)
-    env.run(until=32.0)  # let the control message propagate
+    scenario.run_until(32.0)  # let the control message propagate
     deployed = maui.dmon.filters.global_filter
     print(f"deployed filter {deployed.filter_id!r} on maui "
           f"(compiled at the target host, "
@@ -68,7 +70,7 @@ def main() -> None:
 
     # Quiet system: all three conditions are false -> nothing flows.
     mark = env.now
-    env.run(until=mark + 60.0)
+    scenario.run_until(mark + 60.0)
     quiet = published_per_second(maui.dmon, mark, env.now)
     print(f"filtered, idle:   {quiet:.2f} records/s "
           f"(traffic cut by {100 * (1 - quiet / base_rate):.0f}%)")
@@ -88,7 +90,7 @@ def main() -> None:
 
     env.process(disk_load())
     mark = env.now
-    env.run(until=mark + 60.0)
+    scenario.run_until(mark + 60.0)
     busy = published_per_second(maui.dmon, mark, env.now)
     print(f"filtered, loaded: {busy:.2f} records/s "
           f"(conditions tripped -> data flows again)")

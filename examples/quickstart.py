@@ -11,31 +11,34 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.dproc import MetricId, deploy_dproc
-from repro.sim import Environment, build_cluster
+from repro.api import Scenario
+from repro.dproc import MetricId
 from repro.workloads import AmbientActivity, Linpack
 
 
-def main() -> None:
-    # 1. A 3-node cluster on a switched 100 Mbps fabric.
-    env = Environment()
-    cluster = build_cluster(env, n_nodes=3, seed=42)
-    print(f"cluster nodes: {', '.join(cluster.names)}")
-
+def start_ambient(sc: Scenario) -> None:
     # Some background life on every node so the metrics move.
-    for node in cluster:
+    for node in sc.nodes:
         AmbientActivity(node, intensity=0.5).start()
 
-    # 2. Deploy dproc everywhere (shared KECho bus, monitoring +
-    #    control channels, all five monitoring modules).
-    dprocs = deploy_dproc(cluster)
+
+def main() -> None:
+    # 1. A 3-node cluster on a switched 100 Mbps fabric with dproc
+    #    deployed everywhere (shared KECho bus, monitoring + control
+    #    channels, all five monitoring modules).  One Scenario object
+    #    owns all of the wiring.
+    scenario = Scenario(nodes=3, seed=42) \
+        .with_cluster_setup(start_ambient).build()
+    cluster = scenario.nodes
+    dprocs = scenario.dprocs
+    print(f"cluster nodes: {', '.join(cluster.names)}")
     alan = dprocs["alan"]
 
-    # 3. Let the cluster run for a few seconds of virtual time; each
+    # 2. Let the cluster run for a few seconds of virtual time; each
     #    d-mon polls its modules once per second and publishes.
-    env.run(until=5.0)
+    scenario.run_until(5.0)
 
-    # 4. The paper's Figure 1: every node's resources under
+    # 3. The paper's Figure 1: every node's resources under
     #    /proc/cluster, readable from any node.
     print("\n/proc/cluster hierarchy seen from alan:")
     for host in alan.listdir("/proc/cluster"):
@@ -50,7 +53,7 @@ def main() -> None:
         print(f"  {host}: loadavg={load}  free={free / 2**20:.0f} MiB  "
               f"available bw={bw * 8 / 1e6:.1f} Mbps")
 
-    # 5. Customize monitoring with parameters: maui's CPU data only
+    # 4. Customize monitoring with parameters: maui's CPU data only
     #    every 2 seconds and only while busy.
     alan.write("/proc/cluster/maui/control",
                "period cpu 2\nthreshold loadavg above 0.5")
@@ -58,16 +61,16 @@ def main() -> None:
     print("  " + alan.read("/proc/cluster/maui/control").strip()
           .replace("\n", "\n  "))
 
-    # 6. Load maui and watch the remote loadavg rise.
+    # 5. Load maui and watch the remote loadavg rise.
     dprocs["maui"].dmon.modules["cpu"].configure("period", 5.0)
     for _ in range(3):
         Linpack(cluster["maui"]).start()
-    env.run(until=30.0)
+    scenario.run_until(30.0)
     seen = alan.metric("maui", MetricId.LOADAVG)
     print(f"\nafter starting 3 linpack threads on maui: "
           f"alan sees loadavg={seen:.2f}")
 
-    # 7. The standard local /proc entries still work too.
+    # 6. The standard local /proc entries still work too.
     print(f"local /proc/loadavg on maui: "
           f"{dprocs['maui'].read('/proc/loadavg').strip()}")
 

@@ -21,7 +21,7 @@ from repro.workloads import AmbientActivity, Linpack
 
 def make_site(env, federation, site, prefix, n_nodes):
     names = [f"{prefix}{i}" for i in range(n_nodes)]
-    cluster = build_cluster(env, n_nodes=n_nodes, seed=17, names=names)
+    cluster = build_cluster(env, nodes=n_nodes, seed=17, names=names)
     dprocs = deploy_dproc(cluster)
     for node in cluster:
         AmbientActivity(node, intensity=0.4).start()

@@ -26,19 +26,61 @@ Subpackages
     linpack / Iperf / ambient-activity load generators.
 ``repro.harness``
     One experiment per evaluation figure (4-11) plus ablations.
+``repro.runtime``
+    The backend-neutral runtime protocol (clock, transport, node
+    group) plus the simulator adapter; ``repro.live`` is the asyncio
+    socket backend behind the same protocol.
+``repro.api``
+    The :class:`~repro.api.Scenario` facade — one object that builds,
+    wires and runs a whole monitored cluster on either backend.
 
 Quick start::
 
-    from repro.sim import Environment, build_cluster
-    from repro.dproc import deploy_dproc
+    from repro import Scenario
 
-    env = Environment()
-    cluster = build_cluster(env, n_nodes=8)
-    dprocs = deploy_dproc(cluster)
-    env.run(until=10.0)
-    print(dprocs["alan"].read("/proc/cluster/maui/loadavg"))
+    scenario = Scenario(nodes=8, seed=0).run(10.0)
+    print(scenario.dprocs["alan"].read("/proc/cluster/maui/loadavg"))
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    # facade (repro.api)
+    "Scenario", "ScenarioError",
+    # simulator backbone (repro.sim)
+    "Environment", "NodeConfig", "build_cluster",
+    # toolkit surface (repro.dproc)
+    "Dproc", "deploy_dproc", "DMonConfig", "MetricId",
+    "ControlRequest",
+]
+
+#: Lazy re-exports (PEP 562): importing ``repro`` stays cheap; the
+#: heavy subpackages load on first attribute access.
+_EXPORTS = {
+    "Scenario": "repro.api",
+    "ScenarioError": "repro.api",
+    "Environment": "repro.sim",
+    "NodeConfig": "repro.sim",
+    "build_cluster": "repro.sim",
+    "Dproc": "repro.dproc",
+    "deploy_dproc": "repro.dproc",
+    "DMonConfig": "repro.dproc",
+    "MetricId": "repro.dproc",
+    "ControlRequest": "repro.dproc",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,287 @@
+"""The stable scenario API: one object that wires a whole deployment.
+
+Before this facade every harness and example hand-wired
+``Environment`` + ``build_cluster`` + ``deploy_dproc`` + fault
+injector + tracer in slightly different ways.  :class:`Scenario` owns
+that wiring behind one fluent builder and — because it talks to the
+backend only through :class:`repro.runtime.protocol.Runtime` — the
+same scenario script drives either backend::
+
+    from repro.api import Scenario
+
+    report = (Scenario(nodes=100, seed=7)
+              .with_faults(lambda sc: sc.faults.schedule_loss(5, 0.3))
+              .with_tracing()
+              .run(60.0))
+    print(report.dprocs["alan"].read("/proc/cluster/node42/loadavg"))
+
+Backends
+--------
+``backend="sim"`` (default) builds eagerly: after :meth:`build` the
+environment, cluster and dprocs all exist and virtual time is advanced
+with :meth:`run_until` (repeatable) or :meth:`run` (one shot).
+
+``backend="live"`` runs real asyncio tasks over localhost TCP, so
+everything must be constructed *inside* a running event loop:
+construction is deferred and :meth:`run` performs build + wall-clock
+run + teardown in one call.  Hooks added with :meth:`with_setup` run
+at build time on both backends, which is the portable place for
+control-file writes, workload starts, and observers.
+
+Fault injection and causal tracing are simulator-only instruments
+(they hook the virtual transport); requesting them on the live backend
+raises immediately rather than silently measuring nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.dproc.dmon import DMonConfig
+from repro.dproc.toolkit import DEFAULT_MODULES, Dproc, deploy_dproc
+from repro.errors import ReproError
+from repro.runtime.protocol import NodeGroup, Runtime
+from repro.runtime.sim import SimRuntime
+
+__all__ = ["Scenario", "ScenarioError"]
+
+#: A scenario hook: receives the built scenario, returns nothing.
+Hook = Callable[["Scenario"], None]
+
+
+class ScenarioError(ReproError):
+    """Misuse of the Scenario facade (wrong backend, wrong phase)."""
+
+
+class Scenario:
+    """Fluent builder for a full dproc deployment on either backend."""
+
+    def __init__(self, nodes: int = 8, seed: int = 0, *,
+                 backend: str = "sim",
+                 dmon: Optional[DMonConfig] = None,
+                 modules: Sequence[str] = DEFAULT_MODULES,
+                 monitor_hosts: Union[int, Sequence[str], None] = None,
+                 names: Optional[Sequence[str]] = None,
+                 node_config=None,
+                 node_configs: Optional[Sequence] = None) -> None:
+        """Describe the deployment; nothing is built yet.
+
+        ``monitor_hosts`` restricts which nodes run dproc: an int
+        means "the first k hosts", a sequence names them, None (the
+        default) deploys everywhere.  ``node_config`` /
+        ``node_configs`` are the simulator's hardware descriptions
+        (ignored by the live backend, whose hardware is the real
+        host).
+        """
+        if backend not in ("sim", "live"):
+            raise ScenarioError(f"unknown backend {backend!r}")
+        self._nodes = nodes
+        self._seed = seed
+        self._backend = backend
+        self._dmon = dmon
+        self._modules = tuple(modules)
+        self._monitor_hosts = monitor_hosts
+        self._names = list(names) if names is not None else None
+        self._node_config = node_config
+        self._node_configs = node_configs
+        self._cluster_hooks: list[Hook] = []
+        self._setup_hooks: list[Hook] = []
+        self._fault_hooks: list[Hook] = []
+        self._want_faults = False
+        self._want_tracing = False
+        self._tracer_arg = None
+        self._tracer_kwargs: dict = {}
+        #: Populated by :meth:`build`.
+        self.runtime: Optional[Runtime] = None
+        self.dprocs: dict[str, Dproc] = {}
+        self.faults = None
+        self.tracer = None
+        self._duration = 0.0
+
+    # -- fluent configuration ---------------------------------------------
+
+    def with_cluster_setup(self, fn: Hook) -> "Scenario":
+        """Run ``fn(scenario)`` after nodes exist, before dproc deploys.
+
+        The hook for topology surgery (shared segments) and ambient
+        workloads that must start ahead of monitoring.
+        """
+        self._check_mutable()
+        self._cluster_hooks.append(fn)
+        return self
+
+    def with_setup(self, fn: Hook) -> "Scenario":
+        """Run ``fn(scenario)`` once dprocs are deployed and started."""
+        self._check_mutable()
+        self._setup_hooks.append(fn)
+        return self
+
+    def with_faults(self, configure: Optional[Hook] = None) -> "Scenario":
+        """Attach a :class:`repro.sim.faults.FaultInjector` (sim only).
+
+        ``configure(scenario)`` runs right after the injector exists
+        (``scenario.faults``), the place to register crash handlers
+        and schedule the fault timeline.
+        """
+        self._check_mutable()
+        if self._backend != "sim":
+            raise ScenarioError(
+                "fault injection hooks the simulated transport; the "
+                "live backend fails for real")
+        self._want_faults = True
+        if configure is not None:
+            self._fault_hooks.append(configure)
+        return self
+
+    def with_tracing(self, collector=None, **kwargs) -> "Scenario":
+        """Attach a causal-trace collector (sim only).
+
+        With no ``collector`` a fresh
+        :class:`repro.tracing.TraceCollector` is created; ``kwargs``
+        (e.g. ``sample_rate``) pass through to its constructor.
+        """
+        self._check_mutable()
+        if self._backend != "sim":
+            raise ScenarioError(
+                "causal tracing instruments the simulated pipeline; "
+                "it is not available on the live backend")
+        self._want_tracing = True
+        self._tracer_arg = collector
+        self._tracer_kwargs = kwargs
+        return self
+
+    # -- build and run -----------------------------------------------------
+
+    def build(self) -> "Scenario":
+        """Construct everything now (simulator backend only)."""
+        if self._backend != "sim":
+            raise ScenarioError(
+                "the live backend builds inside its event loop; "
+                "call run() directly")
+        if self.runtime is None:
+            runtime = SimRuntime(
+                nodes=self._nodes, seed=self._seed,
+                config=self._node_config, names=self._names,
+                node_configs=self._node_configs)
+            self._construct(runtime)
+        return self
+
+    def run(self, duration: float) -> "Scenario":
+        """Run the scenario for ``duration`` seconds and return it.
+
+        Simulated seconds on the sim backend (repeatable — time keeps
+        advancing across calls); wall seconds including full
+        build/teardown on the live backend (one shot).
+        """
+        if self._backend == "sim":
+            self.build()
+            return self.run_until(self.env.now + duration)
+        from repro.live.runtime import LiveRuntime
+        if self.runtime is not None:
+            raise ScenarioError("a live scenario runs exactly once")
+        runtime = LiveRuntime(nodes=self._nodes, seed=self._seed,
+                              names=self._names)
+        runtime.setup(self._construct)
+        self._duration = duration
+        runtime.run(duration)
+        return self
+
+    def run_until(self, until: float) -> "Scenario":
+        """Advance the simulator to absolute time ``until`` (sim only)."""
+        if self._backend != "sim":
+            raise ScenarioError(
+                "stepped execution needs virtual time; the live "
+                "backend runs wall-clock in one shot")
+        self.build()
+        self.runtime.run(until)
+        self._duration = until
+        return self
+
+    # -- the built world ---------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def nodes(self) -> NodeGroup:
+        """The node group (``scenario.nodes["alan"]``, iterable)."""
+        self._check_built()
+        return self.runtime.nodes
+
+    @property
+    def cluster(self):
+        """Alias for :attr:`nodes` (the simulator's Cluster object)."""
+        return self.nodes
+
+    @property
+    def env(self):
+        """The simulator environment (sim only; live has no env)."""
+        self._check_built()
+        if self._backend != "sim":
+            raise ScenarioError("the live backend has no Environment")
+        return self.runtime.env
+
+    @property
+    def clock(self):
+        self._check_built()
+        return self.runtime.clock
+
+    def overhead(self, sim_seconds: Optional[float] = None) -> dict:
+        """Cluster-wide monitoring-overhead summary for this run."""
+        from repro.telemetry import overhead_summary
+        self._check_built()
+        span = sim_seconds if sim_seconds is not None else self._duration
+        return overhead_summary(
+            {node.name: node.telemetry for node in self.nodes},
+            sim_seconds=span)
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self.runtime is not None:
+            raise ScenarioError(
+                "scenario already built; add hooks before build()/run()")
+
+    def _check_built(self) -> None:
+        if self.runtime is None:
+            raise ScenarioError("scenario not built yet; call build() "
+                                "or run() first")
+
+    def _resolve_hosts(self, group: NodeGroup) -> Optional[list[str]]:
+        spec = self._monitor_hosts
+        if spec is None:
+            return None
+        if isinstance(spec, int):
+            return group.names[:spec]
+        return list(spec)
+
+    def _construct(self, runtime: Runtime) -> None:
+        """Wire the world on a ready runtime (either backend).
+
+        Construction order is frozen — cluster hooks, dproc
+        deployment, tracer, faults, setup hooks — because on the
+        simulator it fixes the event/RNG schedule that the golden
+        pins assert.
+        """
+        self.runtime = runtime
+        for fn in self._cluster_hooks:
+            fn(self)
+        hosts = self._resolve_hosts(runtime.nodes)
+        self.dprocs = deploy_dproc(
+            runtime.nodes, config=self._dmon, modules=self._modules,
+            bus=runtime.make_bus(), hosts=hosts,
+            module_factory=getattr(runtime, "module_factory", None))
+        if self._want_tracing:
+            from repro.tracing import TraceCollector, attach_tracer
+            self.tracer = (self._tracer_arg if self._tracer_arg
+                           is not None
+                           else TraceCollector(**self._tracer_kwargs))
+            attach_tracer(runtime.nodes, self.tracer)
+        if self._want_faults:
+            from repro.sim.faults import FaultInjector
+            self.faults = FaultInjector(runtime.nodes)
+            for fn in self._fault_hooks:
+                fn(self)
+        for fn in self._setup_hooks:
+            fn(self)

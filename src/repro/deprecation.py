@@ -1,0 +1,51 @@
+"""Warn-once deprecation helpers for the public API.
+
+The PR that introduced the :class:`repro.api.Scenario` facade also
+normalized kwarg names across the public constructors (``nodes`` is
+canonical; the older ``n_nodes`` spelling remains as an alias).  Old
+call paths keep working, but each deprecated spelling warns exactly
+once per process so long-running harnesses aren't spammed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+__all__ = ["deprecated_once", "rename_kwarg", "reset_deprecations"]
+
+_warned: set[str] = set()
+
+
+def deprecated_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def rename_kwarg(func_name: str, old_name: str, old_value: Any,
+                 new_name: str, new_value: Optional[Any]) -> Any:
+    """Resolve a renamed keyword argument.
+
+    Returns the effective value; raises ``TypeError`` when both
+    spellings are supplied, and warns (once) when the old one is used.
+    """
+    if old_value is None:
+        return new_value
+    if new_value is not None:
+        raise TypeError(
+            f"{func_name}() got both {new_name!r} and its deprecated "
+            f"alias {old_name!r}")
+    deprecated_once(
+        f"{func_name}:{old_name}",
+        f"{func_name}({old_name}=...) is deprecated; "
+        f"use {new_name}=...",
+        stacklevel=4)
+    return old_value
+
+
+def reset_deprecations() -> None:
+    """Forget which warnings fired (test helper)."""
+    _warned.clear()

@@ -13,6 +13,10 @@ Public surface:
 
 from repro.dproc.aggregate import ClusterView
 from repro.dproc.central import CentralCollector, CentralConfig
+from repro.dproc.control_api import (ClearCommand, ControlCommand,
+                                     ControlRequest, FilterCommand,
+                                     PeriodCommand, ThresholdCommand,
+                                     UnfilterCommand)
 from repro.dproc.control_file import parse_control_text
 from repro.dproc.dmon import (DMon, DMonConfig, PEER_DEAD, PEER_FRESH,
                               PEER_STALE, PEER_UNKNOWN, RemoteMetric,
@@ -38,6 +42,9 @@ __all__ = [
     "CentralCollector", "CentralConfig",
     "GridFederation", "Site", "SiteSummary", "WanLink",
     "parse_control_text",
+    "ControlCommand", "ControlRequest", "PeriodCommand",
+    "ThresholdCommand", "ClearCommand", "FilterCommand",
+    "UnfilterCommand",
     "DMon", "DMonConfig", "RemoteMetric", "register_default_modules",
     "PEER_FRESH", "PEER_STALE", "PEER_DEAD", "PEER_UNKNOWN",
     "DeployedFilter", "FilterManager",

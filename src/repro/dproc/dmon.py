@@ -27,10 +27,10 @@ from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.dproc.params import MetricPolicy, parse_threshold_spec
 from repro.errors import ControlSyntaxError, DprocError, InterruptError
 from repro.kecho import (ChannelEvent, ClearParameter, ControlMessage,
-                         DeployFilter, KechoBus, RemoveFilter,
-                         SetParameter, control_message_size)
-from repro.sim.node import Node
-from repro.sim.trace import CounterTrace, TimeSeries
+                         DeployFilter, RemoveFilter, SetParameter,
+                         control_message_size)
+from repro.runtime.protocol import Bus, RuntimeNode
+from repro.runtime.series import CounterTrace, TimeSeries
 from repro.tracing.context import TraceRef
 
 __all__ = ["DMonConfig", "DMon", "RemoteMetric",
@@ -94,7 +94,7 @@ class RemoteMetric:
 class DMon:
     """The per-node distributed monitor."""
 
-    def __init__(self, node: Node, bus: KechoBus,
+    def __init__(self, node: RuntimeNode, bus: Bus,
                  config: DMonConfig | None = None) -> None:
         self.node = node
         self.bus = bus

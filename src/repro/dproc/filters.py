@@ -24,7 +24,7 @@ from typing import Optional
 from repro.dproc.metrics import METRIC_CONSTANTS, MetricId
 from repro.ecode import CompiledFilter, MetricRecord, compile_filter
 from repro.errors import EcodeError, FilterDeploymentError
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["DeployedFilter", "FilterManager"]
 
@@ -49,7 +49,7 @@ class DeployedFilter:
 class FilterManager:
     """Per-node registry of deployed dynamic filters."""
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: RuntimeNode) -> None:
         self.node = node
         self._by_id: dict[str, DeployedFilter] = {}
         self._by_scope: dict[str, DeployedFilter] = {}

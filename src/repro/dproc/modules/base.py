@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.dproc.metrics import MetricId
 from repro.errors import DprocError
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["MetricSample", "MonitoringModule"]
 
@@ -38,7 +38,7 @@ class MonitoringModule(ABC):
     #: Module name ('cpu', 'mem', 'disk', 'net', 'pmc', ...).
     name: str = "?"
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: RuntimeNode) -> None:
         self.node = node
         self.started = False
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.dproc.metrics import MetricId
 from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.errors import DprocError
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 from repro.sim.power import Battery
 
 __all__ = ["BatteryMon"]
@@ -26,7 +26,7 @@ class BatteryMon(MonitoringModule):
 
     name = "battery"
 
-    def __init__(self, node: Node, battery: Battery | None = None)\
+    def __init__(self, node: RuntimeNode, battery: Battery | None = None)\
             -> None:
         super().__init__(node)
         if battery is None:

@@ -16,8 +16,8 @@ from __future__ import annotations
 from repro.dproc.metrics import MetricId
 from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.errors import DprocError
-from repro.sim.node import Node
-from repro.sim.trace import WindowAverage
+from repro.runtime.protocol import RuntimeNode
+from repro.runtime.series import WindowAverage
 from repro.units import minutes
 
 __all__ = ["CpuMon"]
@@ -31,7 +31,7 @@ class CpuMon(MonitoringModule):
     #: Floor on the sampling interval (wake-up rate of the thread).
     MIN_SAMPLE_INTERVAL = 0.1
 
-    def __init__(self, node: Node, avg_period: float = minutes(1)) -> None:
+    def __init__(self, node: RuntimeNode, avg_period: float = minutes(1)) -> None:
         super().__init__(node)
         if avg_period <= 0:
             raise DprocError("averaging period must be positive")

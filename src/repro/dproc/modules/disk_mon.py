@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.dproc.metrics import MetricId
 from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.errors import DprocError
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["DiskMon"]
 
@@ -21,7 +21,7 @@ class DiskMon(MonitoringModule):
 
     name = "disk"
 
-    def __init__(self, node: Node, window: float = 1.0) -> None:
+    def __init__(self, node: RuntimeNode, window: float = 1.0) -> None:
         super().__init__(node)
         if window <= 0:
             raise DprocError("disk window must be positive")

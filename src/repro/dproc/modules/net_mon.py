@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.dproc.metrics import MetricId
 from repro.dproc.modules.base import MetricSample, MonitoringModule
 from repro.errors import DprocError
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["NetMon"]
 
@@ -26,7 +26,7 @@ class NetMon(MonitoringModule):
 
     name = "net"
 
-    def __init__(self, node: Node, window: float = 1.0) -> None:
+    def __init__(self, node: RuntimeNode, window: float = 1.0) -> None:
         super().__init__(node)
         if window <= 0:
             raise DprocError("net window must be positive")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.dproc.metrics import MetricId
 from repro.dproc.modules.base import MetricSample, MonitoringModule
-from repro.sim.node import Node
+from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["SelfMon"]
 
@@ -34,7 +34,7 @@ class SelfMon(MonitoringModule):
 
     name = "dproc"
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: RuntimeNode) -> None:
         super().__init__(node)
         # Registrable even with node telemetry disabled: a disabled
         # registry returns 0.0 for every counter, so samples are zero.

@@ -8,7 +8,7 @@ exactly the workflow of the paper's §2.
 Example::
 
     env = Environment()
-    cluster = build_cluster(env, n_nodes=3)
+    cluster = build_cluster(env, nodes=3)
     dprocs = deploy_dproc(cluster)
     env.run(until=5.0)
     loadavg = dprocs["alan"].read("/proc/cluster/maui/loadavg")
@@ -19,33 +19,43 @@ Example::
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
+from repro.dproc.control_api import ControlRequest
 from repro.dproc.control_file import parse_control_text
 from repro.dproc.dmon import DMon, DMonConfig, register_default_modules
 from repro.dproc.metrics import METRIC_FILES, MetricId
 from repro.dproc.procfs import ProcFS, ProcFile
 from repro.errors import DprocError
 from repro.kecho import KechoBus
-from repro.sim.cluster import Cluster
-from repro.sim.node import Node
+from repro.runtime.protocol import Bus, NodeGroup, RuntimeNode
 from repro.telemetry import MONITOR_CPU_COUNTERS, render_text
 
 __all__ = ["Dproc", "deploy_dproc"]
 
 DEFAULT_MODULES = ("cpu", "mem", "disk", "net", "pmc")
 
+#: Builds one monitoring module for (module name, node).  Backends with
+#: their own collectors (the live backend's host modules) pass one of
+#: these; None selects the standard simulator module set.
+ModuleFactory = Callable[[str, RuntimeNode], object]
+
 
 class Dproc:
     """Per-node dproc instance: d-mon + the /proc view."""
 
-    def __init__(self, node: Node, bus: KechoBus,
+    def __init__(self, node: RuntimeNode, bus: Bus,
                  config: DMonConfig | None = None,
-                 modules: Sequence[str] = DEFAULT_MODULES) -> None:
+                 modules: Sequence[str] = DEFAULT_MODULES,
+                 module_factory: Optional[ModuleFactory] = None) -> None:
         self.node = node
         self.bus = bus
         self.dmon = DMon(node, bus, config)
-        register_default_modules(self.dmon, modules)
+        if module_factory is None:
+            register_default_modules(self.dmon, modules)
+        else:
+            for name in modules:
+                self.dmon.register_service(module_factory(name, node))
         self.procfs = ProcFS()
         self._control_log: dict[str, list[str]] = {}
         self._mounted_hosts: set[str] = set()
@@ -67,8 +77,15 @@ class Dproc:
         """Read a pseudo-file (e.g. ``/proc/cluster/maui/loadavg``)."""
         return self.procfs.read(path)
 
-    def write(self, path: str, text: str) -> None:
-        """Write to a pseudo-file (only ``control`` files accept writes)."""
+    def write(self, path: str, text) -> None:
+        """Write to a pseudo-file (only ``control`` files accept writes).
+
+        ``text`` is the raw string to write, or a
+        :class:`~repro.dproc.control_api.ControlRequest` which is
+        rendered to the control-file grammar first.
+        """
+        if isinstance(text, ControlRequest):
+            text = text.render()
         self.procfs.write(path, text)
 
     def listdir(self, path: str) -> list[str]:
@@ -219,22 +236,29 @@ class Dproc:
             line for line in text.splitlines() if line.strip())
 
 
-def deploy_dproc(cluster: Cluster,
+def deploy_dproc(cluster: NodeGroup,
                  config: DMonConfig | None = None,
                  modules: Sequence[str] = DEFAULT_MODULES,
-                 bus: Optional[KechoBus] = None,
+                 bus: Optional[Bus] = None,
                  hosts: Optional[Iterable[str]] = None,
-                 start: bool = True) -> dict[str, Dproc]:
+                 start: bool = True,
+                 module_factory: Optional[ModuleFactory] = None,
+                 ) -> dict[str, Dproc]:
     """Deploy dproc on every node (or a subset) of a cluster.
 
     All instances share one KECho bus/registry; each node's /proc tree
     shows every participating host, as in the paper's Figure 1.
+    ``cluster`` is any :class:`~repro.runtime.protocol.NodeGroup` —
+    a simulated :class:`~repro.sim.cluster.Cluster` or the live
+    backend's node group (which supplies its own ``bus`` and
+    ``module_factory``).
     """
-    bus = bus or KechoBus()
+    bus = bus if bus is not None else KechoBus()
     names = list(hosts) if hosts is not None else cluster.names
     instances: dict[str, Dproc] = {}
     for name in names:
-        instances[name] = Dproc(cluster[name], bus, config, modules)
+        instances[name] = Dproc(cluster[name], bus, config, modules,
+                                module_factory=module_factory)
     for dproc in instances.values():
         for name in names:
             dproc.add_cluster_node(name)

@@ -1,7 +1,9 @@
 """Command-line runner: ``python -m repro.harness [fig...] [--full]``.
 
 ``python -m repro.harness trace [...]`` dispatches to the causal-
-tracing subcommand (:mod:`repro.harness.tracecli`).
+tracing subcommand (:mod:`repro.harness.tracecli`);
+``python -m repro.harness live [...]`` runs the stack over real
+asyncio localhost sockets (:mod:`repro.harness.livecli`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "trace":
         from repro.harness.tracecli import main as trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "live":
+        from repro.harness.livecli import main as live_main
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the dproc paper's evaluation figures.")

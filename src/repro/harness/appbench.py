@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.dproc import DMonConfig, deploy_dproc
+from repro.api import Scenario
+from repro.dproc import DMonConfig
 from repro.harness.experiment import ExperimentResult
-from repro.sim import Environment, NodeConfig, build_cluster
+from repro.sim import Environment, NodeConfig
 from repro.smartpointer import (AdaptationPolicy, ClientCapabilities,
                                 DynamicAdaptation, NoAdaptation,
                                 SmartPointerClient, SmartPointerServer,
@@ -86,22 +87,25 @@ class SmartPointerRig:
         rig needs its own collector (trace ids embed node names, which
         repeat across rigs).
         """
-        env = Environment()
-        cluster = build_cluster(
-            env, 4, seed=seed,
+        scenario = Scenario(
+            nodes=4, seed=seed,
             names=["server", "client", "iperf1", "iperf2"],
             node_configs=[NodeConfig(n_cpus=4), NodeConfig(n_cpus=1),
-                          NodeConfig(n_cpus=1), NodeConfig(n_cpus=1)])
+                          NodeConfig(n_cpus=1), NodeConfig(n_cpus=1)],
+            dmon=DMonConfig(poll_interval=1.0),
+            monitor_hosts=["server", "client"])
         if shared_segment:
-            seg = cluster.fabric.add_segment("shared")
-            for port in cluster.fabric.hosts.values():
-                port.segment = seg
-        dprocs = deploy_dproc(cluster,
-                              config=DMonConfig(poll_interval=1.0),
-                              hosts=["server", "client"])
+            def share_segment(sc: Scenario) -> None:
+                seg = sc.nodes.fabric.add_segment("shared")
+                for port in sc.nodes.fabric.hosts.values():
+                    port.segment = seg
+            scenario.with_cluster_setup(share_segment)
         if tracer is not None:
-            from repro.tracing import attach_tracer
-            attach_tracer(cluster, tracer)
+            scenario.with_tracing(tracer)
+        scenario.build()
+        env = scenario.env
+        cluster = scenario.cluster
+        dprocs = scenario.dprocs
         # Responsive CPU averaging, as an adaptive application would
         # configure via the control file.
         dprocs["server"].write("/proc/cluster/client/control",

@@ -33,9 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.dproc import PEER_FRESH, DMonConfig, deploy_dproc
-from repro.sim import Environment, FaultInjector, build_cluster
-from repro.telemetry import overhead_summary
+from repro.api import Scenario
+from repro.dproc import PEER_FRESH, DMonConfig
 
 __all__ = ["ChaosReport", "chaos_recovery"]
 
@@ -79,7 +78,7 @@ class ChaosReport:
                 tuple(sorted(self.final_liveness.items())))
 
 
-def chaos_recovery(n_nodes: int = 100,
+def chaos_recovery(nodes: Optional[int] = None,
                    seed: int = 7,
                    loss_probability: float = 0.3,
                    loss_start: float = 5.0,
@@ -91,92 +90,116 @@ def chaos_recovery(n_nodes: int = 100,
                    duration: float = 60.0,
                    poll_interval: float = 1.0,
                    probe_interval: float = 0.5,
-                   tracer=None) -> ChaosReport:
+                   tracer=None, *,
+                   n_nodes: Optional[int] = None) -> ChaosReport:
     """Run the chaos scenario on a fresh cluster and report recovery.
 
     ``tracer`` (a :class:`repro.tracing.TraceCollector`) records causal
     traces through the run — faulted deliveries show up as dropped
     spans annotated with the fault kind.  Tracing is passive: the
     report is bit-identical with or without it (test-enforced).
+    ``n_nodes`` is a deprecated alias for ``nodes``.
     """
-    env = Environment()
-    cluster = build_cluster(env, n_nodes=n_nodes, seed=seed)
-    names = list(cluster.names)
-    victim = names[-1]
-    survivors = names[:-1]
+    from repro.deprecation import rename_kwarg
+    nodes = rename_kwarg("chaos_recovery", "n_nodes", n_nodes,
+                         "nodes", nodes)
+    n_nodes = 100 if nodes is None else nodes
 
     config = DMonConfig(poll_interval=poll_interval)
-    dprocs = deploy_dproc(cluster, config=config)
-    if tracer is not None:
-        from repro.tracing import attach_tracer
-        attach_tracer(cluster, tracer)
-
-    injector = FaultInjector(cluster)
-    # The monitored software dies and rejoins with the simulated
-    # hardware: a crash stops that node's dproc, a reboot restarts it.
-    injector.on_crash(lambda host: dprocs[host].stop())
-    injector.on_reboot(lambda host: dprocs[host].start())
-
-    injector.schedule_loss(loss_start, loss_probability,
-                           until=loss_end)
-    half = len(names) // 2
-    injector.schedule_partition(partition_start,
-                                [names[:half], names[half:]],
-                                heal_at=partition_end)
-    injector.schedule_crash(crash_at, victim, reboot_at=reboot_at)
+    stale_after = config.stale_after_intervals * poll_interval
 
     # Probe state, written by the observer process below.
     observations: list[tuple[float, str]] = []
     state = {"recovered_at": None, "rejoined_at": None,
              "victim_flagged": False, "silently_fresh": False,
              "all_fresh": None, "victim_view": None}
-    stale_after = config.stale_after_intervals * poll_interval
 
-    def survivors_all_fresh() -> bool:
-        for s in survivors:
-            dmon = dprocs[s].dmon
-            for other in survivors:
-                if other != s and dmon.peer_state(other) != PEER_FRESH:
-                    return False
-        return True
+    def schedule_faults(sc: Scenario) -> None:
+        names = sc.nodes.names
+        victim = names[-1]
+        injector = sc.faults
+        # The monitored software dies and rejoins with the simulated
+        # hardware: a crash stops that node's dproc, a reboot
+        # restarts it.
+        injector.on_crash(lambda host: sc.dprocs[host].stop())
+        injector.on_reboot(lambda host: sc.dprocs[host].start())
 
-    def victim_states() -> set:
-        return {dprocs[s].dmon.peer_state(victim) for s in survivors}
+        injector.schedule_loss(loss_start, loss_probability,
+                               until=loss_end)
+        half = len(names) // 2
+        injector.schedule_partition(partition_start,
+                                    [names[:half], names[half:]],
+                                    heal_at=partition_end)
+        injector.schedule_crash(crash_at, victim, reboot_at=reboot_at)
 
-    def observer():
-        while True:
-            now = env.now
-            fresh = survivors_all_fresh()
-            if fresh != state["all_fresh"]:
-                state["all_fresh"] = fresh
-                observations.append(
-                    (now, f"survivors {'all fresh' if fresh else 'degraded'}"))
-            seen = victim_states()
-            view = ",".join(sorted(seen))
-            if view != state["victim_view"]:
-                state["victim_view"] = view
-                observations.append((now, f"victim seen as {view}"))
-            if crash_at <= now < reboot_at:
-                if seen - {PEER_FRESH}:
-                    state["victim_flagged"] = True
-                # Past the staleness bound a downed peer must never be
-                # reported fresh by anyone.
-                if now > crash_at + stale_after and PEER_FRESH in seen:
-                    state["silently_fresh"] = True
-            if (state["recovered_at"] is None and now >= partition_end
-                    and fresh):
-                state["recovered_at"] = now
-            if (state["rejoined_at"] is None and now >= reboot_at
-                    and seen == {PEER_FRESH}):
-                state["rejoined_at"] = now
-            yield env.timeout(probe_interval)
+    def start_observer(sc: Scenario) -> None:
+        env = sc.env
+        dprocs = sc.dprocs
+        names = sc.nodes.names
+        victim = names[-1]
+        survivors = names[:-1]
 
-    env.process(observer(), name="chaos-observer")
-    env.run(until=duration)
+        def survivors_all_fresh() -> bool:
+            for s in survivors:
+                dmon = dprocs[s].dmon
+                for other in survivors:
+                    if other != s \
+                            and dmon.peer_state(other) != PEER_FRESH:
+                        return False
+            return True
 
+        def victim_states() -> set:
+            return {dprocs[s].dmon.peer_state(victim)
+                    for s in survivors}
+
+        def observer():
+            while True:
+                now = env.now
+                fresh = survivors_all_fresh()
+                if fresh != state["all_fresh"]:
+                    state["all_fresh"] = fresh
+                    observations.append(
+                        (now,
+                         f"survivors "
+                         f"{'all fresh' if fresh else 'degraded'}"))
+                seen = victim_states()
+                view = ",".join(sorted(seen))
+                if view != state["victim_view"]:
+                    state["victim_view"] = view
+                    observations.append(
+                        (now, f"victim seen as {view}"))
+                if crash_at <= now < reboot_at:
+                    if seen - {PEER_FRESH}:
+                        state["victim_flagged"] = True
+                    # Past the staleness bound a downed peer must
+                    # never be reported fresh by anyone.
+                    if now > crash_at + stale_after \
+                            and PEER_FRESH in seen:
+                        state["silently_fresh"] = True
+                if (state["recovered_at"] is None
+                        and now >= partition_end and fresh):
+                    state["recovered_at"] = now
+                if (state["rejoined_at"] is None and now >= reboot_at
+                        and seen == {PEER_FRESH}):
+                    state["rejoined_at"] = now
+                yield env.timeout(probe_interval)
+
+        env.process(observer(), name="chaos-observer")
+
+    scenario = Scenario(nodes=n_nodes, seed=seed, dmon=config) \
+        .with_faults(schedule_faults) \
+        .with_setup(start_observer)
+    if tracer is not None:
+        scenario.with_tracing(tracer)
+    scenario.run(duration)
+
+    names = scenario.nodes.names
+    victim = names[-1]
+    survivors = names[:-1]
+    dprocs = scenario.dprocs
     viewer = dprocs[survivors[0]].dmon
     final = {host: viewer.peer_state(host) for host in names}
-    events = tuple(sorted(injector.log + observations))
+    events = tuple(sorted(scenario.faults.log + observations))
     recovered = state["recovered_at"]
     rejoined = state["rejoined_at"]
     return ChaosReport(
@@ -192,7 +215,5 @@ def chaos_recovery(n_nodes: int = 100,
         victim_never_silently_fresh=not state["silently_fresh"],
         events=events,
         final_liveness=final,
-        overhead=overhead_summary(
-            {name: cluster[name].telemetry for name in names},
-            sim_seconds=duration),
+        overhead=scenario.overhead(duration),
     )

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.dproc import DMonConfig, MetricId, deploy_dproc
+from repro.api import Scenario
+from repro.dproc import DMonConfig, MetricId
 from repro.dproc.params import ChangeThreshold
 from repro.harness.experiment import ExperimentResult
-from repro.sim import Cluster, Environment, build_cluster
 from repro.units import KB, to_usec
 from repro.workloads import AmbientActivity, IperfMeasure, Linpack
 
@@ -47,23 +47,8 @@ CONFIG_LABELS = ("update period=1s", "update period=2s",
                  "differential filter")
 
 
-def _deploy(cluster: Cluster, n_nodes: int, mode: str,
-            padding: float = 0.0,
-            ambient: float = AMBIENT_INTENSITY) -> dict:
-    """Deploy dproc on the first ``n_nodes`` nodes in one of the three
-    §4.1 configurations."""
-    if ambient > 0:
-        for node in cluster:
-            AmbientActivity(node, intensity=ambient).start()
-    if n_nodes == 0:
-        return {}
-    config = DMonConfig(poll_interval=1.0,
-                        metric_subset=MICROBENCH_METRICS,
-                        payload_padding=padding)
-    hosts = cluster.names[:n_nodes]
-    dprocs = deploy_dproc(cluster, config=config,
-                          modules=("cpu", "mem", "disk", "net"),
-                          hosts=hosts)
+def _apply_mode(dprocs: dict, mode: str) -> None:
+    """Switch deployed d-mons into one of the three §4.1 configs."""
     for dproc in dprocs.values():
         for policy in dproc.dmon.policies.values():
             if mode == "period2":
@@ -72,7 +57,26 @@ def _deploy(cluster: Cluster, n_nodes: int, mode: str,
                 policy.add_threshold(ChangeThreshold(15.0))
             elif mode != "period1":
                 raise ValueError(f"unknown configuration {mode!r}")
-    return dprocs
+
+
+def _scenario(monitored: int, mode: str, seed: int,
+              min_nodes: int = 1, padding: float = 0.0,
+              ambient: float = AMBIENT_INTENSITY) -> Scenario:
+    """A §4.1 testbed: dproc on the first ``monitored`` nodes."""
+    scenario = Scenario(
+        nodes=max(monitored, min_nodes), seed=seed,
+        dmon=DMonConfig(poll_interval=1.0,
+                        metric_subset=MICROBENCH_METRICS,
+                        payload_padding=padding),
+        modules=("cpu", "mem", "disk", "net"),
+        monitor_hosts=monitored)
+    if ambient > 0:
+        def start_ambient(sc: Scenario) -> None:
+            for node in sc.nodes:
+                AmbientActivity(node, intensity=ambient).start()
+        scenario.with_cluster_setup(start_ambient)
+    scenario.with_setup(lambda sc: _apply_mode(sc.dprocs, mode))
+    return scenario
 
 _MODES = {"update period=1s": "period1",
           "update period=2s": "period2",
@@ -94,11 +98,9 @@ def fig4_cpu_perturbation(nodes: Iterable[int] = range(0, 9),
     for label in CONFIG_LABELS:
         ys = []
         for n in nodes:
-            env = Environment()
-            cluster = build_cluster(env, n_nodes=max(n, 1), seed=seed)
-            _deploy(cluster, n, _MODES[label])
-            linpack = Linpack(cluster.nodes[cluster.names[0]]).start()
-            env.run(until=duration)
+            sc = _scenario(n, _MODES[label], seed).build()
+            linpack = Linpack(sc.nodes[sc.nodes.names[0]]).start()
+            sc.run_until(duration)
             ys.append(linpack.mflops(since=duration * 0.1))
         result.add_series(label, nodes, ys)
     return result
@@ -119,12 +121,11 @@ def fig5_network_perturbation(nodes: Iterable[int] = range(0, 9),
     for label in CONFIG_LABELS:
         ys = []
         for n in nodes:
-            env = Environment()
-            cluster = build_cluster(env, n_nodes=max(n, 2), seed=seed)
-            _deploy(cluster, n, _MODES[label])
-            iperf = IperfMeasure(cluster[cluster.names[0]],
-                                 cluster[cluster.names[1]]).start()
-            env.run(until=duration)
+            sc = _scenario(n, _MODES[label], seed,
+                           min_nodes=2).build()
+            iperf = IperfMeasure(sc.nodes[sc.nodes.names[0]],
+                                 sc.nodes[sc.nodes.names[1]]).start()
+            sc.run_until(duration)
             ys.append(iperf.bandwidth_mbps(since=duration * 0.1))
         result.add_series(label, nodes, ys)
     return result
@@ -142,12 +143,9 @@ def _submission_overhead(nodes: Sequence[int], duration: float,
     for label in CONFIG_LABELS:
         ys = []
         for n in nodes:
-            env = Environment()
-            cluster = build_cluster(env, n_nodes=n, seed=seed)
-            dprocs = _deploy(cluster, n, _MODES[label],
-                             padding=padding)
-            env.run(until=duration)
-            dmon = dprocs[cluster.names[0]].dmon
+            sc = _scenario(n, _MODES[label], seed,
+                           padding=padding).run(duration)
+            dmon = sc.dprocs[sc.nodes.names[0]].dmon
             ys.append(to_usec(dmon.mean_submit_overhead(
                 since=duration * 0.1)))
         result.add_series(label, nodes, ys)
@@ -198,11 +196,8 @@ def fig8_receive_overhead(nodes: Iterable[int] = range(1, 9),
     for label in CONFIG_LABELS:
         ys = []
         for n in nodes:
-            env = Environment()
-            cluster = build_cluster(env, n_nodes=n, seed=seed)
-            dprocs = _deploy(cluster, n, _MODES[label])
-            env.run(until=duration)
-            dmon = dprocs[cluster.names[0]].dmon
+            sc = _scenario(n, _MODES[label], seed).run(duration)
+            dmon = sc.dprocs[sc.nodes.names[0]].dmon
             ys.append(to_usec(dmon.mean_receive_overhead(
                 since=duration * 0.1)))
         result.add_series(label, nodes, ys)

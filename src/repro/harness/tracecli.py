@@ -35,16 +35,16 @@ from repro.workloads import Linpack
 __all__ = ["run_trace_scenario", "pick_showcase_trace", "main"]
 
 
-def run_trace_scenario(n_nodes: int = 20, seed: int = 1,
+def run_trace_scenario(nodes: int = 20, seed: int = 1,
                        duration: float = 30.0,
                        sample_rate: float = 1.0) -> TraceCollector:
     """Run the traced scenario and return its collector.
 
-    Deterministic: the same (n_nodes, seed, duration, sample_rate)
+    Deterministic: the same (nodes, seed, duration, sample_rate)
     always yields a bit-identical collector snapshot.
     """
     env = Environment()
-    cluster = build_cluster(env, n_nodes=n_nodes, seed=seed)
+    cluster = build_cluster(env, nodes=nodes, seed=seed)
     names = list(cluster.names)
     server_name, client_name = names[0], names[1]
     dprocs = deploy_dproc(cluster, config=DMonConfig(poll_interval=1.0))
@@ -118,7 +118,7 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("need at least 2 nodes (server + client)")
 
     collector = run_trace_scenario(
-        n_nodes=args.nodes, seed=args.seed, duration=args.duration,
+        nodes=args.nodes, seed=args.seed, duration=args.duration,
         sample_rate=args.sample)
 
     print(f"traced {len(collector)} traces, "

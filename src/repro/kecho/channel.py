@@ -21,9 +21,8 @@ from typing import Any, Callable, Optional
 from repro.errors import ChannelError
 from repro.kecho.event import ChannelEvent
 from repro.kecho.registry import ChannelInfo, ChannelRegistry
-from repro.sim.core import SimEvent
-from repro.sim.node import Node
-from repro.sim.trace import CounterTrace
+from repro.runtime.protocol import Completion, RuntimeNode
+from repro.runtime.series import CounterTrace
 
 __all__ = ["KechoBus", "ChannelEndpoint", "Subscription", "SubmitReceipt"]
 
@@ -56,8 +55,8 @@ class SubmitReceipt:
     cpu_seconds: float
     #: Remote subscriber hosts the event was pushed to.
     remote_targets: list[str]
-    #: Per-target delivery events (for tests / synchronisation).
-    deliveries: list[SimEvent] = field(default_factory=list)
+    #: Per-target delivery completions (for tests / synchronisation).
+    deliveries: list[Completion] = field(default_factory=list)
     #: Targets whose delivery failed (filled in as the simulation runs:
     #: a crashed/partitioned subscriber lands here instead of raising
     #: into the publisher — the submit itself always completes).
@@ -73,7 +72,7 @@ class SubmitReceipt:
 class ChannelEndpoint:
     """One node's kernel-level attachment to a channel."""
 
-    def __init__(self, bus: "KechoBus", node: Node,
+    def __init__(self, bus: "KechoBus", node: RuntimeNode,
                  info: ChannelInfo) -> None:
         self.bus = bus
         self.node = node
@@ -183,12 +182,12 @@ class ChannelEndpoint:
         self._t_fanout.observe(len(targets))
         self._t_tx_bytes.inc(size * len(targets))
 
-        deliveries: list[SimEvent] = []
+        deliveries: list[Completion] = []
         failed: list[str] = []
         if targets:
             # One reallocation for the whole fan-out instead of one per
             # target flow: everything happens at the same instant.
-            with self.node.stack.fabric.batch():
+            with self.node.stack.batch():
                 for host in targets:
                     conn = self._connection_to(host)
                     delivery = conn.send(event, size)
@@ -330,7 +329,7 @@ class KechoBus:
     def _subscriptions_changed(self) -> None:
         self.subscription_version += 1
 
-    def connect(self, node: Node, name: str) -> ChannelEndpoint:
+    def connect(self, node: RuntimeNode, name: str) -> ChannelEndpoint:
         """Open (or find) channel ``name`` and attach ``node`` to it.
 
         Mirrors the paper's flow: contact the registry; the first

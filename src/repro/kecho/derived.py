@@ -21,7 +21,7 @@ from typing import Callable, Optional, Sequence
 from repro.ecode import CompiledFilter, MetricRecord
 from repro.errors import ChannelError, EcodeError
 from repro.kecho.event import ChannelEvent
-from repro.sim.trace import CounterTrace
+from repro.runtime.series import CounterTrace
 
 __all__ = ["Derivation", "ecode_transform"]
 

@@ -1,0 +1,21 @@
+"""The live asyncio backend: real sockets, wall-clock time.
+
+Same d-mon, same KECho endpoint code, same procfs — running over
+localhost TCP with a socket-served channel registry.  See
+:mod:`repro.live.runtime` for the node runner and
+``python -m repro.harness live`` for the CLI entry point.
+"""
+
+from repro.live.bus import LiveBus
+from repro.live.clock import AsyncClock, LiveTask, LiveTimeout
+from repro.live.modules import HOST_MODULES, host_module_factory
+from repro.live.node import LiveNode
+from repro.live.registry import RegistryClient, RegistryServer
+from repro.live.runtime import LiveNodeGroup, LiveRuntime
+from repro.live.transport import LiveStack
+
+__all__ = [
+    "AsyncClock", "LiveTimeout", "LiveTask", "LiveNode", "LiveStack",
+    "LiveBus", "LiveRuntime", "LiveNodeGroup", "RegistryServer",
+    "RegistryClient", "HOST_MODULES", "host_module_factory",
+]

@@ -1,0 +1,153 @@
+"""Wall-clock time and the asyncio generator driver.
+
+The simulator runs d-mon's polling loop as a generator that yields
+``env.timeout(...)`` events.  The live backend runs *the same
+generator* by driving it from an asyncio task: each yielded
+:class:`LiveTimeout` becomes an ``asyncio.sleep``, and
+:meth:`LiveTask.interrupt` raises :class:`repro.errors.InterruptError`
+at the suspended yield — exactly the simulator's interrupt semantics.
+Time is the wall clock, reported as seconds since the runtime started
+so both backends' clocks read 0.0 at scenario start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import InterruptError
+
+__all__ = ["AsyncClock", "LiveTimeout", "LiveTask"]
+
+
+class LiveTimeout:
+    """What :meth:`AsyncClock.timeout` returns: a yieldable delay."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+
+class AsyncClock:
+    """Monotonic wall clock, zeroed when the runtime starts.
+
+    Satisfies :class:`repro.runtime.protocol.Clock`.  ``active_process``
+    is maintained by :class:`LiveTask` while a driven generator is
+    executing a step — the event loop is single-threaded, so a plain
+    attribute is race-free.
+    """
+
+    def __init__(self) -> None:
+        self._t0: Optional[float] = None
+        self._active: Optional["LiveTask"] = None
+        #: Every task spawned against this clock (for teardown).
+        self.tasks: list["LiveTask"] = []
+
+    def start(self) -> None:
+        """Zero the clock (idempotent: only the first call anchors)."""
+        if self._t0 is None:
+            self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Wall seconds since :meth:`start` (0.0 before it)."""
+        if self._t0 is None:
+            return 0.0
+        return time.monotonic() - self._t0
+
+    def timeout(self, delay: float, value: Any = None) -> LiveTimeout:
+        return LiveTimeout(delay, value)
+
+    @property
+    def active_process(self) -> Optional["LiveTask"]:
+        return self._active
+
+    def spawn(self, gen: Generator, name: str = "") -> "LiveTask":
+        task = LiveTask(self, gen, name=name)
+        self.tasks.append(task)
+        return task
+
+    async def cancel_all(self) -> None:
+        """Cancel every live task and wait for them to unwind."""
+        tasks, self.tasks = self.tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            await task.wait_cancelled()
+
+
+class LiveTask:
+    """One driven generator: the live analogue of ``sim.core.Process``.
+
+    Satisfies :class:`repro.runtime.protocol.TaskHandle`.
+    """
+
+    def __init__(self, clock: AsyncClock, gen: Generator,
+                 name: str = "") -> None:
+        self.clock = clock
+        self.gen = gen
+        self.name = name
+        self._interrupts: deque[InterruptError] = deque()
+        self._sleeper: Optional[asyncio.Task] = None
+        self._cancelled = False
+        self.task = asyncio.ensure_future(self._drive())
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.task.done()
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise InterruptError inside the generator at its next yield."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(InterruptError(cause))
+        if self._sleeper is not None:
+            self._sleeper.cancel()
+
+    def cancel(self) -> None:
+        """Hard-stop the task (teardown path, not an interrupt)."""
+        self._cancelled = True
+        self.task.cancel()
+
+    async def wait_cancelled(self) -> None:
+        try:
+            await self.task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    async def _drive(self) -> None:
+        gen = self.gen
+        clock = self.clock
+        throw: Optional[InterruptError] = None
+        try:
+            while True:
+                clock._active = self
+                try:
+                    if throw is not None:
+                        exc, throw = throw, None
+                        item = gen.throw(exc)
+                    else:
+                        item = gen.send(None)
+                except (StopIteration, InterruptError):
+                    return
+                finally:
+                    clock._active = None
+                delay = getattr(item, "delay", 0.0)
+                sleeper = asyncio.ensure_future(asyncio.sleep(delay))
+                self._sleeper = sleeper
+                try:
+                    await sleeper
+                except asyncio.CancelledError:
+                    if self._cancelled or not self._interrupts:
+                        raise
+                    throw = self._interrupts.popleft()
+                finally:
+                    self._sleeper = None
+        finally:
+            gen.close()

@@ -1,0 +1,203 @@
+"""Length-prefixed binary event codec for the live TCP data plane.
+
+A PBIO-style format in the spirit of the paper's ECho heritage: fixed
+binary layout for the hot monitoring stream, self-describing fall-backs
+for everything else.  Every frame on the wire is::
+
+    u32  frame length (big-endian, excluding these 4 bytes)
+    u16  magic (0xEC05)
+    u8   kind
+    str  tag      (transport dispatch tag, e.g. "kecho:dproc.monitor")
+    str  channel
+    str  source
+    f64  submitted_at
+    f64  declared size (bytes, the cost-model size)
+    ...  kind-specific body
+
+where ``str`` is a u16 byte length followed by UTF-8 bytes.  Kinds:
+
+* ``MONITOR`` — a d-mon metric event: host string then a u16 record
+  count, each record ``(u16 metric id, f64 value, f64 timestamp)``.
+  MetricId values are part of the E-code filter ABI, so the ids on the
+  wire are the ABI ids and decode back to :class:`MetricId`.
+* ``CONTROL`` — one control message (SetParameter, ClearParameter,
+  DeployFilter, RemoveFilter) as a compact JSON object (control
+  traffic is rare; self-describing beats packed here).
+* ``JSON`` — any other JSON-serialisable payload.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional
+
+from repro.dproc.metrics import MetricId
+from repro.errors import ChannelError
+from repro.kecho.control import (ClearParameter, ControlMessage,
+                                 DeployFilter, RemoveFilter,
+                                 SetParameter)
+from repro.kecho.event import ChannelEvent
+
+__all__ = ["encode_frame", "decode_frame", "FrameDecoder",
+           "MAGIC", "KIND_MONITOR", "KIND_CONTROL", "KIND_JSON",
+           "MAX_FRAME_BYTES"]
+
+MAGIC = 0xEC05
+KIND_MONITOR = 1
+KIND_CONTROL = 2
+KIND_JSON = 3
+
+#: Upper bound on one frame; protects the decoder from a corrupt or
+#: hostile length prefix.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_CONTROL_TYPES = {cls.__name__: cls for cls in
+                  (SetParameter, ClearParameter, DeployFilter,
+                   RemoveFilter)}
+
+_RECORD = struct.Struct(">Hdd")
+_HEAD = struct.Struct(">HB")
+_F64 = struct.Struct(">d")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ChannelError("string too long for wire format")
+    return _U16.pack(len(raw)) + raw
+
+
+class _Reader:
+    """Cursor over one frame's bytes."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise ChannelError("truncated frame")
+        chunk = self.buf[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def string(self) -> str:
+        return self.take(self.u16()).decode("utf-8")
+
+
+def encode_frame(tag: str, event: ChannelEvent) -> bytes:
+    """Encode one event (with its transport tag) as a complete frame."""
+    payload = event.payload
+    if (isinstance(payload, dict) and "host" in payload
+            and "metrics" in payload):
+        kind = KIND_MONITOR
+        metrics = payload["metrics"]
+        body = [_pack_str(payload["host"]),
+                _U16.pack(len(metrics))]
+        for metric, (value, ts) in metrics.items():
+            body.append(_RECORD.pack(int(metric), float(value),
+                                     float(ts)))
+        body_bytes = b"".join(body)
+    elif isinstance(payload, ControlMessage):
+        kind = KIND_CONTROL
+        doc = {"type": type(payload).__name__, "sender": payload.sender,
+               "target": payload.target}
+        for attr in ("metric", "parameter", "spec", "source",
+                     "filter_id"):
+            if hasattr(payload, attr):
+                doc[attr] = getattr(payload, attr)
+        raw = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        body_bytes = _U32.pack(len(raw)) + raw
+    else:
+        kind = KIND_JSON
+        try:
+            raw = json.dumps(payload,
+                             separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ChannelError(
+                f"live payload is not wire-encodable: {exc}") from exc
+        body_bytes = _U32.pack(len(raw)) + raw
+    frame = b"".join([
+        _HEAD.pack(MAGIC, kind),
+        _pack_str(tag),
+        _pack_str(event.channel),
+        _pack_str(event.source),
+        _F64.pack(float(event.submitted_at)),
+        _F64.pack(float(event.size)),
+        body_bytes,
+    ])
+    return _U32.pack(len(frame)) + frame
+
+
+def decode_frame(frame: bytes) -> tuple[str, ChannelEvent]:
+    """Decode one frame body (without length prefix) → (tag, event)."""
+    reader = _Reader(frame)
+    magic, kind = _HEAD.unpack(reader.take(_HEAD.size))
+    if magic != MAGIC:
+        raise ChannelError(f"bad frame magic {magic:#x}")
+    tag = reader.string()
+    channel = reader.string()
+    source = reader.string()
+    submitted_at = reader.f64()
+    size = reader.f64()
+    payload: Any
+    if kind == KIND_MONITOR:
+        host = reader.string()
+        count = reader.u16()
+        metrics: dict[MetricId, tuple[float, float]] = {}
+        for _ in range(count):
+            mid, value, ts = _RECORD.unpack(reader.take(_RECORD.size))
+            metrics[MetricId(mid)] = (value, ts)
+        payload = {"host": host, "metrics": metrics}
+    elif kind == KIND_CONTROL:
+        raw = reader.take(_U32.unpack(reader.take(4))[0])
+        doc = json.loads(raw.decode("utf-8"))
+        cls = _CONTROL_TYPES.get(doc.pop("type", ""))
+        if cls is None:
+            raise ChannelError("unknown control message type on wire")
+        payload = cls(**doc)
+    elif kind == KIND_JSON:
+        raw = reader.take(_U32.unpack(reader.take(4))[0])
+        payload = json.loads(raw.decode("utf-8"))
+    else:
+        raise ChannelError(f"unknown frame kind {kind}")
+    event = ChannelEvent(channel=channel, source=source,
+                         payload=payload, size=size,
+                         submitted_at=submitted_at)
+    return tag, event
+
+
+class FrameDecoder:
+    """Incremental splitter: feed stream chunks, get whole frames."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every now-complete frame body."""
+        self._buf.extend(data)
+        frames: list[bytes] = []
+        buf = self._buf
+        while len(buf) >= 4:
+            (length,) = _U32.unpack(bytes(buf[:4]))
+            if length > MAX_FRAME_BYTES:
+                raise ChannelError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte bound")
+            if len(buf) < 4 + length:
+                break
+            frames.append(bytes(buf[4:4 + length]))
+            del buf[:4 + length]
+        return frames

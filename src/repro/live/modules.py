@@ -1,0 +1,243 @@
+"""Host-backed monitoring modules for the live backend.
+
+Each module has the *same* name and produces the *same*
+:class:`~repro.dproc.metrics.MetricId` set as its simulator
+counterpart (``MODULE_METRICS`` is the shared contract, asserted by
+the cross-backend conformance suite), but samples the real host's
+``/proc`` instead of simulated devices.  Values that the host cannot
+provide without privileged counters (hardware PMCs, per-connection
+RTT) are reported as 0.0 — present in the schema, honest about the
+source.
+
+All ``/proc`` reads are guarded: on a platform without them the
+modules report zeros rather than fail, so the live smoke test runs
+anywhere asyncio does.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.dproc.metrics import MODULE_METRICS, MetricId
+from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.dproc.modules.self_mon import SelfMon
+from repro.errors import DprocError
+from repro.runtime.protocol import RuntimeNode
+
+__all__ = ["HostCpuMon", "HostMemMon", "HostDiskMon", "HostNetMon",
+           "HostPmcMon", "host_module_factory", "HOST_MODULES"]
+
+#: Nominal NIC capacity for available-bandwidth reporting (100 Mbps,
+#: the paper's fabric) when the host interface speed is unknowable.
+NOMINAL_BANDWIDTH = 100e6 / 8.0
+
+
+def _read_proc(path: str) -> str:
+    try:
+        with open(path, "r") as fh:
+            return fh.read()
+    except OSError:
+        return ""
+
+
+class _RateTracker:
+    """Turns a cumulative host counter into a per-second rate."""
+
+    __slots__ = ("_last_t", "_last_v")
+
+    def __init__(self) -> None:
+        self._last_t: Optional[float] = None
+        self._last_v = 0.0
+
+    def rate(self, now: float, value: float) -> float:
+        last_t, last_v = self._last_t, self._last_v
+        self._last_t, self._last_v = now, value
+        if last_t is None or now <= last_t or value < last_v:
+            return 0.0
+        return (value - last_v) / (now - last_t)
+
+
+class HostCpuMon(MonitoringModule):
+    """LOADAVG from the host's 1-minute load average."""
+
+    name = "cpu"
+
+    def __init__(self, node: RuntimeNode) -> None:
+        super().__init__(node)
+        self.avg_period = 60.0
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["cpu"]
+
+    def collect(self, now: float) -> list[MetricSample]:
+        try:
+            load = os.getloadavg()[0]
+        except OSError:  # pragma: no cover - platform without loadavg
+            load = 0.0
+        return [MetricSample(MetricId.LOADAVG, float(load), now)]
+
+    def configure(self, key: str, value: float) -> None:
+        """Accept the sim module's ``period`` knob (the host kernel's
+        averaging window is fixed, so this only records intent)."""
+        if key != "period":
+            super().configure(key, value)
+        if value <= 0:
+            raise DprocError("averaging period must be positive")
+        self.avg_period = float(value)
+
+
+class HostMemMon(MonitoringModule):
+    """FREEMEM from ``/proc/meminfo``."""
+
+    name = "mem"
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["mem"]
+
+    def collect(self, now: float) -> list[MetricSample]:
+        free = 0.0
+        for line in _read_proc("/proc/meminfo").splitlines():
+            if line.startswith("MemFree:"):
+                try:
+                    free = float(line.split()[1]) * 1024.0
+                except (IndexError, ValueError):  # pragma: no cover
+                    free = 0.0
+                break
+        return [MetricSample(MetricId.FREEMEM, free, now)]
+
+
+class HostDiskMon(MonitoringModule):
+    """Sector and op rates from ``/proc/diskstats``."""
+
+    name = "disk"
+
+    def __init__(self, node: RuntimeNode) -> None:
+        super().__init__(node)
+        self._sectors = _RateTracker()
+        self._reads = _RateTracker()
+        self._writes = _RateTracker()
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["disk"]
+
+    @staticmethod
+    def _totals() -> tuple[float, float, float]:
+        reads = writes = sectors = 0.0
+        for line in _read_proc("/proc/diskstats").splitlines():
+            fields = line.split()
+            # Whole-device rows only (field 3 is the device name):
+            # loopN and partitions would double-count.
+            if len(fields) < 14 or not fields[2].isalpha():
+                continue
+            try:
+                reads += float(fields[3])
+                sectors += float(fields[5]) + float(fields[9])
+                writes += float(fields[7])
+            except ValueError:  # pragma: no cover - malformed procfs
+                continue
+        return sectors, reads, writes
+
+    def collect(self, now: float) -> list[MetricSample]:
+        sectors, reads, writes = self._totals()
+        return [
+            MetricSample(MetricId.DISKUSAGE,
+                         self._sectors.rate(now, sectors), now),
+            MetricSample(MetricId.DISK_READS,
+                         self._reads.rate(now, reads), now),
+            MetricSample(MetricId.DISK_WRITES,
+                         self._writes.rate(now, writes), now),
+        ]
+
+
+class HostNetMon(MonitoringModule):
+    """Interface byte/retransmission rates from ``/proc/net``."""
+
+    name = "net"
+
+    def __init__(self, node: RuntimeNode) -> None:
+        super().__init__(node)
+        self._tx = _RateTracker()
+        self._retx = _RateTracker()
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["net"]
+
+    @staticmethod
+    def _tx_bytes() -> float:
+        total = 0.0
+        for line in _read_proc("/proc/net/dev").splitlines():
+            if ":" not in line:
+                continue
+            name, _, rest = line.partition(":")
+            if name.strip() == "lo":
+                continue
+            fields = rest.split()
+            if len(fields) >= 9:
+                try:
+                    total += float(fields[8])
+                except ValueError:  # pragma: no cover
+                    continue
+        return total
+
+    @staticmethod
+    def _retransmissions() -> float:
+        lines = _read_proc("/proc/net/snmp").splitlines()
+        for header, values in zip(lines, lines[1:]):
+            if header.startswith("Tcp:") and values.startswith("Tcp:"):
+                keys = header.split()[1:]
+                vals = values.split()[1:]
+                if "RetransSegs" in keys:
+                    try:
+                        return float(vals[keys.index("RetransSegs")])
+                    except (IndexError, ValueError):  # pragma: no cover
+                        return 0.0
+        return 0.0
+
+    def collect(self, now: float) -> list[MetricSample]:
+        used = self._tx.rate(now, self._tx_bytes())
+        retx = self._retx.rate(now, self._retransmissions())
+        available = max(0.0, NOMINAL_BANDWIDTH - used)
+        return [
+            MetricSample(MetricId.NET_BANDWIDTH, available, now),
+            MetricSample(MetricId.NET_RTT, 0.0, now),
+            MetricSample(MetricId.NET_RETX, retx, now),
+            MetricSample(MetricId.NET_LOST, 0.0, now),
+            MetricSample(MetricId.NET_USED, used, now),
+            MetricSample(MetricId.NET_DELAY, 0.0, now),
+        ]
+
+
+class HostPmcMon(MonitoringModule):
+    """PMC stand-in: hardware counters need perf privileges, so both
+    metrics report 0.0 (schema-present, value-honest)."""
+
+    name = "pmc"
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["pmc"]
+
+    def collect(self, now: float) -> list[MetricSample]:
+        return [MetricSample(MetricId.CACHE_MISS, 0.0, now),
+                MetricSample(MetricId.INSTRUCTIONS, 0.0, now)]
+
+
+#: module name -> host-backed class (SELF_MON is backend-neutral:
+#: it reads the node's telemetry registry, which LiveNode provides).
+HOST_MODULES = {
+    "cpu": HostCpuMon,
+    "mem": HostMemMon,
+    "disk": HostDiskMon,
+    "net": HostNetMon,
+    "pmc": HostPmcMon,
+    "dproc": SelfMon,
+}
+
+
+def host_module_factory(name: str, node: RuntimeNode):
+    """The live backend's ``module_factory`` for ``deploy_dproc``."""
+    try:
+        cls = HOST_MODULES[name]
+    except KeyError:
+        raise DprocError(f"no host module named {name!r}") from None
+    return cls(node)

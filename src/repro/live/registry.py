@@ -1,0 +1,253 @@
+"""The live channel registry: a directory server on a real socket.
+
+Mirrors the paper's "user-level channel directory server": d-mon
+modules contact the registry to create/find channels; here they also
+publish their data-plane socket addresses so publishers can dial
+subscribers directly (events never pass through the registry — it is
+control-plane only, exactly like the simulator's in-memory
+:class:`repro.kecho.registry.ChannelRegistry`).
+
+Protocol: JSON lines over TCP.  Clients send operations::
+
+    {"op": "sync", "hosts": {name: [ip, port]},
+     "channels": {name: {"members": [...], "subscribers": [...]}}}
+
+and the server replies to everyone with the merged directory::
+
+    {"op": "state", "version": N, "hosts": {...}, "channels": {...}}
+
+A client's ``sync`` replaces that client's whole contribution; the
+server unions contributions across clients, so multiple node-runner
+processes on one machine share one directory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional
+
+__all__ = ["RegistryServer", "RegistryClient"]
+
+
+def _merge(contributions: dict) -> tuple[dict, dict]:
+    """Union every client's contribution into one directory."""
+    hosts: dict[str, list] = {}
+    channels: dict[str, dict] = {}
+    for contrib in contributions.values():
+        hosts.update(contrib.get("hosts", {}))
+        for name, entry in contrib.get("channels", {}).items():
+            merged = channels.setdefault(
+                name, {"members": [], "subscribers": []})
+            for key in ("members", "subscribers"):
+                for host in entry.get(key, ()):
+                    if host not in merged[key]:
+                        merged[key].append(host)
+    return hosts, channels
+
+
+class RegistryServer:
+    """Serves the channel directory on a localhost TCP socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[tuple[str, int]] = None
+        self.version = 0
+        #: client id -> that client's latest sync contribution.
+        self._contributions: dict[int, dict] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._serve_tasks: set[asyncio.Task] = set()
+        self._next_client = 0
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve, self._host, self._port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Closing the writers EOFs each client loop, so the serve
+        # tasks exit on their own rather than being cancelled (a
+        # cancelled client_connected_cb task makes asyncio log noise).
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._serve_tasks:
+            await asyncio.gather(*self._serve_tasks,
+                                 return_exceptions=True)
+            self._serve_tasks.clear()
+        self._writers.clear()
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
+            task.add_done_callback(self._serve_tasks.discard)
+        cid = self._next_client
+        self._next_client += 1
+        self._writers[cid] = writer
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = json.loads(line)
+                except ValueError:
+                    continue
+                if msg.get("op") == "sync":
+                    self._contributions[cid] = msg
+                    self._broadcast()
+        finally:
+            self._writers.pop(cid, None)
+            # A vanished client's hosts/subscriptions leave with it.
+            if self._contributions.pop(cid, None) is not None:
+                self._broadcast()
+            writer.close()
+
+    def _broadcast(self) -> None:
+        self.version += 1
+        hosts, channels = _merge(self._contributions)
+        line = (json.dumps({"op": "state", "version": self.version,
+                            "hosts": hosts, "channels": channels},
+                           separators=(",", ":")) + "\n").encode()
+        for writer in self._writers.values():
+            writer.write(line)
+
+
+class RegistryClient:
+    """One process's connection to the registry server.
+
+    Keeps a local directory cache that is updated *optimistically* on
+    local operations (so same-process publishers see a subscription the
+    instant it happens, matching the simulator's synchronous registry)
+    and *authoritatively* from server broadcasts (so other processes'
+    hosts and subscriptions appear as they sync).
+    """
+
+    def __init__(self) -> None:
+        self.hosts: dict[str, tuple[str, int]] = {}
+        self.channels: dict[str, dict] = {}
+        #: Bumped on every directory change, local or remote.
+        self.version = 0
+        self._local: dict = {"hosts": {}, "channels": {}}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        #: Called after every directory change (bus cache invalidation).
+        self.on_change: Optional[Callable[[], None]] = None
+
+    async def connect(self, address: tuple[str, int]) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            address[0], address[1])
+        self._reader_task = asyncio.ensure_future(self._listen())
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # -- local operations (optimistic + pushed to the server) -------------
+
+    def register_host(self, host: str, address: tuple[str, int]) -> None:
+        self._local["hosts"][host] = list(address)
+        self.hosts[host] = (address[0], int(address[1]))
+        self._bump()
+
+    def open_channel(self, name: str, host: str) -> None:
+        entry = self._local["channels"].setdefault(
+            name, {"members": [], "subscribers": []})
+        if host not in entry["members"]:
+            entry["members"].append(host)
+        cached = self.channels.setdefault(
+            name, {"members": [], "subscribers": []})
+        if host not in cached["members"]:
+            cached["members"].append(host)
+        self._bump()
+
+    def leave_channel(self, name: str, host: str) -> None:
+        entry = self._local["channels"].get(name)
+        if entry is not None and host in entry["members"]:
+            entry["members"].remove(host)
+        cached = self.channels.get(name)
+        if cached is not None and host in cached["members"]:
+            cached["members"].remove(host)
+        self._bump()
+
+    def set_subscribers(self, name: str,
+                        subscribers: list[str]) -> None:
+        """Replace this process's subscriber list for one channel."""
+        entry = self._local["channels"].setdefault(
+            name, {"members": [], "subscribers": []})
+        entry["subscribers"] = list(subscribers)
+        cached = self.channels.setdefault(
+            name, {"members": [], "subscribers": []})
+        cached["subscribers"] = list(subscribers)
+        self._bump()
+
+    # -- queries ----------------------------------------------------------
+
+    def host_address(self, host: str) -> Optional[tuple[str, int]]:
+        return self.hosts.get(host)
+
+    def subscribers(self, name: str) -> list[str]:
+        entry = self.channels.get(name)
+        return list(entry["subscribers"]) if entry else []
+
+    # -- internals --------------------------------------------------------
+
+    def _bump(self) -> None:
+        self.version += 1
+        if self._writer is not None:
+            line = (json.dumps({"op": "sync", **self._local},
+                               separators=(",", ":")) + "\n").encode()
+            self._writer.write(line)
+        if self.on_change is not None:
+            self.on_change()
+
+    async def _listen(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                return
+            try:
+                msg = json.loads(line)
+            except ValueError:
+                continue
+            if msg.get("op") != "state":
+                continue
+            hosts = {h: (a[0], int(a[1]))
+                     for h, a in msg.get("hosts", {}).items()}
+            channels = msg.get("channels", {})
+            # Merge authoritative state with our optimistic local view
+            # (ours may be ahead of the broadcast in flight).
+            local_hosts = {h: (a[0], int(a[1]))
+                           for h, a in self._local["hosts"].items()}
+            hosts.update(local_hosts)
+            for name, entry in self._local["channels"].items():
+                merged = channels.setdefault(
+                    name, {"members": [], "subscribers": []})
+                for key in ("members", "subscribers"):
+                    for host in entry[key]:
+                        if host not in merged[key]:
+                            merged[key].append(host)
+            self.hosts = hosts
+            self.channels = channels
+            self.version += 1
+            if self.on_change is not None:
+                self.on_change()

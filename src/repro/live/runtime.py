@@ -1,0 +1,159 @@
+"""LiveRuntime: localhost asyncio node runner behind the Runtime protocol.
+
+Runs N :class:`~repro.live.node.LiveNode` hosts as asyncio tasks in
+one process, each with its own real TCP server socket; a
+:class:`~repro.live.registry.RegistryServer` (self-hosted by default,
+or an external one via ``registry``) serves the channel directory, so
+additional runner processes can join the same cluster by pointing at
+the same registry address.
+
+Because socket and task creation are event-loop operations, scenario
+construction is *deferred*: callers queue setup callbacks with
+:meth:`setup` and then call :meth:`run`, which brings the world up,
+executes the callbacks inside the loop, lets wall-clock time pass,
+and tears everything down (d-mon stop, task cancel, socket close).
+The :class:`repro.api.Scenario` facade hides this asymmetry — the same
+scenario script drives either backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.live.bus import LiveBus
+from repro.live.clock import AsyncClock
+from repro.live.modules import host_module_factory
+from repro.live.node import LiveNode
+from repro.live.registry import RegistryClient, RegistryServer
+
+__all__ = ["LiveRuntime", "LiveNodeGroup"]
+
+
+class LiveNodeGroup:
+    """Satisfies :class:`repro.runtime.protocol.NodeGroup`."""
+
+    def __init__(self, nodes: dict[str, LiveNode]) -> None:
+        self._nodes = nodes
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._nodes)
+
+    def __getitem__(self, name: str) -> LiveNode:
+        return self._nodes[name]
+
+    def __iter__(self) -> Iterator[LiveNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def _default_names(n: int) -> list[str]:
+    from repro.sim.cluster import PAPER_NODE_NAMES
+    return [PAPER_NODE_NAMES[i] if i < len(PAPER_NODE_NAMES)
+            else f"node{i}" for i in range(n)]
+
+
+class LiveRuntime:
+    """Real-time localhost backend (asyncio tasks + TCP sockets)."""
+
+    backend = "live"
+
+    #: The live analogue of ``deploy_dproc``'s default module set.
+    module_factory = staticmethod(host_module_factory)
+
+    def __init__(self, nodes: int = 4, seed: int = 0,
+                 names: Optional[Sequence[str]] = None,
+                 registry: Optional[tuple[str, int]] = None) -> None:
+        if nodes < 1:
+            raise ValueError("a live cluster needs at least one node")
+        self.clock = AsyncClock()
+        host_names = list(names) if names is not None \
+            else _default_names(nodes)
+        if len(host_names) != nodes:
+            raise ValueError("names/nodes mismatch")
+        self._nodes = {
+            name: LiveNode(name, self.clock, seed=seed, index=i)
+            for i, name in enumerate(host_names)}
+        self.nodes = LiveNodeGroup(self._nodes)
+        self._registry_addr = registry
+        self._registry_server: Optional[RegistryServer] = None
+        self.registry_client = RegistryClient()
+        self._bus: Optional[LiveBus] = None
+        self._setups: list[Callable[["LiveRuntime"], None]] = []
+        self._teardowns: list[Callable[["LiveRuntime"], None]] = []
+        self.finished = False
+
+    # -- the Runtime protocol ----------------------------------------------
+
+    def make_bus(self) -> LiveBus:
+        """The process-wide bus (one per runtime; idempotent)."""
+        if self._bus is None:
+            self._bus = LiveBus()
+            self._bus.attach_registry(self.registry_client)
+        return self._bus
+
+    def run(self, until: float) -> None:
+        """Bring the cluster up, run ``until`` wall seconds, tear down."""
+        asyncio.run(self._main(until))
+
+    def shutdown(self) -> None:
+        """Everything real is torn down inside :meth:`run`."""
+        self.finished = True
+
+    # -- scenario hooks ----------------------------------------------------
+
+    def setup(self, fn: Callable[["LiveRuntime"], None]) -> None:
+        """Queue ``fn(runtime)`` to run once the event loop is up."""
+        self._setups.append(fn)
+
+    def on_teardown(self, fn: Callable[["LiveRuntime"], None]) -> None:
+        """Queue ``fn(runtime)`` to run just before shutdown."""
+        self._teardowns.append(fn)
+
+    # -- the run loop ------------------------------------------------------
+
+    async def _main(self, until: float) -> None:
+        self.clock.start()
+        registry_addr = self._registry_addr
+        if registry_addr is None:
+            self._registry_server = RegistryServer()
+            registry_addr = await self._registry_server.start()
+        await self.registry_client.connect(registry_addr)
+        client = self.registry_client
+        try:
+            for node in self._nodes.values():
+                address = await node.stack.start()
+                node.stack.resolve = client.host_address
+                client.register_host(node.name, address)
+            self.make_bus()
+            for fn in self._setups:
+                fn(self)
+            # Let real time pass; sockets and pollers do the work.
+            remaining = until - self.clock.now
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+        finally:
+            await self._teardown()
+
+    async def _teardown(self) -> None:
+        for fn in self._teardowns:
+            fn(self)
+        # Stop any dproc deployed on our nodes (closes endpoints and
+        # interrupts pollers), then hard-cancel remaining tasks.
+        for node in self._nodes.values():
+            dproc = node.services.get("dproc")
+            if dproc is not None:
+                dproc.stop()
+        # One loop turn so interrupt cancellations unwind cleanly.
+        await asyncio.sleep(0)
+        await self.clock.cancel_all()
+        for node in self._nodes.values():
+            await node.stack.stop()
+        await self.registry_client.close()
+        if self._registry_server is not None:
+            await self._registry_server.stop()
+            self._registry_server = None
+        self.finished = True

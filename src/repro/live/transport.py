@@ -1,0 +1,191 @@
+"""Per-node TCP transport: the live implementation of ``Transport``.
+
+Each :class:`LiveStack` owns one real TCP server socket on localhost;
+a connection to another host dials that host's server (address found
+through the :class:`~repro.live.registry.RegistryClient` directory) and
+writes length-prefixed codec frames.  The surface mirrors the
+simulator's ``NetStack`` exactly — ``bind``/``unbind`` a tag handler,
+``connect`` for a :class:`LiveConnection`, ``batch`` as a no-op — so
+:class:`repro.kecho.channel.ChannelEndpoint` runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import contextmanager
+from types import SimpleNamespace
+from typing import Any, Callable, Optional
+
+from repro.errors import TransportError
+from repro.kecho.event import ChannelEvent
+from repro.live.codec import FrameDecoder, decode_frame, encode_frame
+from repro.runtime.series import CounterTrace
+
+__all__ = ["LiveStack", "LiveConnection", "LiveCompletion"]
+
+Resolver = Callable[[str], Optional[tuple[str, int]]]
+
+
+class LiveCompletion:
+    """Synchronous completion handle for one send.
+
+    Satisfies :class:`repro.runtime.protocol.Completion`.  A live
+    socket write either queues successfully (``_ok``) or the
+    connection is known-dead; callbacks fire immediately either way,
+    which is how the sim's same-instant delivery callbacks behave from
+    the publisher's perspective.
+    """
+
+    __slots__ = ("_ok", "defused")
+
+    def __init__(self, ok: bool) -> None:
+        self._ok = ok
+        self.defused = False
+
+    def add_callback(self, fn: Callable[["LiveCompletion"], None]) -> None:
+        fn(self)
+
+
+class LiveConnection:
+    """One logical connection to a remote host (lazily dialled).
+
+    Frames written before the TCP connect completes are buffered and
+    flushed on connection; after a connection error every further send
+    reports a failed completion (the publisher keeps running — delivery
+    failure must never take d-mon down).
+    """
+
+    def __init__(self, stack: "LiveStack", dst: str, tag: str) -> None:
+        self.stack = stack
+        self.dst = dst
+        self.tag = tag
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: list[bytes] = []
+        self._dead = False
+        self._opener = asyncio.ensure_future(self._open())
+
+    async def _open(self) -> None:
+        address = self.stack.resolve(self.dst)
+        if address is None:
+            self._dead = True
+            return
+        try:
+            _reader, writer = await asyncio.open_connection(
+                address[0], address[1])
+        except OSError:
+            self._dead = True
+            return
+        self._writer = writer
+        pending, self._pending = self._pending, []
+        for frame in pending:
+            writer.write(frame)
+
+    def send(self, payload: Any, size: float) -> LiveCompletion:
+        """Encode and transmit one :class:`ChannelEvent`."""
+        if not isinstance(payload, ChannelEvent):
+            raise TransportError(
+                "live transport carries ChannelEvent frames only")
+        if self._dead:
+            return LiveCompletion(ok=False)
+        frame = encode_frame(self.tag, payload)
+        now = self.stack.clock.now
+        self.stack.bytes_out.add(now, float(len(frame)))
+        self.stack._t_tx.inc(len(frame))
+        if self._writer is None:
+            self._pending.append(frame)
+        else:
+            try:
+                self._writer.write(frame)
+            except Exception:
+                self._dead = True
+                return LiveCompletion(ok=False)
+        return LiveCompletion(ok=True)
+
+    def close(self) -> None:
+        self._opener.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._dead = True
+
+
+class LiveStack:
+    """One node's TCP endpoint: server socket + tagged dispatch."""
+
+    def __init__(self, host: str, clock, telemetry) -> None:
+        self.host = host
+        self.clock = clock
+        self.handlers: dict[str, Callable] = {}
+        self.connections: list[LiveConnection] = []
+        self.address: Optional[tuple[str, int]] = None
+        #: Host-name → (ip, port) lookup; wired to the registry client
+        #: by the runtime before any connection is made.
+        self.resolve: Resolver = lambda host: None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.bytes_in = CounterTrace(f"{host}:rx-bytes")
+        self.bytes_out = CounterTrace(f"{host}:tx-bytes")
+        self._t_tx = telemetry.counter("net.tx_frame_bytes")
+        self._t_rx = telemetry.counter("net.rx_frame_bytes")
+        self._t_undeliverable = telemetry.counter("net.undeliverable")
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Open the server socket (port 0 → ephemeral) and return it."""
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        for conn in self.connections:
+            conn.close()
+        self.connections.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- the Transport protocol -------------------------------------------
+
+    def bind(self, tag: str, handler: Callable) -> None:
+        if tag in self.handlers:
+            raise TransportError(
+                f"tag {tag!r} already bound on {self.host}")
+        self.handlers[tag] = handler
+
+    def unbind(self, tag: str) -> None:
+        self.handlers.pop(tag, None)
+
+    def connect(self, dst: str, tag: str) -> LiveConnection:
+        conn = LiveConnection(self, dst, tag)
+        self.connections.append(conn)
+        return conn
+
+    @contextmanager
+    def batch(self):
+        """No-op: real sockets need no bandwidth reallocation."""
+        yield self
+
+    # -- receive path ------------------------------------------------------
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                now = self.clock.now
+                self.bytes_in.add(now, float(len(data)))
+                self._t_rx.inc(len(data))
+                for frame in decoder.feed(data):
+                    tag, event = decode_frame(frame)
+                    handler = self.handlers.get(tag)
+                    if handler is None:
+                        self._t_undeliverable.inc()
+                        continue
+                    handler(SimpleNamespace(payload=event, span=None))
+        finally:
+            writer.close()

@@ -1,0 +1,20 @@
+"""Backend-neutral runtime layer: protocols + the sim adapter.
+
+See :mod:`repro.runtime.protocol` for the contract and
+:mod:`repro.runtime.sim` / :mod:`repro.live` for the two backends.
+"""
+
+from repro.runtime.protocol import (Bus, Clock, Completion, Connection,
+                                    Endpoint, NodeGroup, Runtime,
+                                    RuntimeNode, TaskHandle, Timer,
+                                    Transport)
+from repro.runtime.series import (CounterTrace, EwmaLoad, TimeSeries,
+                                  WindowAverage)
+from repro.runtime.sim import SimRuntime
+
+__all__ = [
+    "Clock", "Timer", "Completion", "TaskHandle", "Connection",
+    "Transport", "RuntimeNode", "Endpoint", "Bus", "NodeGroup",
+    "Runtime", "SimRuntime",
+    "TimeSeries", "CounterTrace", "WindowAverage", "EwmaLoad",
+]

@@ -1,0 +1,236 @@
+"""The backend-neutral runtime protocol.
+
+Everything dproc and KECho need from their execution environment is
+captured by a handful of structural :class:`~typing.Protocol` classes:
+a :class:`Clock` that owns time and timers, a :class:`Transport` that
+moves tagged messages between named hosts, and a :class:`RuntimeNode`
+bundling the per-host services (clock, RNG, cost model, telemetry,
+tracer, transport).  ``dproc.dmon``, ``kecho.channel``,
+``dproc.toolkit``, ``dproc.procfs`` and the monitoring modules depend
+only on these protocols — never on the simulator — so the same d-mon,
+parameter, and E-code filter logic runs unmodified on either backend:
+
+* :class:`repro.runtime.sim.SimRuntime` — the deterministic
+  discrete-event simulator (``repro.sim``), where time is virtual and
+  every run is bit-reproducible;
+* :class:`repro.live.runtime.LiveRuntime` — real asyncio tasks over
+  real localhost TCP sockets, where time is the wall clock.
+
+The protocols are structural (PEP 544): the simulator's concrete
+classes (``Environment``, ``Node``, ``NetStack``) satisfy them without
+inheriting from them, and so do the live backend's.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Iterator, Optional, Protocol,
+                    runtime_checkable)
+
+__all__ = [
+    "Completion", "Timer", "Clock", "TaskHandle", "Connection",
+    "Transport", "RuntimeNode", "Endpoint", "Bus", "NodeGroup",
+    "Runtime",
+]
+
+
+@runtime_checkable
+class Completion(Protocol):
+    """Handle for an asynchronous operation (a delivery in flight).
+
+    ``add_callback`` fires when the operation settles; implementations
+    expose ``_ok`` (did it succeed?) the way the simulator's
+    :class:`~repro.sim.core.SimEvent` does.
+    """
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None: ...
+
+
+@runtime_checkable
+class Timer(Protocol):
+    """What :meth:`Clock.timeout` returns: a yieldable/awaitable delay.
+
+    Process generators ``yield`` these; each backend's driver knows how
+    to wait on its own timer type (the simulator schedules a
+    :class:`~repro.sim.core.Timeout`, the live backend awaits
+    ``asyncio.sleep``).
+    """
+
+    @property
+    def delay(self) -> float: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time and timers, simulated or wall."""
+
+    @property
+    def now(self) -> float:
+        """Seconds since the run began."""
+        ...
+
+    def timeout(self, delay: float, value: Any = None) -> Timer:
+        """A timer that fires ``delay`` seconds from now."""
+        ...
+
+    @property
+    def active_process(self) -> Optional[Any]:
+        """The task currently executing (None outside any task)."""
+        ...
+
+
+@runtime_checkable
+class TaskHandle(Protocol):
+    """A spawned process/task that can be interrupted."""
+
+    @property
+    def is_alive(self) -> bool: ...
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`repro.errors.InterruptError` inside the task."""
+        ...
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """A unidirectional message path to one remote host."""
+
+    def send(self, payload: Any, size: float) -> Completion:
+        """Transmit ``payload`` (``size`` bytes on the wire)."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Per-node tagged messaging (the simulator's ``NetStack`` shape).
+
+    ``bind`` registers a receive handler for a tag (KECho uses
+    ``kecho:<channel>``); ``connect`` opens a :class:`Connection` whose
+    sends invoke the remote host's handler for the same tag.
+    """
+
+    def bind(self, tag: str, handler: Callable[[Any], None]) -> None: ...
+
+    def unbind(self, tag: str) -> None: ...
+
+    def connect(self, host: str, tag: str) -> Connection: ...
+
+    def batch(self) -> Any:
+        """Context manager grouping a burst of sends (may be a no-op)."""
+        ...
+
+
+@runtime_checkable
+class RuntimeNode(Protocol):
+    """The per-host service bundle dproc code runs against.
+
+    Concrete implementations: :class:`repro.sim.node.Node` and
+    :class:`repro.live.node.LiveNode`.  Attribute surface (structural,
+    so listed informally):
+
+    * ``name`` — unique host name;
+    * ``env`` — the node's :class:`Clock`;
+    * ``rng`` — a ``numpy.random.Generator``;
+    * ``costs`` — a :class:`repro.sim.node.KernelCostModel`;
+    * ``telemetry`` — a :class:`repro.telemetry.TelemetryRegistry`;
+    * ``tracer`` — a :class:`repro.tracing.TraceCollector` (or the
+      null tracer);
+    * ``stack`` — the node's :class:`Transport`.
+    """
+
+    name: str
+
+    @property
+    def env(self) -> Clock: ...
+
+    @property
+    def stack(self) -> Transport: ...
+
+    def spawn(self, gen: Any, name: str = "") -> TaskHandle:
+        """Run a process generator (yielding :class:`Timer` objects)."""
+        ...
+
+    def charge_kernel_seconds(self, seconds: float) -> None:
+        """Account ``seconds`` of kernel CPU to this host."""
+        ...
+
+    def attach_service(self, name: str, service: Any) -> None:
+        """Register a named service object on the node."""
+        ...
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """One node's attachment to a pub/sub channel."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def is_subscriber(self) -> bool: ...
+
+    @property
+    def receive_cpu_seconds(self) -> float: ...
+
+    def subscribe(self, handler: Callable[[Any], None]) -> Any: ...
+
+    def submit(self, payload: Any, size: float,
+               attributes: Optional[dict] = None,
+               trace: Optional[Any] = None) -> Any: ...
+
+    def close(self) -> None: ...
+
+
+@runtime_checkable
+class Bus(Protocol):
+    """Cluster-wide channel wiring (KECho's bus shape).
+
+    ``subscription_version`` is bumped whenever any channel's
+    subscriber set may have changed; d-mon keys its audience cache on
+    it.
+    """
+
+    subscription_version: int
+
+    def connect(self, node: RuntimeNode, name: str) -> Endpoint: ...
+
+    def remote_subscribers(self, name: str, source: str) -> list[str]: ...
+
+
+@runtime_checkable
+class NodeGroup(Protocol):
+    """A named collection of nodes (the simulator's ``Cluster`` shape)."""
+
+    @property
+    def names(self) -> list[str]: ...
+
+    def __getitem__(self, name: str) -> RuntimeNode: ...
+
+    def __iter__(self) -> Iterator[RuntimeNode]: ...
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """One backend: a clock plus a group of nodes plus a bus factory.
+
+    ``run`` advances the backend until the clock reads ``until``
+    seconds (virtual for the simulator, wall for the live backend);
+    ``shutdown`` releases backend resources (sockets, tasks) and is
+    idempotent.
+    """
+
+    @property
+    def backend(self) -> str:
+        """Short backend id: ``"sim"`` or ``"live"``."""
+        ...
+
+    @property
+    def clock(self) -> Clock: ...
+
+    @property
+    def nodes(self) -> NodeGroup: ...
+
+    def make_bus(self) -> Bus: ...
+
+    def run(self, until: float) -> None: ...
+
+    def shutdown(self) -> None: ...

@@ -64,16 +64,20 @@ class Cluster:
         return list(self.nodes)
 
 
-def build_cluster(env: Environment, n_nodes: int = 8,
+def build_cluster(env: Environment, nodes: Optional[int] = None,
                   config: NodeConfig | None = None,
                   seed: int = 0,
                   names: Optional[Sequence[str]] = None,
                   node_configs: Optional[Iterable[NodeConfig]] = None,
+                  *, n_nodes: Optional[int] = None,
                   ) -> Cluster:
     """Build an *n*-node cluster on a fresh 100 Mbps switched fabric.
 
     Parameters
     ----------
+    nodes:
+        Cluster size (default 8, the paper's testbed).  ``n_nodes`` is
+        a deprecated alias.
     config:
         Default hardware config for every node.
     node_configs:
@@ -82,6 +86,10 @@ def build_cluster(env: Environment, n_nodes: int = 8,
         Host names; defaults to the paper-style names, extended with
         ``nodeK`` beyond eight.
     """
+    from repro.deprecation import rename_kwarg
+    nodes = rename_kwarg("build_cluster", "n_nodes", n_nodes,
+                         "nodes", nodes)
+    n_nodes = 8 if nodes is None else nodes
     if n_nodes < 1:
         raise SimulationError("a cluster needs at least one node")
     if names is None:

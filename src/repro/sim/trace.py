@@ -1,270 +1,14 @@
-"""Time-series tracing and windowed statistics.
+"""Backwards-compatible alias for :mod:`repro.runtime.series`.
 
-The monitoring modules and the benchmark harness both need to turn raw
-simulator activity into rates and averages:
-
-* :class:`TimeSeries` — (t, value) samples with summary statistics.
-* :class:`CounterTrace` — monotonically increasing counters with
-  windowed *rate* queries (used by DISK_MON and NET_MON).
-* :class:`WindowAverage` — sliding-window mean of samples (used by
-  CPU_MON for run-queue averaging over an application-chosen period).
-* :class:`EwmaLoad` — UNIX-style exponentially weighted load average
-  (the classic /proc/loadavg 1/5/15-minute figures).
-
-Bounded mode
-------------
-Long cluster runs (thousands of simulated seconds on hundreds of
-nodes) would otherwise grow every per-node trace without bound.  Both
-:class:`TimeSeries` and :class:`CounterTrace` accept an optional
-``max_samples``: once the sample count exceeds the bound the *oldest*
-samples are discarded in amortised-O(1) chunks, keeping recent-window
-queries (``mean(since=...)``, ``rate(now, window)``) exact while
-capping memory.  Queries that reach back past the retained horizon see
-only the retained samples (for a counter, cumulative totals remain
-correct because the trace stores running totals).
+The time-series classes were always backend-neutral; they now live in
+the runtime layer so the live asyncio backend can use them without
+importing the simulator.  This module re-exports them (same class
+objects, so ``isinstance`` checks and pickles keep working).
 """
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_left
-from collections import deque
-from typing import Iterable, Optional
-
-import numpy as np
+from repro.runtime.series import (CounterTrace, EwmaLoad, TimeSeries,
+                                  WindowAverage)
 
 __all__ = ["TimeSeries", "CounterTrace", "WindowAverage", "EwmaLoad"]
-
-
-class TimeSeries:
-    """Append-only sequence of time-stamped samples.
-
-    With ``max_samples`` set, only the most recent ``max_samples``
-    samples are retained (trimmed in chunks, amortised O(1) per
-    append).
-    """
-
-    def __init__(self, name: str = "",
-                 max_samples: Optional[int] = None) -> None:
-        if max_samples is not None and max_samples < 1:
-            raise ValueError("max_samples must be positive")
-        self.name = name
-        self.max_samples = max_samples
-        self.times: list[float] = []
-        self.values: list[float] = []
-        #: Number of samples discarded by the retention bound.
-        self.dropped_samples = 0
-
-    def record(self, t: float, value: float) -> None:
-        """Append one sample.  Timestamps must be non-decreasing."""
-        times = self.times
-        if times and t < times[-1]:
-            raise ValueError(
-                f"non-monotonic sample at t={t} (last {times[-1]})")
-        times.append(float(t))
-        self.values.append(float(value))
-        bound = self.max_samples
-        if bound is not None and len(times) >= 2 * bound:
-            # Trim in one chunk so appends stay amortised O(1).
-            cut = len(times) - bound
-            del times[:cut]
-            del self.values[:cut]
-            self.dropped_samples += cut
-
-    def __len__(self) -> int:
-        return len(self.times)
-
-    def __iter__(self) -> Iterable[tuple[float, float]]:
-        return iter(zip(self.times, self.values))
-
-    def last(self) -> float:
-        """Most recent value."""
-        if not self.values:
-            raise ValueError(f"time series {self.name!r} is empty")
-        return self.values[-1]
-
-    def mean(self, since: float = -math.inf) -> float:
-        """Arithmetic mean of samples recorded at or after ``since``."""
-        i = bisect_left(self.times, since)
-        window = self.values[i:]
-        if not window:
-            raise ValueError("no samples in requested window")
-        return float(np.mean(window))
-
-    def percentile(self, q: float, since: float = -math.inf) -> float:
-        """q-th percentile (0..100) of samples at or after ``since``."""
-        i = bisect_left(self.times, since)
-        window = self.values[i:]
-        if not window:
-            raise ValueError("no samples in requested window")
-        return float(np.percentile(window, q))
-
-    def time_average(self, t_end: float | None = None) -> float:
-        """Piecewise-constant time average from the first sample to ``t_end``.
-
-        Each sample value is held until the next sample time.
-        """
-        if len(self.times) == 0:
-            raise ValueError("time series is empty")
-        if t_end is None:
-            t_end = self.times[-1]
-        if len(self.times) == 1 or t_end <= self.times[0]:
-            return self.values[0]
-        total = 0.0
-        for i in range(len(self.times) - 1):
-            if self.times[i] >= t_end:
-                break
-            dt = min(self.times[i + 1], t_end) - self.times[i]
-            total += self.values[i] * dt
-        if t_end > self.times[-1]:
-            total += self.values[-1] * (t_end - self.times[-1])
-        span = t_end - self.times[0]
-        return total / span if span > 0 else self.values[0]
-
-    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(times, values)`` as NumPy arrays."""
-        return np.asarray(self.times), np.asarray(self.values)
-
-
-class CounterTrace:
-    """A monotonically increasing event counter with rate queries.
-
-    The trace stores ``(time, cumulative-total)`` pairs in two parallel
-    lists so windowed queries are a pair of bisects, never a scan.
-    With ``max_samples`` set, the oldest update records are discarded
-    (the running total is preserved, so ``total`` and recent-window
-    queries stay exact; queries reaching past the horizon treat the
-    oldest retained record as the epoch).
-    """
-
-    def __init__(self, name: str = "",
-                 max_samples: Optional[int] = None) -> None:
-        if max_samples is not None and max_samples < 1:
-            raise ValueError("max_samples must be positive")
-        self.name = name
-        self.max_samples = max_samples
-        self._times: list[float] = []
-        self._cumulative: list[float] = []
-        self._total = 0.0
-        #: Cumulative total at the retention horizon (0 when unbounded).
-        self._base = 0.0
-        #: Number of update records discarded by the retention bound.
-        self.dropped_samples = 0
-
-    @property
-    def total(self) -> float:
-        """Cumulative count so far."""
-        return self._total
-
-    def add(self, t: float, amount: float = 1.0) -> None:
-        """Record ``amount`` more units at time ``t``."""
-        if amount < 0:
-            raise ValueError("counters only increase")
-        times = self._times
-        if times and t < times[-1]:
-            raise ValueError("non-monotonic counter update")
-        self._total += amount
-        times.append(t)
-        self._cumulative.append(self._total)
-        bound = self.max_samples
-        if bound is not None and len(times) >= 2 * bound:
-            cut = len(times) - bound
-            self._base = self._cumulative[cut - 1]
-            del times[:cut]
-            del self._cumulative[:cut]
-            self.dropped_samples += cut
-
-    def count_between(self, t0: float, t1: float) -> float:
-        """Units accumulated in the half-open window ``(t0, t1]``."""
-        if t1 < t0:
-            raise ValueError("window end precedes start")
-        return self._cumulative_at(t1) - self._cumulative_at(t0)
-
-    def rate(self, now: float, window: float) -> float:
-        """Average accumulation rate over the trailing ``window`` seconds."""
-        if window <= 0:
-            raise ValueError("window must be positive")
-        return self.count_between(now - window, now) / window
-
-    def _cumulative_at(self, t: float) -> float:
-        # Index of the first record strictly after t; everything at or
-        # before t has happened.
-        i = bisect_left(self._times, t)
-        times = self._times
-        n = len(times)
-        while i < n and times[i] <= t:
-            i += 1
-        return self._cumulative[i - 1] if i > 0 else self._base
-
-
-class WindowAverage:
-    """Sliding-window average over the most recent ``window`` seconds."""
-
-    def __init__(self, window: float) -> None:
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self.window = float(window)
-        self._samples: deque[tuple[float, float]] = deque()
-        self._sum = 0.0
-
-    def record(self, t: float, value: float) -> None:
-        """Add one sample, expiring samples older than the window."""
-        self._samples.append((t, float(value)))
-        self._sum += value
-        cutoff = t - self.window
-        while self._samples and self._samples[0][0] < cutoff:
-            _, old = self._samples.popleft()
-            self._sum -= old
-
-    def set_window(self, window: float) -> None:
-        """Change the averaging period (used when an application tunes it)."""
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self.window = float(window)
-
-    @property
-    def value(self) -> float:
-        """Current window mean (0.0 with no samples)."""
-        if not self._samples:
-            return 0.0
-        return self._sum / len(self._samples)
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-
-class EwmaLoad:
-    """UNIX exponentially-weighted load averages (1/5/15 minutes).
-
-    Mirrors the kernel's ``calc_load``: on each sample at interval
-    ``dt``, ``load = load * exp(-dt/tau) + n * (1 - exp(-dt/tau))``.
-    """
-
-    PERIODS = (60.0, 300.0, 900.0)
-
-    def __init__(self) -> None:
-        self.loads = [0.0, 0.0, 0.0]
-        self._last_t: float | None = None
-
-    def update(self, t: float, runnable: float) -> None:
-        """Fold in the instantaneous run-queue length at time ``t``.
-
-        The first sample only anchors the clock (averages stay at the
-        boot value 0.0, as on a freshly started kernel); subsequent
-        samples decay exponentially toward the observed run queue.
-        """
-        if self._last_t is None:
-            pass  # anchor only
-        else:
-            dt = t - self._last_t
-            if dt < 0:
-                raise ValueError("time went backwards")
-            for i, tau in enumerate(self.PERIODS):
-                decay = math.exp(-dt / tau)
-                self.loads[i] = self.loads[i] * decay \
-                    + runnable * (1.0 - decay)
-        self._last_t = t
-
-    def as_tuple(self) -> tuple[float, float, float]:
-        """The (1min, 5min, 15min) averages."""
-        return tuple(self.loads)  # type: ignore[return-value]

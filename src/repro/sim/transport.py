@@ -167,6 +167,10 @@ class NetStack:
         self.connections.append(conn)
         return conn
 
+    def batch(self):
+        """Group several sends into one fabric bandwidth reallocation."""
+        return self.fabric.batch()
+
     # -- data path -----------------------------------------------------------
 
     def _send(self, conn: Connection, payload: Any,

@@ -29,13 +29,13 @@ def env() -> Environment:
 @pytest.fixture
 def cluster3(env):
     """A small 3-node cluster (alan/maui/etna, as in the paper)."""
-    return build_cluster(env, n_nodes=3, seed=42)
+    return build_cluster(env, nodes=3, seed=42)
 
 
 @pytest.fixture
 def cluster8(env):
     """The paper's full 8-node cluster."""
-    return build_cluster(env, n_nodes=8, seed=42)
+    return build_cluster(env, nodes=8, seed=42)
 
 
 def run_process(env: Environment, gen, until: float | None = None):

@@ -16,7 +16,7 @@ from repro.workloads import Linpack
 
 def make_site(env, federation, site_name, prefix, n_nodes=3):
     names = [f"{prefix}{i}" for i in range(n_nodes)]
-    cluster = build_cluster(env, n_nodes=n_nodes, seed=7, names=names)
+    cluster = build_cluster(env, nodes=n_nodes, seed=7, names=names)
     dprocs = deploy_dproc(cluster)
     for dp in dprocs.values():
         dp.dmon.modules["cpu"].configure("period", 4.0)

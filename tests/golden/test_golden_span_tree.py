@@ -38,7 +38,11 @@ SCENARIO = {
 
 
 def build_record() -> dict:
-    collector = run_trace_scenario(**SCENARIO)
+    # The pinned record keeps the historical "n_nodes" key; the call
+    # uses the canonical kwarg.
+    kwargs = dict(SCENARIO)
+    kwargs["nodes"] = kwargs.pop("n_nodes")
+    collector = run_trace_scenario(**kwargs)
     # Pin the biggest complete tree: deterministic, and it exercises
     # the full module -> dmon -> kecho -> transport -> delivery ->
     # update fan-out.

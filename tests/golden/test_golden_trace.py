@@ -60,7 +60,11 @@ def _round(value):
 
 
 def build_record() -> dict:
-    report = chaos_recovery(**SCENARIO)
+    # The pinned record keeps the historical "n_nodes" key; the call
+    # uses the canonical kwarg.
+    kwargs = dict(SCENARIO)
+    kwargs["nodes"] = kwargs.pop("n_nodes")
+    report = chaos_recovery(**kwargs)
     return _round({
         "scenario": SCENARIO,
         "victim": report.victim,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness.chaos import ChaosReport, chaos_recovery
 
-SMALL = dict(n_nodes=10, duration=40.0, seed=7)
+SMALL = dict(nodes=10, duration=40.0, seed=7)
 
 
 @pytest.fixture(scope="module")
@@ -48,5 +48,5 @@ class TestDeterminism:
         assert again.events == report.events
 
     def test_different_seed_diverges(self, report):
-        other = chaos_recovery(n_nodes=10, duration=40.0, seed=8)
+        other = chaos_recovery(nodes=10, duration=40.0, seed=8)
         assert other.trace != report.trace

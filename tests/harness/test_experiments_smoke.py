@@ -45,12 +45,9 @@ class TestMicrobenchSmoke:
             assert s.y_at(2) >= 0.0
 
     def test_bad_config_mode_rejected(self):
-        from repro.harness.microbench import _deploy
-        from repro.sim import Environment, build_cluster
-        env = Environment()
-        cluster = build_cluster(env, 2)
+        from repro.harness.microbench import _scenario
         with pytest.raises(ValueError, match="unknown configuration"):
-            _deploy(cluster, 2, "hourly")
+            _scenario(2, "hourly", seed=0).build()
 
 
 class TestAppbenchSmoke:

@@ -1,0 +1,158 @@
+"""The Scenario facade and the deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Scenario, ScenarioError
+from repro.deprecation import reset_deprecations
+from repro.dproc import MetricId
+from repro.sim import Environment, build_cluster
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecations():
+    reset_deprecations()
+    yield
+    reset_deprecations()
+
+
+class TestBuildAndRun:
+    def test_build_exposes_world(self):
+        sc = Scenario(nodes=3, seed=1).build()
+        assert sc.backend == "sim"
+        assert len(sc.nodes) == 3
+        assert set(sc.dprocs) == set(sc.nodes.names)
+        assert sc.env.now == 0.0
+        assert sc.clock is sc.env
+
+    def test_build_is_idempotent(self):
+        sc = Scenario(nodes=2).build()
+        runtime = sc.runtime
+        assert sc.build().runtime is runtime
+
+    def test_run_advances_and_returns_self(self):
+        sc = Scenario(nodes=2, seed=3)
+        assert sc.run(5.0) is sc
+        assert sc.env.now == 5.0
+        sc.run(5.0)
+        assert sc.env.now == 10.0
+
+    def test_run_until_is_absolute(self):
+        sc = Scenario(nodes=2, seed=3).run_until(4.0)
+        assert sc.env.now == 4.0
+
+    def test_monitor_hosts_int_prefix(self):
+        sc = Scenario(nodes=4, seed=0, monitor_hosts=2).build()
+        assert list(sc.dprocs) == sc.nodes.names[:2]
+
+    def test_monitor_hosts_by_name(self):
+        sc = Scenario(nodes=3, seed=0,
+                      monitor_hosts=["etna"]).build()
+        assert list(sc.dprocs) == ["etna"]
+
+    def test_same_seed_same_world(self):
+        def reading(seed):
+            sc = Scenario(nodes=3, seed=seed).run(10.0)
+            n0, n1 = sc.nodes.names[:2]
+            return sc.dprocs[n0].metric(n1, MetricId.FREEMEM)
+        assert reading(7) == reading(7)
+
+    def test_overhead_summary_shape(self):
+        sc = Scenario(nodes=2, seed=0).run(5.0)
+        report = sc.overhead()
+        assert report["n_nodes"] == 2
+        assert report["sim_seconds"] == 5.0
+        assert report["polls"] > 0
+
+
+class TestPhaseErrors:
+    def test_unknown_backend(self):
+        with pytest.raises(ScenarioError):
+            Scenario(backend="quantum")
+
+    def test_world_needs_build(self):
+        with pytest.raises(ScenarioError):
+            Scenario().nodes
+
+    def test_hooks_frozen_after_build(self):
+        sc = Scenario(nodes=2).build()
+        with pytest.raises(ScenarioError):
+            sc.with_setup(lambda s: None)
+
+    def test_live_rejects_eager_build(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=2, backend="live").build()
+
+    def test_live_rejects_run_until(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=2, backend="live").run_until(1.0)
+
+    def test_live_rejects_faults(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=2, backend="live").with_faults()
+
+    def test_live_rejects_tracing(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=2, backend="live").with_tracing()
+
+    def test_sim_has_env_live_does_not(self):
+        sc = Scenario(nodes=2, backend="live")
+        with pytest.raises(ScenarioError):
+            sc.env
+
+
+class TestHookOrder:
+    def test_cluster_hook_runs_before_deploy(self):
+        order = []
+        sc = (Scenario(nodes=2, seed=0)
+              .with_cluster_setup(
+                  lambda s: order.append(("cluster", bool(s.dprocs))))
+              .with_setup(
+                  lambda s: order.append(("setup", bool(s.dprocs))))
+              .build())
+        assert order == [("cluster", False), ("setup", True)]
+        assert sc.dprocs
+
+    def test_fault_hook_sees_injector(self):
+        seen = []
+        (Scenario(nodes=2, seed=0)
+         .with_faults(lambda s: seen.append(s.faults))
+         .build())
+        assert seen and seen[0] is not None
+
+
+class TestDeprecationShims:
+    def test_n_nodes_warns_exactly_once(self):
+        env = Environment()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            build_cluster(env, n_nodes=2, seed=0)
+            build_cluster(Environment(), n_nodes=2, seed=0)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "n_nodes" in str(w.message)]
+        assert len(deprecations) == 1
+        assert "nodes=" in str(deprecations[0].message)
+
+    def test_n_nodes_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            cluster = build_cluster(Environment(), n_nodes=3, seed=0)
+        assert len(cluster) == 3
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="deprecated alias"):
+            build_cluster(Environment(), nodes=2, n_nodes=2)
+
+    def test_chaos_recovery_alias(self):
+        from repro.harness.chaos import chaos_recovery
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = chaos_recovery(n_nodes=4, duration=10.0,
+                                    crash_at=4.0, reboot_at=7.0)
+        assert report.n_nodes == 4
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)

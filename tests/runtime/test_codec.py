@@ -1,0 +1,118 @@
+"""Wire codec: frame round-trips and the incremental decoder."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.dproc import MetricId
+from repro.errors import ChannelError
+from repro.kecho.control import DeployFilter, SetParameter
+from repro.kecho.event import ChannelEvent
+from repro.live.codec import (FrameDecoder, MAGIC, MAX_FRAME_BYTES,
+                              decode_frame, encode_frame)
+
+
+def _roundtrip(tag: str, event: ChannelEvent):
+    frame = encode_frame(tag, event)
+    bodies = FrameDecoder().feed(frame)
+    assert len(bodies) == 1
+    return decode_frame(bodies[0])
+
+
+class TestRoundTrip:
+    def test_monitor_event(self):
+        event = ChannelEvent(
+            channel="dproc.monitor", source="maui",
+            payload={"host": "maui",
+                     "metrics": {MetricId.LOADAVG: (1.5, 2.0),
+                                 MetricId.FREEMEM: (64e6, 2.0)}},
+            size=88.0, submitted_at=2.0)
+        tag, decoded = _roundtrip("kecho:dproc.monitor", event)
+        assert tag == "kecho:dproc.monitor"
+        assert decoded.channel == event.channel
+        assert decoded.source == "maui"
+        assert decoded.payload["host"] == "maui"
+        metrics = decoded.payload["metrics"]
+        assert metrics[MetricId.LOADAVG] == (1.5, 2.0)
+        assert isinstance(next(iter(metrics)), MetricId)
+
+    def test_control_event(self):
+        msg = SetParameter(sender="alan", target="maui", metric="cpu",
+                           parameter="period", spec="2")
+        event = ChannelEvent(channel="dproc.control", source="alan",
+                             payload=msg, size=32.0, submitted_at=0.5)
+        _, decoded = _roundtrip("kecho:dproc.control", event)
+        assert decoded.payload == msg
+
+    def test_filter_deploy_event(self):
+        msg = DeployFilter(sender="alan", target="maui", metric="*",
+                           source="{ output[0] = input[LOADAVG]; }",
+                           filter_id="f1")
+        event = ChannelEvent(channel="dproc.control", source="alan",
+                             payload=msg, size=64.0, submitted_at=1.0)
+        _, decoded = _roundtrip("kecho:dproc.control", event)
+        assert decoded.payload == msg
+
+    def test_json_event(self):
+        event = ChannelEvent(channel="app", source="alan",
+                             payload={"k": [1, 2, {"v": "x"}]},
+                             size=10.0, submitted_at=3.25)
+        _, decoded = _roundtrip("custom:app", event)
+        assert decoded.payload == {"k": [1, 2, {"v": "x"}]}
+
+    def test_unencodable_payload_rejected(self):
+        event = ChannelEvent(channel="app", source="alan",
+                             payload=object(), size=1.0,
+                             submitted_at=0.0)
+        with pytest.raises(ChannelError):
+            encode_frame("custom:app", event)
+
+
+class TestIncrementalDecoder:
+    def _frames(self, n: int) -> list[bytes]:
+        return [encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={"i": i}, size=1.0,
+            submitted_at=float(i))) for i in range(n)]
+
+    def test_byte_at_a_time(self):
+        stream = b"".join(self._frames(3))
+        decoder = FrameDecoder()
+        bodies = []
+        for i in range(len(stream)):
+            bodies.extend(decoder.feed(stream[i:i + 1]))
+        assert [decode_frame(b)[1].payload["i"]
+                for b in bodies] == [0, 1, 2]
+
+    def test_multiple_frames_in_one_chunk(self):
+        stream = b"".join(self._frames(4))
+        assert len(FrameDecoder().feed(stream)) == 4
+
+    def test_partial_frame_held_back(self):
+        frame = self._frames(1)[0]
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:7]) == []
+        assert len(decoder.feed(frame[7:])) == 1
+
+    def test_oversize_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ChannelError):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+
+class TestBadFrames:
+    def test_bad_magic(self):
+        body = FrameDecoder().feed(encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={}, size=1.0,
+            submitted_at=0.0)))[0]
+        corrupt = struct.pack(">H", MAGIC ^ 0xFFFF) + body[2:]
+        with pytest.raises(ChannelError):
+            decode_frame(corrupt)
+
+    def test_truncated_body(self):
+        body = FrameDecoder().feed(encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={}, size=1.0,
+            submitted_at=0.0)))[0]
+        with pytest.raises(ChannelError):
+            decode_frame(body[:-3])

@@ -12,11 +12,11 @@ from repro.units import MB
 
 class TestBuildCluster:
     def test_default_names_match_paper(self, env):
-        c = build_cluster(env, n_nodes=3)
+        c = build_cluster(env, nodes=3)
         assert c.names == ["alan", "maui", "etna"]
 
     def test_names_extend_beyond_eight(self, env):
-        c = build_cluster(env, n_nodes=10)
+        c = build_cluster(env, nodes=10)
         assert c.names[8:] == ["node8", "node9"]
 
     def test_len_and_iter(self, cluster8):
@@ -34,28 +34,28 @@ class TestBuildCluster:
 
     def test_custom_config_applies(self, env):
         cfg = NodeConfig(n_cpus=4, memory_bytes=MB(256))
-        c = build_cluster(env, n_nodes=2, config=cfg)
+        c = build_cluster(env, nodes=2, config=cfg)
         assert c["alan"].cpu.n_cpus == 4
         assert c["alan"].memory.capacity_bytes == MB(256)
 
     def test_per_node_configs(self, env):
         cfgs = [NodeConfig(n_cpus=1), NodeConfig(n_cpus=4)]
-        c = build_cluster(env, n_nodes=2, node_configs=cfgs)
+        c = build_cluster(env, nodes=2, node_configs=cfgs)
         assert c["alan"].cpu.n_cpus == 1
         assert c["maui"].cpu.n_cpus == 4
 
     def test_mismatched_configs_rejected(self, env):
         with pytest.raises(SimulationError):
-            build_cluster(env, n_nodes=3,
+            build_cluster(env, nodes=3,
                           node_configs=[NodeConfig()])
 
     def test_zero_nodes_rejected(self, env):
         with pytest.raises(SimulationError):
-            build_cluster(env, n_nodes=0)
+            build_cluster(env, nodes=0)
 
     def test_names_mismatch_rejected(self, env):
         with pytest.raises(SimulationError):
-            build_cluster(env, n_nodes=3, names=["a", "b"])
+            build_cluster(env, nodes=3, names=["a", "b"])
 
     def test_duplicate_node_rejected(self, cluster3):
         with pytest.raises(SimulationError):

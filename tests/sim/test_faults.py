@@ -200,7 +200,7 @@ class TestDeterminism:
     def _lossy_run(seed: int) -> list[int]:
         """Delivered message ids of 50 sends under 30 % loss."""
         env = Environment()
-        cluster = build_cluster(env, n_nodes=3, seed=seed)
+        cluster = build_cluster(env, nodes=3, seed=seed)
         injector = FaultInjector(cluster)
         injector.set_message_loss(0.3)
         delivered: list[int] = []
@@ -233,7 +233,7 @@ class TestDeterminism:
 
         def run(with_injector: bool) -> list[float]:
             env = Environment()
-            cluster = build_cluster(env, n_nodes=3, seed=42)
+            cluster = build_cluster(env, nodes=3, seed=42)
             if with_injector:
                 FaultInjector(cluster)
             conn = cluster["alan"].stack.connect("maui", tag="t")

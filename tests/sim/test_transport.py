@@ -11,7 +11,7 @@ from repro.units import KB, mbps
 
 @pytest.fixture
 def pair(env):
-    cluster = build_cluster(env, n_nodes=2, seed=7)
+    cluster = build_cluster(env, nodes=2, seed=7)
     return cluster["alan"], cluster["maui"]
 
 
@@ -173,7 +173,7 @@ class TestUdp:
         assert conn.losses.total == 0
 
     def test_udp_loss_under_saturation(self, env):
-        cluster = build_cluster(env, n_nodes=3, seed=11)
+        cluster = build_cluster(env, nodes=3, seed=11)
         alan, maui = cluster["alan"], cluster["maui"]
         # Saturate maui's RX with a fixed flow from etna.
         cluster.fabric.open_fixed_flow("etna", "maui", mbps(100))
@@ -195,7 +195,7 @@ class TestUdp:
         assert delivered < 200
 
     def test_tcp_retransmissions_under_congestion(self, env):
-        cluster = build_cluster(env, n_nodes=3, seed=13)
+        cluster = build_cluster(env, nodes=3, seed=13)
         alan = cluster["alan"]
         cluster.fabric.open_fixed_flow("etna", "maui", mbps(95))
         conn = alan.stack.connect("maui", tag="t", proto=Protocol.TCP)

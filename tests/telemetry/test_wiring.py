@@ -99,7 +99,7 @@ class TestTransportInstrumentation:
 
 class TestSelfMonModule:
     def test_dproc_metrics_published(self, env):
-        cluster = build_cluster(env, n_nodes=2, seed=7)
+        cluster = build_cluster(env, nodes=2, seed=7)
         dprocs = deploy_dproc(
             cluster, modules=("cpu", "mem", "dproc"))
         env.run(until=10.0)
@@ -109,7 +109,7 @@ class TestSelfMonModule:
         assert value > 0
 
     def test_overhead_procfs_file(self, env):
-        cluster = build_cluster(env, n_nodes=2, seed=7)
+        cluster = build_cluster(env, nodes=2, seed=7)
         dprocs = deploy_dproc(cluster)
         env.run(until=10.0)
         text = dprocs["alan"].read(
@@ -118,7 +118,7 @@ class TestSelfMonModule:
         assert "monitor_cpu_seconds:" in text
 
     def test_channels_and_dmon_procfs_files(self, env):
-        cluster = build_cluster(env, n_nodes=2, seed=7)
+        cluster = build_cluster(env, nodes=2, seed=7)
         dprocs = deploy_dproc(cluster)
         env.run(until=10.0)
         channels = dprocs["alan"].read(
@@ -132,7 +132,7 @@ class TestZeroPerturbation:
     @staticmethod
     def run_trace(telemetry: bool):
         env = Environment()
-        cluster = build_cluster(env, n_nodes=4, seed=99,
+        cluster = build_cluster(env, nodes=4, seed=99,
                                 config=NodeConfig(telemetry=telemetry))
         dprocs = deploy_dproc(cluster)
         env.run(until=15.0)

@@ -19,13 +19,13 @@ from repro.harness.tracecli import (main as trace_main,
 from repro.tracing import (TraceCollector, adaptation_audit,
                            latency_breakdown, to_chrome_trace)
 
-CHAOS = dict(n_nodes=50, duration=30.0, seed=11)
+CHAOS = dict(nodes=50, duration=30.0, seed=11)
 
 
 @pytest.fixture(scope="module")
 def scenario20() -> TraceCollector:
     """The acceptance scenario: 20 nodes, seed 1, full sampling."""
-    return run_trace_scenario(n_nodes=20, seed=1, duration=30.0)
+    return run_trace_scenario(nodes=20, seed=1, duration=30.0)
 
 
 @pytest.fixture(scope="module")
@@ -87,12 +87,12 @@ class TestDeterminism:
         assert plain.rejoin_time == traced.rejoin_time
 
     def test_same_seed_same_span_trees(self):
-        a = run_trace_scenario(n_nodes=10, seed=5, duration=12.0)
-        b = run_trace_scenario(n_nodes=10, seed=5, duration=12.0)
+        a = run_trace_scenario(nodes=10, seed=5, duration=12.0)
+        b = run_trace_scenario(nodes=10, seed=5, duration=12.0)
         assert a.snapshot() == b.snapshot()
 
     def test_sampling_deterministic_and_subsetting(self):
-        kwargs = dict(n_nodes=8, seed=5, duration=10.0)
+        kwargs = dict(nodes=8, seed=5, duration=10.0)
         full = run_trace_scenario(**kwargs, sample_rate=1.0)
         s1 = run_trace_scenario(**kwargs, sample_rate=0.4)
         s2 = run_trace_scenario(**kwargs, sample_rate=0.4)
