@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -36,11 +37,19 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.dproc import DMonConfig, MetricId
 from repro.dproc.toolkit import Dproc
 from repro.kecho import KechoBus
-from repro.sim import Environment, build_cluster
-from repro.telemetry import overhead_summary
+from repro.sim import (Environment, PAPER_NODE_NAMES, build_cluster,
+                       partition_nodes, run_sharded)
+from repro.sim.shard import ShardedBus, ShardRouter, ShardWorld
+from repro.telemetry import merge_overhead_summaries, overhead_summary
 
 DEFAULT_SIZES = (8, 64, 256, 1000)
 DEFAULT_DURATION = 60.0
+#: Above this size a single-worker run is skipped (quadratic peer
+#: registration makes it build-bound); those sizes are sharded-only.
+SINGLE_WORKER_MAX = 1000
+#: ``--check`` fails when events/s drops more than this fraction below
+#: the recorded baseline.
+CHECK_TOLERANCE = 0.15
 OUTPUT = Path(__file__).resolve().parent.parent / \
     "BENCH_sim_throughput.json"
 
@@ -118,6 +127,7 @@ def run_once(n: int, duration: float) -> dict:
     events = env.events_processed
     return {
         "n_nodes": n,
+        "workers": 1,
         "sim_seconds": duration,
         "setup_seconds": round(setup_seconds, 3),
         "wall_seconds": round(wall, 3),
@@ -138,12 +148,189 @@ def run_once(n: int, duration: float) -> dict:
     }
 
 
+def _bench_names(n: int) -> list[str]:
+    """The default cluster naming, reproduced for the sharded path."""
+    return [PAPER_NODE_NAMES[i] if i < len(PAPER_NODE_NAMES)
+            else f"node{i}" for i in range(n)]
+
+
+def _build_bench_shard(spec):
+    """Build one shard of the monitored cluster (runs in the worker)."""
+    payload = spec.payload
+    profile: ScaleConfig = payload["profile"]
+    local = list(spec.local_names)
+    env = Environment()
+    cluster = build_cluster(env, nodes=len(local), seed=1, names=local)
+    bus = ShardedBus()
+    router = ShardRouter(env, spec.plan, spec.index)
+    router.attach(cluster)
+    metric_subset = frozenset(MetricId[name]
+                              for name in profile.metrics)
+    watcher_set = set(payload["watchers"])
+    dprocs = {}
+    for name in local:
+        cfg = DMonConfig(poll_interval=profile.poll_interval,
+                         metric_subset=metric_subset,
+                         subscribe_monitoring=name in watcher_set,
+                         trace_max_samples=4096)
+        dprocs[name] = Dproc(cluster[name], bus, cfg, profile.modules)
+    for name in local:
+        if name in watcher_set:
+            for host in payload["all_names"]:
+                dprocs[name].add_cluster_node(host)
+    for dproc in dprocs.values():
+        dproc.start()
+    duration = spec.duration
+
+    def harvest(world):
+        return {"overhead": overhead_summary(
+            {node.name: node.telemetry for node in world.cluster},
+            sim_seconds=duration)}
+
+    return ShardWorld(env=env, router=router, bus=bus,
+                      cluster=cluster, dprocs=dprocs, harvest=harvest)
+
+
+def run_sharded_once(n: int, duration: float, workers: int) -> dict:
+    """Run one size on the sharded kernel; returns the JSON record.
+
+    Two throughput figures are reported: ``events_per_second`` is
+    wall-clock (what this machine delivered — on a box with fewer
+    CPUs than workers the forked shards time-slice one core), and
+    ``critical_path_events_per_second`` is total events over the
+    longest per-shard CPU time plus coordination — the rate the same
+    partition sustains once each worker has a core of its own.
+    """
+    profile = scale_config(n)
+    names = _bench_names(n)
+    watchers = tuple(names if profile.n_watchers is None
+                     else names[:profile.n_watchers])
+    plan = partition_nodes(names, workers)
+    payload = {"profile": profile, "watchers": watchers,
+               "all_names": tuple(names)}
+    result = run_sharded(plan, duration, _build_bench_shard,
+                         payloads=[payload] * plan.n_shards,
+                         processes=True)
+    events = result.events_processed
+    wall = result.run_wall_seconds
+    shard_cpu = [s.cpu_seconds for s in result.shards]
+    critical = max(shard_cpu) + result.coordinator_cpu_seconds
+    return {
+        "n_nodes": n,
+        "workers": plan.n_shards,
+        "sim_seconds": duration,
+        "setup_seconds": round(result.build_wall_seconds, 3),
+        "wall_seconds": round(wall, 3),
+        "events_processed": events,
+        "events_per_second": round(events / wall, 1) if wall else None,
+        "sim_speedup": round(duration / wall, 2) if wall else None,
+        "critical_path_events_per_second":
+            round(events / critical, 1) if critical else None,
+        "windows": result.windows,
+        "conduit_messages": result.conduit_messages,
+        "lookahead": plan.lookahead,
+        "shard_cpu_seconds": [round(c, 3) for c in shard_cpu],
+        "coordinator_cpu_seconds":
+            round(result.coordinator_cpu_seconds, 3),
+        "host_cpus": os.cpu_count(),
+        "forked_workers": result.processes,
+        "config": {
+            "poll_interval": profile.poll_interval,
+            "n_watchers": profile.n_watchers,
+            "metrics": list(profile.metrics),
+            "modules": list(profile.modules),
+        },
+        "overhead": merge_overhead_summaries(
+            [s.extra["overhead"] for s in result.shards
+             if s.extra and "overhead" in s.extra]),
+    }
+
+
+def _annotate_speedups(results: list[dict]) -> None:
+    """Fill speedup-vs-single-worker fields on sharded records.
+
+    ``speedup_basis`` says which figure ``speedup`` quotes: wall
+    clock when the host has a core per worker, otherwise the
+    critical-path capacity (wall clock on an undersized host measures
+    time-slicing, not the partition).
+    """
+    singles = {r["n_nodes"]: r for r in results
+               if r.get("workers", 1) == 1}
+    for record in results:
+        workers = record.get("workers", 1)
+        single = singles.get(record["n_nodes"])
+        if workers <= 1 or single is None \
+                or not single.get("events_per_second"):
+            continue
+        base = single["events_per_second"]
+        wall_ratio = record["events_per_second"] / base \
+            if record.get("events_per_second") else None
+        cp_ratio = (record["critical_path_events_per_second"] / base
+                    if record.get("critical_path_events_per_second")
+                    else None)
+        basis = "wall" if (os.cpu_count() or 1) >= workers \
+            else "critical_path_cpu"
+        record["speedup_vs_single_wall"] = \
+            round(wall_ratio, 2) if wall_ratio else None
+        record["speedup_vs_single_critical_path"] = \
+            round(cp_ratio, 2) if cp_ratio else None
+        record["speedup_basis"] = basis
+        chosen = wall_ratio if basis == "wall" else cp_ratio
+        record["speedup"] = round(chosen, 2) if chosen else None
+
+
+def run_check(baseline_path: Path, sizes: list[int] | None,
+              duration: float, tolerance: float) -> int:
+    """Re-run the baseline's pinned sizes and fail on regression.
+
+    Every single-worker baseline record (restricted to ``sizes`` when
+    given) is re-run for ``duration`` simulated seconds; a recorded
+    events/s that drops more than ``tolerance`` fails the check.
+    Rates, not totals, are compared, so a short ``--duration`` keeps
+    the gate fast.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except FileNotFoundError:
+        print(f"check: no baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    records = [r for r in baseline.get("results", [])
+               if r.get("workers", 1) == 1
+               and r.get("events_per_second")
+               and (sizes is None or r["n_nodes"] in sizes)]
+    if not records:
+        print("check: baseline has no matching single-worker records",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    print(f"== sim throughput check: tolerance {tolerance:.0%}, "
+          f"baseline {baseline_path.name} ==")
+    for pinned in records:
+        n = pinned["n_nodes"]
+        fresh = run_once(n, duration)
+        base = pinned["events_per_second"]
+        got = fresh["events_per_second"]
+        floor = base * (1.0 - tolerance)
+        ok = got >= floor
+        failures += 0 if ok else 1
+        print(f"  n={n:<6d} baseline {base:>10.0f} ev/s  "
+              f"now {got:>10.0f} ev/s  floor {floor:>10.0f}  "
+              f"{'ok' if ok else 'REGRESSION'}")
+    if failures:
+        print(f"check FAILED: {failures} size(s) regressed more than "
+              f"{tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("check passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Simulation kernel throughput benchmark")
-    parser.add_argument("--sizes", type=int, nargs="+",
-                        default=list(DEFAULT_SIZES),
-                        help="cluster sizes to run (default: %(default)s)")
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help="cluster sizes to run (default: "
+                             f"{list(DEFAULT_SIZES)}; with --check, "
+                             "every baseline size)")
     parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
                         help="simulated seconds per run "
                              "(default: %(default)s)")
@@ -154,30 +341,72 @@ def main(argv: list[str] | None = None) -> int:
                              "top hotspots")
     parser.add_argument("--top", type=int, default=15,
                         help="rows per hotspot table with --profile")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1],
+                        help="worker counts to run each size at; 1 is "
+                             "the plain kernel, >1 the sharded kernel "
+                             "(default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: re-run the baseline's "
+                             "single-worker sizes and fail if events/s "
+                             "drops more than the tolerance")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON for --check "
+                             "(default: the --output path)")
+    parser.add_argument("--tolerance", type=float,
+                        default=CHECK_TOLERANCE,
+                        help="allowed fractional events/s drop for "
+                             "--check (default: %(default)s)")
     args = parser.parse_args(argv)
 
+    if args.check:
+        return run_check(args.baseline or args.output, args.sizes,
+                         args.duration, args.tolerance)
+
+    sizes = args.sizes if args.sizes is not None \
+        else list(DEFAULT_SIZES)
     results = []
     print(f"== sim throughput: {args.duration:g} simulated seconds ==")
-    print(f"  {'nodes':>6} {'wall (s)':>9} {'events':>10} "
-          f"{'events/s':>10} {'sim x':>7}")
-    for n in args.sizes:
-        if args.profile:
-            from repro.harness.profile import profile_call
-            record, report = profile_call(run_once, n, args.duration,
-                                          top=args.top)
-        else:
-            record = run_once(n, args.duration)
-        results.append(record)
-        print(f"  {n:6d} {record['wall_seconds']:9.2f} "
-              f"{record['events_processed']:10d} "
-              f"{record['events_per_second']:10.0f} "
-              f"{record['sim_speedup']:7.1f}")
-        if args.profile:
-            print(report.render())
+    print(f"  {'nodes':>6} {'workers':>7} {'wall (s)':>9} "
+          f"{'events':>10} {'events/s':>10} {'sim x':>7}")
+    for n in sizes:
+        for workers in args.workers:
+            if workers == 1 and n > SINGLE_WORKER_MAX:
+                print(f"  {n:6d} {1:7d}   skipped (sharded-only "
+                      f"above n={SINGLE_WORKER_MAX})")
+                continue
+            if args.profile and workers == 1:
+                from repro.harness.profile import profile_call
+                record, report = profile_call(run_once, n,
+                                              args.duration,
+                                              top=args.top)
+            elif workers == 1:
+                record = run_once(n, args.duration)
+                report = None
+            else:
+                record = run_sharded_once(n, args.duration, workers)
+                report = None
+            results.append(record)
+            print(f"  {n:6d} {record.get('workers', 1):7d} "
+                  f"{record['wall_seconds']:9.2f} "
+                  f"{record['events_processed']:10d} "
+                  f"{record['events_per_second']:10.0f} "
+                  f"{record['sim_speedup']:7.1f}")
+            if report is not None:
+                print(report.render())
+    _annotate_speedups(results)
+    for record in results:
+        if record.get("speedup") is not None:
+            print(f"  n={record['n_nodes']} x{record['workers']}: "
+                  f"{record['speedup']}x vs single worker "
+                  f"({record['speedup_basis']}; wall "
+                  f"{record['speedup_vs_single_wall']}x, "
+                  f"critical-path "
+                  f"{record['speedup_vs_single_critical_path']}x)")
 
     payload = {
         "benchmark": "sim_throughput",
         "sim_seconds": args.duration,
+        "host_cpus": os.cpu_count(),
         "results": results,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -84,6 +84,9 @@ class Scenario:
         self._names = list(names) if names is not None else None
         self._node_config = node_config
         self._node_configs = node_configs
+        self._workers = 1
+        self._workers_mode = "auto"
+        self._lookahead: Optional[float] = None
         self._cluster_hooks: list[Hook] = []
         self._setup_hooks: list[Hook] = []
         self._fault_hooks: list[Hook] = []
@@ -150,6 +153,42 @@ class Scenario:
         self._tracer_kwargs = kwargs
         return self
 
+    def with_workers(self, workers: int, *, mode: str = "auto",
+                     lookahead: Optional[float] = None) -> "Scenario":
+        """Shard the simulation across ``workers`` workers (sim only).
+
+        Nodes are partitioned into shards synchronized with
+        conservative lookahead (:mod:`repro.sim.shard`); cross-shard
+        KECho traffic rides a WAN-class conduit.  ``workers=1`` is the
+        plain single-process kernel, bit-identical to not calling this
+        at all.  ``mode`` picks where shards run:
+
+        * ``"processes"`` — one forked worker per shard (parallel);
+          incompatible with hooks/faults/tracing, which close over
+          parent state a fork cannot share back;
+        * ``"inline"`` — all shards in this process, round-robin per
+          window; the full Scenario surface works on a merged view;
+        * ``"auto"`` (default) — inline when any hook, fault or
+          tracing request is present, processes otherwise.
+
+        ``lookahead`` overrides the conduit latency (seconds); the
+        default is the WAN-hop latency the conduit models.  A sharded
+        scenario is one-shot: ``run`` once, no ``build``/``run_until``.
+        """
+        self._check_mutable()
+        if self._backend != "sim":
+            raise ScenarioError(
+                "sharding partitions the simulated cluster; the live "
+                "backend already runs real parallel tasks")
+        if workers < 1:
+            raise ScenarioError(f"workers must be >= 1, got {workers}")
+        if mode not in ("auto", "processes", "inline"):
+            raise ScenarioError(f"unknown workers mode {mode!r}")
+        self._workers = int(workers)
+        self._workers_mode = mode
+        self._lookahead = lookahead
+        return self
+
     # -- build and run -----------------------------------------------------
 
     def build(self) -> "Scenario":
@@ -158,6 +197,10 @@ class Scenario:
             raise ScenarioError(
                 "the live backend builds inside its event loop; "
                 "call run() directly")
+        if self._workers > 1:
+            raise ScenarioError(
+                "a sharded scenario builds and runs in one shot; "
+                "call run(duration) directly")
         if self.runtime is None:
             runtime = SimRuntime(
                 nodes=self._nodes, seed=self._seed,
@@ -174,6 +217,8 @@ class Scenario:
         build/teardown on the live backend (one shot).
         """
         if self._backend == "sim":
+            if self._workers > 1:
+                return self._run_sharded(duration)
             self.build()
             return self.run_until(self.env.now + duration)
         from repro.live.runtime import LiveRuntime
@@ -192,6 +237,10 @@ class Scenario:
             raise ScenarioError(
                 "stepped execution needs virtual time; the live "
                 "backend runs wall-clock in one shot")
+        if self._workers > 1:
+            raise ScenarioError(
+                "a sharded scenario runs in one shot; call "
+                "run(duration)")
         self.build()
         self.runtime.run(until)
         self._duration = until
@@ -231,10 +280,22 @@ class Scenario:
         """Cluster-wide monitoring-overhead summary for this run."""
         from repro.telemetry import overhead_summary
         self._check_built()
+        runtime_overhead = getattr(self.runtime, "overhead", None)
+        if runtime_overhead is not None and sim_seconds is None:
+            return runtime_overhead()
         span = sim_seconds if sim_seconds is not None else self._duration
         return overhead_summary(
             {node.name: node.telemetry for node in self.nodes},
             sim_seconds=span)
+
+    @property
+    def shard_result(self):
+        """Per-shard execution statistics (sharded runs only)."""
+        self._check_built()
+        result = getattr(self.runtime, "result", None)
+        if result is None or self._workers <= 1:
+            raise ScenarioError("no sharded run has completed")
+        return result
 
     # -- internals ---------------------------------------------------------
 
@@ -285,3 +346,74 @@ class Scenario:
                 fn(self)
         for fn in self._setup_hooks:
             fn(self)
+
+    def _global_names(self) -> list[str]:
+        if self._names is not None:
+            return list(self._names)
+        from repro.sim.cluster import PAPER_NODE_NAMES
+        return [PAPER_NODE_NAMES[i] if i < len(PAPER_NODE_NAMES)
+                else f"node{i}" for i in range(self._nodes)]
+
+    def _run_sharded(self, duration: float) -> "Scenario":
+        """One-shot sharded run (``with_workers(n > 1)``)."""
+        from repro.runtime.sharded import (ShardedFaultInjector,
+                                           ShardedRuntime,
+                                           _ShardDeployment)
+        from repro.sim.topology import (DEFAULT_SHARD_LOOKAHEAD,
+                                        partition_nodes)
+        if self.runtime is not None:
+            raise ScenarioError("a sharded scenario runs exactly once")
+        if self._cluster_hooks:
+            raise ScenarioError(
+                "cluster-setup hooks rewire one fabric; a sharded "
+                "run has one fabric per worker")
+        wants_inline = bool(self._setup_hooks or self._fault_hooks
+                            or self._want_faults or self._want_tracing)
+        mode = self._workers_mode
+        if mode == "auto":
+            mode = "inline" if wants_inline else "processes"
+        elif mode == "processes" and wants_inline:
+            raise ScenarioError(
+                "hooks, faults and tracing close over parent state "
+                "that forked workers cannot share back; use "
+                "with_workers(..., mode='inline')")
+        names = self._global_names()
+        plan = partition_nodes(
+            names, self._workers,
+            lookahead=self._lookahead if self._lookahead is not None
+            else DEFAULT_SHARD_LOOKAHEAD)
+        monitored = self._monitor_hosts
+        if monitored is None:
+            monitored = names
+        elif isinstance(monitored, int):
+            monitored = names[:monitored]
+        node_configs = (dict(zip(names, self._node_configs))
+                        if self._node_configs is not None else None)
+        deployment = _ShardDeployment(
+            seed=self._seed, dmon=self._dmon, modules=self._modules,
+            names=tuple(names), monitored=tuple(monitored),
+            node_config=self._node_config,
+            node_configs=node_configs)
+        runtime = ShardedRuntime(plan=plan, deployment=deployment,
+                                 processes=(mode == "processes"))
+        self.runtime = runtime
+        self._duration = duration
+        if mode == "inline":
+            runtime.build_worlds(duration)
+            self.dprocs = runtime.dprocs
+            if self._want_tracing:
+                from repro.tracing import TraceCollector, attach_tracer
+                self.tracer = (self._tracer_arg if self._tracer_arg
+                               is not None
+                               else TraceCollector(
+                                   **self._tracer_kwargs))
+                attach_tracer(runtime.nodes, self.tracer)
+            if self._want_faults:
+                self.faults = ShardedFaultInjector(plan,
+                                                   runtime.worlds)
+                for fn in self._fault_hooks:
+                    fn(self)
+            for fn in self._setup_hooks:
+                fn(self)
+        runtime.run(duration)
+        return self

@@ -91,6 +91,7 @@ def chaos_recovery(nodes: Optional[int] = None,
                    poll_interval: float = 1.0,
                    probe_interval: float = 0.5,
                    tracer=None, *,
+                   workers: int = 1,
                    n_nodes: Optional[int] = None) -> ChaosReport:
     """Run the chaos scenario on a fresh cluster and report recovery.
 
@@ -98,6 +99,12 @@ def chaos_recovery(nodes: Optional[int] = None,
     traces through the run — faulted deliveries show up as dropped
     spans annotated with the fault kind.  Tracing is passive: the
     report is bit-identical with or without it (test-enforced).
+
+    ``workers > 1`` shards the simulation (inline mode — all shards in
+    this process so the fault timeline and observer keep their global
+    view).  A sharded chaos run is deterministic for a fixed (seed,
+    workers) but is a different event schedule from ``workers=1``: the
+    observer probes cross-shard d-mon state at window granularity.
     ``n_nodes`` is a deprecated alias for ``nodes``.
     """
     from repro.deprecation import rename_kwarg
@@ -189,6 +196,8 @@ def chaos_recovery(nodes: Optional[int] = None,
     scenario = Scenario(nodes=n_nodes, seed=seed, dmon=config) \
         .with_faults(schedule_faults) \
         .with_setup(start_observer)
+    if workers > 1:
+        scenario.with_workers(workers, mode="inline")
     if tracer is not None:
         scenario.with_tracing(tracer)
     scenario.run(duration)

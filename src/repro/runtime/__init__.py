@@ -10,11 +10,12 @@ from repro.runtime.protocol import (Bus, Clock, Completion, Connection,
                                     Transport)
 from repro.runtime.series import (CounterTrace, EwmaLoad, TimeSeries,
                                   WindowAverage)
+from repro.runtime.sharded import ShardedRuntime
 from repro.runtime.sim import SimRuntime
 
 __all__ = [
     "Clock", "Timer", "Completion", "TaskHandle", "Connection",
     "Transport", "RuntimeNode", "Endpoint", "Bus", "NodeGroup",
-    "Runtime", "SimRuntime",
+    "Runtime", "SimRuntime", "ShardedRuntime",
     "TimeSeries", "CounterTrace", "WindowAverage", "EwmaLoad",
 ]

@@ -143,6 +143,11 @@ class NetStack:
         self.bytes_out = CounterTrace(f"{host}:tx-bytes")
         #: Other stacks, keyed by host name; filled in by the cluster.
         self.peers: dict[str, "NetStack"] = {}
+        #: Off-fabric route provider (a shard conduit).  When set,
+        #: ``connect`` falls through to it for hosts the local fabric
+        #: does not know — how cross-shard destinations stay reachable
+        #: without the fabric modelling them.
+        self.router = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -162,6 +167,9 @@ class NetStack:
                 proto: str = Protocol.TCP) -> Connection:
         """Open a logical connection to ``dst``."""
         if dst not in self.fabric.hosts:
+            router = self.router
+            if router is not None and router.routes(dst):
+                return router.connect(self, dst, tag, proto)
             raise TransportError(f"unknown destination host {dst!r}")
         conn = Connection(self, dst, tag, proto)
         self.connections.append(conn)
@@ -236,6 +244,98 @@ class NetStack:
         handle.done.add_callback(
             lambda _ev, m=msg, c=conn, d=done: self._delivered(m, c, d))
         return done
+
+    def send_many(self, conns: list, payload: Any,
+                  size: float) -> list[SimEvent]:
+        """Fused fan-out: one payload over several connections.
+
+        Operation-for-operation equivalent to calling
+        ``conn.send(payload, size)`` on each connection in order —
+        same message ids, RNG draw sequence, statistics arithmetic and
+        congestion probes — with the per-call dispatch and attribute
+        lookups hoisted out of the loop.  This is the KECho submit hot
+        path: at n=64 every poll fans one event out to 63 peers.
+        """
+        if size <= 0:
+            raise TransportError("message size must be positive")
+        env = self.env
+        now = env.now
+        size = float(size)
+        host = self.host
+        fabric = self.fabric
+        transfer = fabric.transfer
+        path = fabric.path
+        faults = fabric.faults
+        rng_random = self.rng.random
+        rng_poisson = self.rng.poisson
+        trace = getattr(payload, "trace", None)
+        tracer = self.tracer
+        bytes_out_add = self.bytes_out.add
+        drops_fault_inc = self._t_drops_fault.inc
+        drops_congestion_inc = self._t_drops_congestion.inc
+        retx_inc = self._t_retx.inc
+        in_flight_adjust = self._t_in_flight.adjust
+        congestion_of = self._path_congestion
+        results: list[SimEvent] = []
+        append = results.append
+        for conn in conns:
+            if not isinstance(conn, Connection):
+                # Routed (cross-shard conduit) connection: it owns its
+                # own delivery semantics; keep it in fan-out order so
+                # the per-target RNG draw sequence stays deterministic.
+                append(conn.send(payload, size))
+                continue
+            if conn.closed:
+                raise TransportError("send on closed connection")
+            dst = conn.dst
+            msg = Message(mid=next(_msg_ids), src=host, dst=dst,
+                          tag=conn.tag, payload=payload, size=size,
+                          sent_at=now, proto=conn.proto)
+            if trace is not None:
+                msg.span = tracer.start_span(
+                    trace, name=f"hop:{host}->{dst}",
+                    stage="transport", node=host, start=now,
+                    dst=dst, proto=conn.proto, size=size)
+            conn.bytes_sent.add(now, size)
+            bytes_out_add(now, size)
+            if faults is not None:
+                if faults.blocked(host, dst):
+                    drops_fault_inc()
+                    append(self._drop(
+                        msg, conn, "path blocked",
+                        fault=faults.blocked_reason(host, dst)))
+                    continue
+                p = faults.loss_probability(host, dst, path(host, dst))
+                if p > 0.0 and rng_random() < p:
+                    drops_fault_inc()
+                    append(self._drop(msg, conn, "injected loss"))
+                    continue
+            congestion = congestion_of(dst)
+            if conn.proto == Protocol.UDP:
+                p_loss = min(0.9, max(0.0, congestion - 0.9) * 5.0)
+                if rng_random() < p_loss:
+                    drops_congestion_inc()
+                    append(self._drop(msg, conn, "congestion"))
+                    continue
+            else:
+                mean_retx = max(0.0, congestion - 0.9) * 3.0
+                msg.retransmissions = int(rng_poisson(mean_retx))
+                if msg.retransmissions:
+                    conn.retransmissions.add(now, msg.retransmissions)
+                    retx_inc(msg.retransmissions)
+                    if msg.span is not None:
+                        msg.span.annotate(
+                            retransmissions=msg.retransmissions)
+            effective = size * (1 + msg.retransmissions)
+            handle = transfer(host, dst, effective,
+                              name=f"{conn.tag}:{msg.mid}")
+            in_flight_adjust(1)
+            done = env.event()
+            handle.done.add_callback(
+                lambda _ev, m=msg, c=conn, d=done:
+                self._delivered(m, c, d))
+            append(done)
+        return results
 
     def _drop(self, msg: Message, conn: Connection,
               reason: str, fault: str | None = None) -> SimEvent:

@@ -25,12 +25,14 @@ from repro.telemetry.instruments import (Counter, Gauge, Histogram,
                                          DEFAULT_LATENCY_BOUNDS)
 from repro.telemetry.registry import TelemetryRegistry
 from repro.telemetry.report import (MONITOR_CPU_COUNTERS,
+                                    merge_overhead_summaries,
                                     overhead_summary, render_json,
                                     render_text)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Span", "SpanLog",
     "DEFAULT_LATENCY_BOUNDS", "TelemetryRegistry",
-    "MONITOR_CPU_COUNTERS", "overhead_summary", "render_json",
+    "MONITOR_CPU_COUNTERS", "merge_overhead_summaries",
+    "overhead_summary", "render_json",
     "render_text",
 ]

@@ -22,7 +22,7 @@ from repro.telemetry.instruments import Counter, Gauge, Histogram, SpanLog
 from repro.telemetry.registry import TelemetryRegistry
 
 __all__ = ["render_text", "render_json", "overhead_summary",
-           "MONITOR_CPU_COUNTERS"]
+           "merge_overhead_summaries", "MONITOR_CPU_COUNTERS"]
 
 #: Registry counters (seconds) that together make up a node's
 #: monitoring CPU overhead — the quantity the paper's Figures 4-8
@@ -131,4 +131,59 @@ def overhead_summary(registries: Mapping[str, TelemetryRegistry],
             "wan_backoff_seconds": _total(registries,
                                           "wan.backoff_seconds"),
         },
+    }
+
+
+def merge_overhead_summaries(summaries) -> dict:
+    """Combine per-shard :func:`overhead_summary` dicts into one.
+
+    The sharded runtime harvests one summary per worker (each covering
+    that shard's nodes over the same simulated span); merging sums the
+    extensive quantities, recomputes the means, and picks the busiest
+    node across all shards.  Raises :class:`ValueError` on an empty
+    input or mismatched ``sim_seconds``.
+    """
+    summaries = [s for s in summaries if s]
+    if not summaries:
+        raise ValueError("no overhead summaries to merge")
+    sim_seconds = summaries[0]["sim_seconds"]
+    for s in summaries[1:]:
+        if s["sim_seconds"] != sim_seconds:
+            raise ValueError(
+                "cannot merge overhead summaries over different "
+                f"spans: {s['sim_seconds']} != {sim_seconds}")
+    n = sum(s["n_nodes"] for s in summaries)
+    components = {
+        key: sum(s["monitor_cpu_seconds"]["components"][key]
+                 for s in summaries)
+        for key in summaries[0]["monitor_cpu_seconds"]["components"]}
+    total_cpu = sum(s["monitor_cpu_seconds"]["total"]
+                    for s in summaries)
+    busiest = max(
+        (s["monitor_cpu_seconds"] for s in summaries
+         if s["monitor_cpu_seconds"]["busiest_node"] is not None),
+        key=lambda m: m["busiest_node_seconds"], default=None)
+    return {
+        "source": "repro.telemetry",
+        "n_nodes": n,
+        "sim_seconds": sim_seconds,
+        "polls": sum(s["polls"] for s in summaries),
+        "events_published": sum(s["events_published"]
+                                for s in summaries),
+        "records_published": sum(s["records_published"]
+                                 for s in summaries),
+        "monitor_cpu_seconds": {
+            "total": total_cpu,
+            "per_node_mean": (total_cpu / n) if n else 0.0,
+            "busiest_node": busiest["busiest_node"]
+            if busiest is not None else None,
+            "busiest_node_seconds": busiest["busiest_node_seconds"]
+            if busiest is not None else 0.0,
+            "components": components,
+        },
+        "cpu_fraction_of_node_time":
+            (total_cpu / (n * sim_seconds)) if n else 0.0,
+        "network": {
+            key: sum(s["network"][key] for s in summaries)
+            for key in summaries[0]["network"]},
     }

@@ -1,0 +1,184 @@
+"""Property-based tests for the shard partitioner and lookahead rules."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError, SchedulingError, ShardError
+from repro.sim import Environment, WindowScheduler, partition_nodes, \
+    partition_placement
+from repro.sim.topology import DEFAULT_SHARD_LOOKAHEAD
+
+FAST = settings(max_examples=60, deadline=None)
+
+host_counts = st.integers(min_value=1, max_value=60)
+worker_counts = st.integers(min_value=1, max_value=9)
+
+
+def _names(n: int) -> list[str]:
+    return [f"h{i:03d}" for i in range(n)]
+
+
+class TestFlatPartitionProperties:
+    @FAST
+    @given(host_counts, worker_counts)
+    def test_every_host_in_exactly_one_shard(self, n, workers):
+        names = _names(n)
+        plan = partition_nodes(names, workers)
+        seen = [h for shard in plan.shards for h in shard]
+        assert sorted(seen) == sorted(names)
+        assert len(seen) == len(set(seen)) == n
+        plan.validate(names)
+        for host in names:
+            assert host in plan.shards[plan.shard_of(host)]
+
+    @FAST
+    @given(host_counts, worker_counts)
+    def test_shards_balanced_and_clamped(self, n, workers):
+        plan = partition_nodes(_names(n), workers)
+        assert plan.n_shards == min(workers, n)
+        sizes = [len(s) for s in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(sizes)
+
+    @FAST
+    @given(host_counts, worker_counts)
+    def test_partition_is_deterministic(self, n, workers):
+        names = _names(n)
+        assert partition_nodes(names, workers) == \
+            partition_nodes(names, workers)
+
+
+#: A random two-level switch graph: switches with latency-weighted
+#: trunks, hosts placed on switches.
+@st.composite
+def switch_topologies(draw):
+    n_switches = draw(st.integers(min_value=1, max_value=8))
+    switches = [f"s{i}" for i in range(n_switches)]
+    graph = nx.Graph()
+    graph.add_nodes_from(switches)
+    for i in range(1, n_switches):
+        # Connected: each switch links to an earlier one.
+        peer = draw(st.integers(min_value=0, max_value=i - 1))
+        latency = draw(st.floats(min_value=1e-5, max_value=0.1,
+                                 allow_nan=False))
+        graph.add_edge(switches[i], switches[peer], latency=latency)
+    n_hosts = draw(st.integers(min_value=n_switches, max_value=40))
+    placement = {f"h{i:03d}": switches[draw(st.integers(
+        min_value=0, max_value=n_switches - 1))]
+        for i in range(n_hosts)}
+    return graph, placement
+
+
+class TestPlacementPartitionProperties:
+    @FAST
+    @given(switch_topologies(), worker_counts)
+    def test_hosts_covered_and_switches_kept_together(self, topo,
+                                                      workers):
+        graph, placement = topo
+        plan = partition_placement(graph, placement, workers)
+        seen = [h for shard in plan.shards for h in shard]
+        assert sorted(seen) == sorted(placement)
+        # Hosts sharing a switch never straddle a shard boundary.
+        for host, switch in placement.items():
+            peers = [h for h, s in placement.items() if s == switch]
+            assert {plan.shard_of(p) for p in peers} == \
+                {plan.shard_of(host)}
+
+    @FAST
+    @given(switch_topologies(), worker_counts)
+    def test_cut_edges_are_exactly_the_inter_shard_trunks(self, topo,
+                                                          workers):
+        graph, placement = topo
+        plan = partition_placement(graph, placement, workers)
+        switch_shard = {s: plan.shard_of(hosts[0])
+                        for s in graph.nodes
+                        for hosts in [[h for h, sw in placement.items()
+                                       if sw == s]]
+                        if hosts}
+        expected = sorted(
+            (u, v) for u, v in graph.edges
+            if u in switch_shard and v in switch_shard
+            and switch_shard[u] != switch_shard[v])
+        assert sorted(plan.cut_edges) == expected
+
+    @FAST
+    @given(switch_topologies(), worker_counts)
+    def test_lookahead_never_exceeds_min_cut_latency(self, topo,
+                                                     workers):
+        graph, placement = topo
+        plan = partition_placement(graph, placement, workers)
+        cut_latencies = [graph.edges[e]["latency"]
+                         for e in plan.cut_edges]
+        if cut_latencies:
+            assert plan.lookahead == pytest.approx(min(cut_latencies))
+        else:
+            assert plan.lookahead == DEFAULT_SHARD_LOOKAHEAD
+
+    @FAST
+    @given(switch_topologies(), worker_counts)
+    def test_min_lookahead_floor_raises_instead_of_thrashing(
+            self, topo, workers):
+        graph, placement = topo
+        plan = partition_placement(graph, placement, workers)
+        if plan.cut_edges:
+            with pytest.raises(NetworkError):
+                partition_placement(graph, placement, workers,
+                                    min_lookahead=plan.lookahead * 2)
+
+
+lookaheads = st.floats(min_value=1e-6, max_value=1.0,
+                       allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+class TestLookaheadProperties:
+    @FAST
+    @given(lookaheads, times, times)
+    def test_admissible_iff_arrival_respects_lookahead(self, la,
+                                                       send, delta):
+        sched = WindowScheduler(la, 1e9)
+        arrival = send + delta
+        assert sched.admissible(send, arrival) == (delta >= la)
+
+    @FAST
+    @given(lookaheads, times,
+           st.lists(times, max_size=8), st.lists(times, max_size=8))
+    def test_barrier_moves_and_respects_bounds(self, la, horizon_pad,
+                                               peeks, arrivals):
+        now = min(peeks + arrivals, default=0.0)
+        horizon = now + horizon_pad + 1.0
+        sched = WindowScheduler(la, horizon)
+        barrier = sched.next_barrier(now, peeks, arrivals)
+        assert barrier > now
+        assert barrier <= horizon
+        activity = min(peeks + arrivals, default=None)
+        if activity is not None:
+            # Conservative: never past the earliest activity plus L.
+            assert barrier <= max(now, activity) + la
+
+    @FAST
+    @given(lookaheads)
+    def test_scheduler_rejects_nonpositive_windows(self, la):
+        with pytest.raises(SchedulingError):
+            WindowScheduler(0.0, 10.0)
+        with pytest.raises(SchedulingError):
+            WindowScheduler(la, 0.0)
+
+    @FAST
+    @given(st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+           st.floats(min_value=1e-6, max_value=10.0, allow_nan=False))
+    def test_router_rejects_arrivals_before_now(self, now, early):
+        """A cross-shard event must never land in a shard's past."""
+        from repro.sim.shard import ShardRouter
+        plan = partition_nodes(_names(4), 2)
+        env = Environment()
+        env.run(until=now)
+        router = ShardRouter(env, plan, 0)
+        arrival = now - min(early, now) - 1e-9
+        envelope = (arrival, 1, 0, plan.shards[0][0], b"")
+        with pytest.raises(ShardError):
+            router.inject([envelope])

@@ -1,0 +1,152 @@
+"""The sharded runtime behind the Scenario facade: wiring and guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, ScenarioError
+from repro.errors import FaultInjectionError
+from repro.telemetry import merge_overhead_summaries
+
+
+class TestWithWorkersGuards:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=8).with_workers(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=8).with_workers(2, mode="threads")
+
+    def test_live_backend_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=8, backend="live").with_workers(2)
+
+    def test_build_and_run_until_are_one_shot_violations(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=8).with_workers(2).build()
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=8).with_workers(2).run_until(5.0)
+
+    def test_processes_mode_refuses_hooks(self):
+        sc = Scenario(nodes=8).with_workers(2, mode="processes") \
+            .with_setup(lambda s: None)
+        with pytest.raises(ScenarioError):
+            sc.run(1.0)
+
+    def test_cluster_hooks_refused(self):
+        sc = Scenario(nodes=8).with_workers(2, mode="inline") \
+            .with_cluster_setup(lambda s: None)
+        with pytest.raises(ScenarioError):
+            sc.run(1.0)
+
+    def test_sharded_scenario_runs_once(self):
+        sc = Scenario(nodes=8).with_workers(2)
+        sc.run(1.0)
+        with pytest.raises(ScenarioError):
+            sc.run(1.0)
+
+
+class TestShardedScenarioSurface:
+    def test_inline_exposes_merged_world(self):
+        sc = Scenario(nodes=10, seed=2) \
+            .with_workers(3, mode="inline").run(3.0)
+        assert len(sc.nodes) == 10
+        assert len(sc.dprocs) == 10
+        # Global name order is preserved across the shard interleave.
+        assert sc.nodes.names == sc._global_names()
+        assert sc.shard_result.n_shards == 3
+        assert sc.shard_result.events_processed > 0
+        assert sc.overhead()["n_nodes"] == 10
+
+    def test_monitor_hosts_subset_spans_shards(self):
+        sc = Scenario(nodes=10, seed=2, monitor_hosts=4) \
+            .with_workers(3, mode="inline").run(3.0)
+        assert sorted(sc.dprocs) == sorted(sc._global_names()[:4])
+        # Every dproc still sees the full monitored view.
+        for dproc in sc.dprocs.values():
+            hosts = {h for h in sc._global_names()[:4]}
+            assert hosts <= dproc._mounted_hosts
+
+    def test_auto_mode_picks_inline_for_hooked_scenarios(self):
+        sc = Scenario(nodes=8, seed=2).with_workers(2) \
+            .with_faults(lambda s: s.faults.set_message_loss(0.1))
+        sc.run(2.0)
+        assert sc.runtime.processes is False
+        assert sc.faults.log[0][1] == "loss 0.1 on all links"
+
+
+class TestShardedFaultInjector:
+    def _scenario(self, configure):
+        return (Scenario(nodes=8, seed=4)
+                .with_workers(2, mode="inline")
+                .with_faults(configure))
+
+    def test_scheduled_faults_log_like_plain_injector(self):
+        sc = self._scenario(lambda s: (
+            s.faults.schedule_loss(1.0, 0.3, until=2.0),
+            s.faults.schedule_partition(
+                1.5, [s.nodes.names[:4], s.nodes.names[4:]],
+                heal_at=2.5))).run(4.0)
+        assert [entry[1] for entry in sc.faults.log] == [
+            "loss 0.3 on all links",
+            "partition " + ",".join(sc.nodes.names[:4]) + " | "
+            + ",".join(sc.nodes.names[4:]),
+            "loss 0 on all links",
+            "partition healed",
+        ]
+        assert [entry[0] for entry in sc.faults.log] == \
+            [1.0, 1.5, 2.0, 2.5]
+
+    def test_crash_handlers_run_once_in_owning_shard(self):
+        crashes = []
+        def configure(s):
+            s.faults.on_crash(lambda h: crashes.append(h))
+            s.faults.on_reboot(lambda h: crashes.append(("up", h)))
+            s.faults.schedule_crash(1.0, s.nodes.names[0],
+                                    reboot_at=2.0)
+        sc = self._scenario(configure).run(3.0)
+        victim = sc.nodes.names[0]
+        assert crashes == [victim, ("up", victim)]
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            self._scenario(
+                lambda s: s.faults.schedule_crash(1.0, "nope")
+            ).run(2.0)
+
+    def test_partition_blocks_cross_group_monitoring(self):
+        sc = self._scenario(lambda s: s.faults.schedule_partition(
+            0.5, [s.nodes.names[:4], s.nodes.names[4:]])).run(6.0)
+        a = sc.nodes.names[0]
+        z = sc.nodes.names[-1]
+        # Both sides ended up isolated: each watcher's view of the
+        # other half went stale/dead (state is not "fresh").
+        from repro.dproc import PEER_FRESH
+        assert sc.dprocs[a].dmon.peer_state(z) != PEER_FRESH
+        assert sc.dprocs[z].dmon.peer_state(a) != PEER_FRESH
+
+
+class TestMergeOverheadSummaries:
+    def test_merge_matches_unsharded_accounting(self):
+        sharded = Scenario(nodes=12, seed=6) \
+            .with_workers(3, mode="inline").run(4.0)
+        merged = merge_overhead_summaries(
+            [s.extra["overhead"]
+             for s in sharded.shard_result.shards])
+        direct = sharded.overhead()
+        assert merged["n_nodes"] == direct["n_nodes"] == 12
+        assert merged["polls"] == direct["polls"]
+        total = sum(
+            s.extra["overhead"]["monitor_cpu_seconds"]["total"]
+            for s in sharded.shard_result.shards)
+        assert merged["monitor_cpu_seconds"]["total"] == \
+            pytest.approx(total)
+
+    def test_empty_and_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            merge_overhead_summaries([])
+        a = {"sim_seconds": 1.0}
+        b = {"sim_seconds": 2.0}
+        with pytest.raises(ValueError):
+            merge_overhead_summaries([a, b])
