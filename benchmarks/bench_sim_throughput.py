@@ -50,6 +50,10 @@ SINGLE_WORKER_MAX = 1000
 #: ``--check`` fails when events/s drops more than this fraction below
 #: the recorded baseline.
 CHECK_TOLERANCE = 0.15
+#: Ring bound for ``--stream`` runs: the durable log tee is passive
+#: (no RNG, no events), so the only throughput cost is appending, and
+#: the hard MAXLEN bound keeps memory flat at any duration.
+STREAM_MAX_LEN = 65536
 OUTPUT = Path(__file__).resolve().parent.parent / \
     "BENCH_sim_throughput.json"
 
@@ -84,15 +88,21 @@ def scale_config(n: int) -> ScaleConfig:
 
 
 def build_monitored_cluster(n: int, profile: ScaleConfig,
-                            duration: float):
+                            duration: float, stream: bool = False):
     """An n-node cluster with dproc deployed per ``profile``.
 
-    Returns ``(env, cluster)`` so callers can harvest per-node
-    telemetry after the run.
+    Returns ``(env, cluster, broker)`` so callers can harvest
+    per-node telemetry (and the stream tee, when enabled) after the
+    run.
     """
     env = Environment()
     cluster = build_cluster(env, nodes=n, seed=1)
     bus = KechoBus()
+    broker = None
+    if stream:
+        from repro.stream import StreamBroker, attach_stream
+        broker = StreamBroker(max_len=STREAM_MAX_LEN)
+        attach_stream(broker, bus, cluster)
     metric_subset = frozenset(MetricId[name] for name in profile.metrics)
     names = cluster.names
     watcher_set = set(names if profile.n_watchers is None
@@ -110,14 +120,15 @@ def build_monitored_cluster(n: int, profile: ScaleConfig,
             dprocs[name].add_cluster_node(host)
     for dproc in dprocs.values():
         dproc.start()
-    return env, cluster
+    return env, cluster, broker
 
 
-def run_once(n: int, duration: float) -> dict:
+def run_once(n: int, duration: float, stream: bool = False) -> dict:
     """Run one size; returns the result record for the JSON report."""
     profile = scale_config(n)
     t0 = time.perf_counter()
-    env, cluster = build_monitored_cluster(n, profile, duration)
+    env, cluster, broker = build_monitored_cluster(n, profile,
+                                                   duration, stream)
     setup_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -125,7 +136,7 @@ def run_once(n: int, duration: float) -> dict:
     wall = time.perf_counter() - t0
 
     events = env.events_processed
-    return {
+    record = {
         "n_nodes": n,
         "workers": 1,
         "sim_seconds": duration,
@@ -146,6 +157,16 @@ def run_once(n: int, duration: float) -> dict:
             {name: cluster[name].telemetry for name in cluster.names},
             sim_seconds=duration),
     }
+    if broker is not None:
+        # Key only present on --stream runs: the default record — and
+        # the committed baseline — is unchanged with the tee off.
+        record["stream"] = {
+            "max_len": STREAM_MAX_LEN,
+            "entries_retained": broker.total_entries(),
+            "entries_trimmed": sum(s.trimmed for s in
+                                   broker.streams.values()),
+        }
+    return record
 
 
 def _bench_names(n: int) -> list[str]:
@@ -345,6 +366,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker counts to run each size at; 1 is "
                              "the plain kernel, >1 the sharded kernel "
                              "(default: %(default)s)")
+    parser.add_argument("--stream", action="store_true",
+                        help="attach the durable event-stream tee "
+                             f"(ring-bounded at {STREAM_MAX_LEN} "
+                             "entries) to single-worker runs; the "
+                             "acceptance bound is within 10%% of the "
+                             "tee-off rate")
     parser.add_argument("--check", action="store_true",
                         help="regression gate: re-run the baseline's "
                              "single-worker sizes and fail if events/s "
@@ -380,7 +407,8 @@ def main(argv: list[str] | None = None) -> int:
                                               args.duration,
                                               top=args.top)
             elif workers == 1:
-                record = run_once(n, args.duration)
+                record = run_once(n, args.duration,
+                                  stream=args.stream)
                 report = None
             else:
                 record = run_sharded_once(n, args.duration, workers)

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""`dtop`: a cluster-wide top(1) built on dproc.
+"""`dtop`: a cluster-wide top(1) fed by the durable event stream.
 
 The classic consumer of a monitoring system: a live, whole-cluster
-resource table.  Everything it shows is read through one node's
-/proc/cluster view plus the ClusterView aggregates — no SSH, no
-per-node agents beyond dproc itself, and alarms fire on threshold
-crossings while it runs.
+resource table.  This version tails the broker's ``dproc.monitor``
+stream through a consumer group (read → apply → ack, the
+hsm-action-top pattern) instead of polling one node's /proc/cluster
+snapshot — so its rows are exactly what the channel delivered, it
+keeps working across crashes by replay, and every host that ever
+published appears, whatever subset of metrics it reported.  Alarms
+still fire on threshold crossings while it runs.
 
 Run:  python examples/cluster_top.py
 """
@@ -14,28 +17,17 @@ from __future__ import annotations
 
 from repro.api import Scenario
 from repro.dproc import MetricId
-from repro.dproc.aggregate import ClusterView
 from repro.dproc.alarms import AlarmManager
+from repro.stream import StreamTop
 from repro.units import MB
 from repro.workloads import AmbientActivity, Linpack
 
 
-def draw(view: ClusterView, env, alarms) -> None:
+def draw(top: StreamTop, env, alarms) -> None:
+    applied = top.feed(now=env.now)
     print(f"\n--- dtop @ t={env.now:.0f}s "
-          f"(from {view.dproc.node.name}) ---")
-    print(f"{'node':>8} {'load':>6} {'free MiB':>8} {'disk sec/s':>10} "
-          f"{'avail Mbps':>10}")
-    load = view.snapshot(MetricId.LOADAVG)
-    free = view.snapshot(MetricId.FREEMEM)
-    disk = view.snapshot(MetricId.DISKUSAGE)
-    net = view.snapshot(MetricId.NET_BANDWIDTH)
-    for host in sorted(set(load) | set(free)):
-        print(f"{host:>8} {load.get(host, float('nan')):6.2f} "
-              f"{free.get(host, 0) / 2**20:8.0f} "
-              f"{disk.get(host, float('nan')):10.1f} "
-              f"{net.get(host, 0) * 8 / 1e6:10.1f}")
-    print(f"{'MEAN':>8} {view.mean(MetricId.LOADAVG):6.2f} "
-          f"{view.total(MetricId.FREEMEM) / 2**20:8.0f}")
+          f"(+{applied} events from the stream) ---")
+    print(top.render(now=env.now))
     if alarms:
         for line in alarms:
             print(f"  ! {line}")
@@ -43,7 +35,7 @@ def draw(view: ClusterView, env, alarms) -> None:
 
 
 def main() -> None:
-    scenario = Scenario(nodes=4, seed=31).build()
+    scenario = Scenario(nodes=4, seed=31).with_stream().build()
     env = scenario.env
     cluster = scenario.nodes
     dprocs = scenario.dprocs
@@ -52,7 +44,7 @@ def main() -> None:
     for dp in dprocs.values():
         dp.dmon.modules["cpu"].configure("period", 5.0)
 
-    view = ClusterView(dprocs["alan"], staleness=5.0)
+    top = StreamTop(scenario.stream)
     alarm_lines: list[str] = []
     manager = AlarmManager(dprocs["alan"].dmon)
     manager.watch_above(
@@ -66,24 +58,24 @@ def main() -> None:
 
     # Phase 1: quiet cluster.
     scenario.run_until(10.0)
-    draw(view, env, alarm_lines)
+    draw(top, env, alarm_lines)
 
     # Phase 2: someone starts a parallel job on maui + kilauea.
     for name in ("maui", "kilauea"):
         for _ in range(3):
             Linpack(cluster[name]).start()
     scenario.run_until(60.0)
-    draw(view, env, alarm_lines)
+    draw(top, env, alarm_lines)
 
     # Phase 3: etna leaks memory.
     cluster["etna"].memory.allocate(MB(350), tag="leak")
     scenario.run_until(90.0)
-    draw(view, env, alarm_lines)
+    draw(top, env, alarm_lines)
 
-    print(f"\nleast loaded node right now: {view.least_loaded()}")
-    print(f"most free memory:            {view.most_free_memory()}")
-    print(f"placement candidates (free>200MiB, load<1): "
-          f"{view.placement_candidates(MB(200), 1.0)}")
+    print(f"\nleast loaded node right now: {top.least_loaded()}")
+    print(f"most free memory:            {top.most_free_memory()}")
+    print(f"stream: {scenario.stream.total_entries()} entries, "
+          f"{top.events_consumed} consumed by dtop")
 
 
 if __name__ == "__main__":

@@ -94,6 +94,11 @@ class Scenario:
         self._want_tracing = False
         self._tracer_arg = None
         self._tracer_kwargs: dict = {}
+        self._want_stream = False
+        self._stream_dir = None
+        self._stream_max_len: Optional[int] = None
+        self._stream_broker = None
+        self._shard_brokers: list = []
         #: Populated by :meth:`build`.
         self.runtime: Optional[Runtime] = None
         self.dprocs: dict[str, Dproc] = {}
@@ -151,6 +156,29 @@ class Scenario:
         self._want_tracing = True
         self._tracer_arg = collector
         self._tracer_kwargs = kwargs
+        return self
+
+    def with_stream(self, directory=None, *,
+                    max_len: Optional[int] = None) -> "Scenario":
+        """Tee the channel data plane into a durable stream broker.
+
+        Every KECho submit, delivery and transport drop is appended to
+        a per-channel log (:class:`repro.stream.StreamBroker`,
+        available as :attr:`stream` after the run) that the replay
+        toolkit — reconciler, stats-by-replay, stream-fed top — reads.
+        Recording is passive: the sim event schedule is bit-identical
+        with the stream on or off.
+
+        ``directory`` additionally persists every entry eagerly as
+        JSONL segments (the live backend's durable log; works on sim
+        too).  ``max_len`` bounds each channel's retained entries
+        (hard ring bound; use the :class:`repro.stream.Janitor` for
+        ack-respecting trims).
+        """
+        self._check_mutable()
+        self._want_stream = True
+        self._stream_dir = directory
+        self._stream_max_len = max_len
         return self
 
     def with_workers(self, workers: int, *, mode: str = "auto",
@@ -229,6 +257,9 @@ class Scenario:
         runtime.setup(self._construct)
         self._duration = duration
         runtime.run(duration)
+        if self._stream_broker is not None:
+            # Flush the live JSONL segments once the loop is down.
+            self._stream_broker.close()
         return self
 
     def run_until(self, until: float) -> "Scenario":
@@ -289,6 +320,31 @@ class Scenario:
             sim_seconds=span)
 
     @property
+    def stream(self):
+        """The durable stream broker (``with_stream`` scenarios only).
+
+        On sharded runs this is the merged global view of the
+        per-shard brokers, re-sequenced deterministically; it is
+        assembled on first access after the run completes.
+        """
+        if not self._want_stream:
+            raise ScenarioError(
+                "no stream was recorded; call with_stream() before "
+                "build()/run()")
+        if self._stream_broker is not None:
+            return self._stream_broker
+        if self._shard_brokers:
+            from repro.stream import merge_brokers
+            merged = merge_brokers(self._shard_brokers)
+            if getattr(self.runtime, "result", None) is not None:
+                # The run is over: the merged view is final — cache it.
+                self._stream_broker = merged
+            return merged
+        self._check_built()
+        raise ScenarioError(
+            "stream recording runs inline; no broker exists yet")
+
+    @property
     def shard_result(self):
         """Per-shard execution statistics (sharded runs only)."""
         self._check_built()
@@ -329,9 +385,21 @@ class Scenario:
         for fn in self._cluster_hooks:
             fn(self)
         hosts = self._resolve_hosts(runtime.nodes)
+        bus = runtime.make_bus()
+        if self._want_stream:
+            # Attach before deployment so the very first submits (the
+            # d-mon start-up polls) are already on the record.  Purely
+            # passive: no RNG, CPU or event-schedule interaction.
+            from repro.stream import (JsonlSink, StreamBroker,
+                                      attach_stream)
+            sink = (JsonlSink(self._stream_dir)
+                    if self._stream_dir is not None else None)
+            self._stream_broker = StreamBroker(
+                sink=sink, max_len=self._stream_max_len)
+            attach_stream(self._stream_broker, bus, runtime.nodes)
         self.dprocs = deploy_dproc(
             runtime.nodes, config=self._dmon, modules=self._modules,
-            bus=runtime.make_bus(), hosts=hosts,
+            bus=bus, hosts=hosts,
             module_factory=getattr(runtime, "module_factory", None))
         if self._want_tracing:
             from repro.tracing import TraceCollector, attach_tracer
@@ -368,14 +436,15 @@ class Scenario:
                 "cluster-setup hooks rewire one fabric; a sharded "
                 "run has one fabric per worker")
         wants_inline = bool(self._setup_hooks or self._fault_hooks
-                            or self._want_faults or self._want_tracing)
+                            or self._want_faults or self._want_tracing
+                            or self._want_stream)
         mode = self._workers_mode
         if mode == "auto":
             mode = "inline" if wants_inline else "processes"
         elif mode == "processes" and wants_inline:
             raise ScenarioError(
-                "hooks, faults and tracing close over parent state "
-                "that forked workers cannot share back; use "
+                "hooks, faults, tracing and streams close over parent "
+                "state that forked workers cannot share back; use "
                 "with_workers(..., mode='inline')")
         names = self._global_names()
         plan = partition_nodes(
@@ -401,6 +470,12 @@ class Scenario:
         if mode == "inline":
             runtime.build_worlds(duration)
             self.dprocs = runtime.dprocs
+            if self._want_stream:
+                from repro.stream import StreamBroker, attach_stream
+                for world in runtime.worlds:
+                    broker = StreamBroker(max_len=self._stream_max_len)
+                    attach_stream(broker, world.bus, world.cluster)
+                    self._shard_brokers.append(broker)
             if self._want_tracing:
                 from repro.tracing import TraceCollector, attach_tracer
                 self.tracer = (self._tracer_arg if self._tracer_arg

@@ -3,7 +3,9 @@
 ``python -m repro.harness trace [...]`` dispatches to the causal-
 tracing subcommand (:mod:`repro.harness.tracecli`);
 ``python -m repro.harness live [...]`` runs the stack over real
-asyncio localhost sockets (:mod:`repro.harness.livecli`).
+asyncio localhost sockets (:mod:`repro.harness.livecli`);
+``python -m repro.harness stream [...]`` tails, replays, reconciles
+and trims the durable event stream (:mod:`repro.harness.streamcli`).
 """
 
 from __future__ import annotations
@@ -24,6 +26,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "live":
         from repro.harness.livecli import main as live_main
         return live_main(argv[1:])
+    if argv and argv[0] == "stream":
+        from repro.harness.streamcli import main as stream_main
+        return stream_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the dproc paper's evaluation figures.")

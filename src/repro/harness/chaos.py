@@ -68,6 +68,16 @@ class ChaosReport:
     #: Deliberately *not* part of :attr:`trace` — it reports costs, the
     #: trace pins behaviour.
     overhead: Optional[dict] = None
+    #: The durable event stream recorded during the run
+    #: (``stream=True`` only; a :class:`repro.stream.StreamBroker`).
+    #: Not part of :attr:`trace` — recording is passive and the trace
+    #: must be identical with the stream on or off (test-enforced).
+    stream_broker: Optional[object] = None
+    #: Replay-vs-ground-truth validation of the stream
+    #: (``stream=True`` only; a
+    #: :class:`repro.stream.ReconcileReport`).  Also not in
+    #: :attr:`trace`.
+    reconciliation: Optional[object] = None
 
     @property
     def trace(self) -> tuple:
@@ -92,6 +102,7 @@ def chaos_recovery(nodes: Optional[int] = None,
                    probe_interval: float = 0.5,
                    tracer=None, *,
                    workers: int = 1,
+                   stream: bool = False,
                    n_nodes: Optional[int] = None) -> ChaosReport:
     """Run the chaos scenario on a fresh cluster and report recovery.
 
@@ -106,6 +117,15 @@ def chaos_recovery(nodes: Optional[int] = None,
     workers) but is a different event schedule from ``workers=1``: the
     observer probes cross-shard d-mon state at window granularity.
     ``n_nodes`` is a deprecated alias for ``nodes``.
+
+    ``stream=True`` additionally tees every channel submit, delivery
+    and fault-plane drop into a durable event stream
+    (:class:`repro.stream.StreamBroker`) and replays it against the
+    d-mon remote caches after the run: the resulting
+    :attr:`ChaosReport.reconciliation` proves crash recovery by
+    replay — every missing delivery must be attributed to an injected
+    fault.  Recording is passive, so the report's :attr:`~ChaosReport
+    .trace` is bit-identical with the stream on or off.
     """
     from repro.deprecation import rename_kwarg
     nodes = rename_kwarg("chaos_recovery", "n_nodes", n_nodes,
@@ -200,7 +220,18 @@ def chaos_recovery(nodes: Optional[int] = None,
         scenario.with_workers(workers, mode="inline")
     if tracer is not None:
         scenario.with_tracing(tracer)
+    if stream:
+        scenario.with_stream()
     scenario.run(duration)
+
+    reconciliation = None
+    broker = None
+    if stream:
+        from repro.stream import reconcile
+        broker = scenario.stream
+        reconciliation = reconcile(broker, scenario.dprocs,
+                                   until=duration,
+                                   stale_after=stale_after)
 
     names = scenario.nodes.names
     victim = names[-1]
@@ -225,4 +256,6 @@ def chaos_recovery(nodes: Optional[int] = None,
         events=events,
         final_liveness=final,
         overhead=scenario.overhead(duration),
+        stream_broker=broker,
+        reconciliation=reconciliation,
     )

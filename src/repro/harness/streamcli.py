@@ -1,0 +1,232 @@
+"""``python -m repro.harness stream`` — the durable event stream CLI.
+
+Four subcommands over the append-only channel log
+(:mod:`repro.stream`):
+
+* ``tail`` — run a scenario (or load a dumped stream) and print the
+  newest entries per channel, Redis ``XRANGE`` style;
+* ``stats`` — recompute per-channel delivery/latency summaries purely
+  by replaying the log, and (for in-process runs) verify them against
+  the live telemetry registry;
+* ``reconcile`` — replay the stream against d-mon ground truth and
+  report missing / duplicated / unexpected / stale entries; exits
+  non-zero when the log and the cluster disagree;
+* ``trim`` — apply the janitor's age/ack retention policy and report
+  what it removed.
+
+``--faults`` runs the chaos timeline (loss + partition + crash) so
+every reported drop must be attributed to the fault plane; ``--dump``
+persists the stream as JSONL segments and ``--load`` replays a prior
+dump without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness stream",
+        description="Durable event stream: tail, replay-stats, "
+                    "reconcile, trim.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=12,
+                       help="cluster size (default 12)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="simulation seed (default 7)")
+        p.add_argument("--duration", type=float, default=20.0,
+                       help="simulated seconds (default 20)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="shard the simulation across N workers "
+                            "(inline; default 1)")
+        p.add_argument("--faults", action="store_true",
+                       help="run the chaos timeline (loss, partition, "
+                            "crash+reboot) instead of a clean run")
+        p.add_argument("--load", metavar="DIR", default=None,
+                       help="replay a dumped stream from DIR instead "
+                            "of running a scenario")
+        p.add_argument("--dump", metavar="DIR", default=None,
+                       help="also persist the stream as JSONL "
+                            "segments into DIR")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
+
+    p_tail = sub.add_parser("tail", help="print the newest entries")
+    common(p_tail)
+    p_tail.add_argument("--count", type=int, default=10,
+                        help="entries per channel (default 10)")
+
+    p_stats = sub.add_parser(
+        "stats", help="recompute summaries by replaying the log")
+    common(p_stats)
+
+    p_rec = sub.add_parser(
+        "reconcile",
+        help="replay the stream against d-mon ground truth")
+    common(p_rec)
+
+    p_trim = sub.add_parser(
+        "trim", help="apply the janitor retention policy")
+    common(p_trim)
+    p_trim.add_argument("--max-age", type=float, default=None,
+                        help="drop entries older than this many "
+                             "seconds (default: ack-state only)")
+    return parser
+
+
+def _acquire(args):
+    """Build (broker, scenario, report) per the common options.
+
+    ``scenario`` is None when the stream was loaded from disk or came
+    out of a chaos run (no live cluster to verify against);
+    ``report`` is the :class:`~repro.harness.chaos.ChaosReport` when
+    ``--faults`` ran.
+    """
+    if args.load is not None:
+        from repro.stream import StreamBroker
+        return StreamBroker.load(args.load), None, None
+    if args.faults:
+        from repro.harness.chaos import chaos_recovery
+        report = chaos_recovery(nodes=args.nodes, seed=args.seed,
+                                duration=args.duration,
+                                workers=args.workers, stream=True)
+        return report.stream_broker, None, report
+    from repro.api import Scenario
+    scenario = Scenario(nodes=args.nodes, seed=args.seed) \
+        .with_stream()
+    if args.workers > 1:
+        scenario.with_workers(args.workers, mode="inline")
+    scenario.run(args.duration)
+    return scenario.stream, scenario, None
+
+
+def _entry_line(entry) -> str:
+    arrow = {"submit": "»", "deliver": "←", "drop": "✗"}.get(
+        entry.kind, "?")
+    route = entry.source
+    if entry.dest:
+        route += f" → {entry.dest}"
+    if entry.kind == "deliver":
+        # Light entries: records live on the paired submit.
+        detail = f"latency {entry.latency * 1e3:.1f}ms"
+    else:
+        detail = entry.summary or f"{len(entry.records)} records"
+    if entry.kind == "submit":
+        detail += (f" to {len(entry.targets)} targets"
+                   + (" + local" if entry.local else ""))
+    if entry.fault:
+        detail += f" [{entry.fault}]"
+    return (f"  {entry.seq:>6} {entry.time:>9.3f}s {arrow} "
+            f"{entry.kind:<7} {route:<24} {detail}")
+
+
+def _cmd_tail(args, broker) -> int:
+    if args.json:
+        doc = {ch: [e.to_record() for e in
+                    broker.stream(ch).tail(args.count)]
+               for ch in broker.channels()}
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    for channel in broker.channels():
+        stream = broker.stream(channel)
+        print(f"{channel}  ({len(stream.entries())} entries, "
+              f"seq {stream.first_seq}..{stream.last_seq}, "
+              f"{stream.trimmed} trimmed)")
+        for entry in stream.tail(args.count):
+            print(_entry_line(entry))
+        print()
+    return 0
+
+
+def _cmd_stats(args, broker, scenario) -> int:
+    from repro.stream import replay_stats, verify_stats
+    stats = replay_stats(broker)
+    errors: Optional[list] = None
+    if scenario is not None:
+        errors = verify_stats(broker, scenario.runtime.nodes)
+    if args.json:
+        doc = dict(stats)
+        if errors is not None:
+            doc["verification_errors"] = errors
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 1 if errors else 0
+    for channel, summary in stats["channels"].items():
+        print(f"{channel}:")
+        for key, value in summary.items():
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v:.6g}"
+                                  for k, v in value.items())
+                print(f"  {key:<18} {inner}")
+            else:
+                print(f"  {key:<18} {value:g}")
+    print(f"total entries      {stats['total_entries']}")
+    if errors is not None:
+        if errors:
+            print(f"\nreplay DISAGREES with live telemetry "
+                  f"({len(errors)} errors):")
+            for err in errors[:20]:
+                print(f"  - {err}")
+            return 1
+        print("\nreplayed summaries match the live telemetry "
+              "registry exactly")
+    return 0
+
+
+def _cmd_reconcile(args, broker, scenario, report) -> int:
+    from repro.stream import reconcile
+    if report is not None and report.reconciliation is not None:
+        result = report.reconciliation
+    else:
+        dprocs = scenario.dprocs if scenario is not None else None
+        result = reconcile(broker, dprocs, until=args.duration)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=1, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_trim(args, broker) -> int:
+    from repro.stream import Janitor
+    before = broker.total_entries()
+    janitor = Janitor(broker, max_age=args.max_age)
+    trim = janitor.run(now=args.duration)
+    doc = {"before": before, "after": broker.total_entries(),
+           "removed": dict(trim.removed), "floor": dict(trim.floor)}
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    print(f"trimmed {trim.total} of {before} entries "
+          f"(max_age={args.max_age})")
+    for channel in sorted(trim.removed):
+        print(f"  {channel}: removed {trim.removed[channel]}, "
+              f"floor seq {trim.floor[channel]}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    broker, scenario, report = _acquire(args)
+    if args.dump is not None:
+        broker.dump(args.dump)
+        print(f"[dumped {broker.total_entries()} entries to "
+              f"{args.dump}]", file=sys.stderr)
+    if args.command == "tail":
+        return _cmd_tail(args, broker)
+    if args.command == "stats":
+        return _cmd_stats(args, broker, scenario)
+    if args.command == "reconcile":
+        return _cmd_reconcile(args, broker, scenario, report)
+    return _cmd_trim(args, broker)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,9 +64,16 @@ class SubmitReceipt:
 
     @property
     def delivered_targets(self) -> list[str]:
-        """Remote targets not (yet) known to have failed."""
-        return [t for t in self.remote_targets
-                if t not in self.failed_targets]
+        """Remote targets not (yet) known to have failed.
+
+        ``failed_targets`` may legitimately list a host more than once
+        (retried submits share a receipt in some harnesses), so
+        membership is checked against a set: O(n + m) instead of an
+        O(n·m) list scan per call on the submit hot path, and a
+        twice-failed target is excluded exactly once.
+        """
+        failed = set(self.failed_targets)
+        return [t for t in self.remote_targets if t not in failed]
 
 
 class ChannelEndpoint:
@@ -181,6 +188,15 @@ class ChannelEndpoint:
         self._t_submit_seconds.inc(cpu)
         self._t_fanout.observe(len(targets))
         self._t_tx_bytes.inc(size * len(targets))
+        # Durable-stream tee (passive: no RNG, no CPU charge, no
+        # scheduled events — the event schedule is bit-identical with
+        # the broker on or off).
+        broker = self.bus.stream
+        if broker is not None:
+            local_ep = self.bus.endpoint(self.name, self.node.name)
+            broker.record_submit(
+                event, targets,
+                local=(local_ep is self and self.is_subscriber))
 
         deliveries: list[Completion] = []
         failed: list[str] = []
@@ -292,6 +308,9 @@ class ChannelEndpoint:
 
     def _dispatch(self, event: ChannelEvent, charge: bool) -> None:
         now = self.node.env.now
+        broker = self.bus.stream
+        if broker is not None:
+            broker.record_delivery(event, self.node.name)
         self.received.add(now, 1.0)
         self.bytes_in.add(now, event.size)
         self._t_receives.inc()
@@ -329,6 +348,10 @@ class KechoBus:
         self.registry = registry or ChannelRegistry()
         self._endpoints: dict[tuple[str, str], ChannelEndpoint] = {}
         self._derivations: dict[str, list] = {}
+        #: Durable-stream broker tee (a
+        #: :class:`repro.stream.broker.StreamBroker`); None disables
+        #: recording.  Set by ``repro.stream.attach_stream``.
+        self.stream = None
         #: Bumped whenever any channel's subscriber set may have changed.
         self.subscription_version = 0
         #: name -> (version, ordered subscriber hosts).

@@ -29,7 +29,7 @@ from typing import (Any, Callable, Iterator, Optional, Protocol,
 __all__ = [
     "Completion", "Timer", "Clock", "TaskHandle", "Connection",
     "Transport", "RuntimeNode", "Endpoint", "Bus", "NodeGroup",
-    "Runtime",
+    "Runtime", "EventStream",
 ]
 
 
@@ -181,15 +181,39 @@ class Endpoint(Protocol):
 
 
 @runtime_checkable
+class EventStream(Protocol):
+    """A durable event log teed off the channel data plane.
+
+    The concrete implementation is
+    :class:`repro.stream.broker.StreamBroker`: endpoints call
+    ``record_submit``/``record_delivery`` as events move, transports
+    call ``record_drop`` when they kill a copy.  Recording must be
+    *passive* — no RNG draws, no CPU charges, no scheduled events — so
+    attaching a stream never perturbs the run it observes.
+    """
+
+    def record_submit(self, event: Any, targets: Any,
+                      local: bool) -> Any: ...
+
+    def record_delivery(self, event: Any, dest: str) -> Any: ...
+
+    def record_drop(self, event: Any, dest: str, reason: str,
+                    now: float, sender_failed: bool = True) -> Any: ...
+
+
+@runtime_checkable
 class Bus(Protocol):
     """Cluster-wide channel wiring (KECho's bus shape).
 
     ``subscription_version`` is bumped whenever any channel's
     subscriber set may have changed; d-mon keys its audience cache on
-    it.
+    it.  ``stream`` is the optional :class:`EventStream` tee — every
+    endpoint checks it on submit and dispatch; None disables durable
+    recording.
     """
 
     subscription_version: int
+    stream: Optional[Any]
 
     def connect(self, node: RuntimeNode, name: str) -> Endpoint: ...
 

@@ -220,6 +220,9 @@ class ShardRouter:
                     reason = "injected loss"
             if reason is not None:
                 self.conduit_dropped += 1
+                drop_hook = getattr(stack, "drop_hook", None)
+                if drop_hook is not None:
+                    drop_hook(payload, conn.dst, reason, now)
                 fail = env.timeout(0.0)
                 fail.add_callback(
                     lambda _ev, r=reason: (
@@ -288,6 +291,15 @@ class ShardRouter:
         faults = stack.fabric.faults
         if faults is not None and faults.blocked(event.source, host):
             self.conduit_dropped += 1
+            drop_hook = getattr(stack, "drop_hook", None)
+            if drop_hook is not None:
+                # The sender's completion succeeded a window ago: this
+                # kill is arrival-side only, invisible to the
+                # publisher's failed-delivery counter.
+                drop_hook(event, host,
+                          faults.blocked_reason(event.source, host)
+                          or "path blocked",
+                          self.env.now, sender_failed=False)
             return
         self.conduit_rx += 1
         self._mid += 1

@@ -148,6 +148,12 @@ class NetStack:
         #: does not know — how cross-shard destinations stay reachable
         #: without the fabric modelling them.
         self.router = None
+        #: Durable-stream drop recorder, called as
+        #: ``drop_hook(payload, dst, reason, now)`` whenever this
+        #: stack kills a message (fault plane, injected loss,
+        #: congestion).  Passive observation only — set by
+        #: ``repro.stream.attach_stream``, None disables it.
+        self.drop_hook = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -348,6 +354,8 @@ class NetStack:
             # annotated failure naming the fault kind.
             msg.span.finish(now, status="dropped",
                             fault=fault or reason)
+        if self.drop_hook is not None:
+            self.drop_hook(msg.payload, msg.dst, fault or reason, now)
         conn.losses.add(now, 1.0)
         done = self.env.event()
         fail = self.env.timeout(0.0)
@@ -375,11 +383,15 @@ class NetStack:
                 return
             if faults.blocked(msg.src, msg.dst):
                 msg.lost = True
+                fault = faults.blocked_reason(msg.src, msg.dst)
                 if msg.span is not None:
                     msg.span.finish(
                         self.env.now, status="dropped",
-                        fault=faults.blocked_reason(msg.src, msg.dst),
-                        in_flight=True)
+                        fault=fault, in_flight=True)
+                if self.drop_hook is not None:
+                    self.drop_hook(msg.payload, msg.dst,
+                                   fault or "path blocked",
+                                   self.env.now)
                 conn.losses.add(self.env.now, 1.0)
                 self._t_in_flight.adjust(-1)
                 self._t_drops_fault.inc()

@@ -1,0 +1,38 @@
+"""The durable event stream: broker, janitor, reconciler, stats, top.
+
+A Redis-Streams-style append-only log behind the Runtime protocol:
+KECho submits, deliveries and transport drops are teed into
+per-channel streams with monotone ids, consumer groups track ack/
+pending state, a janitor trims by age and acked state, and the replay
+toolkit audits a recorded run — a reconciler against procfs ground
+truth, stats-by-replay against the telemetry registry, and a
+stream-fed cluster top.  In-memory and deterministic on the sim
+backend; file-backed (JSONL segments) on the live backend.
+"""
+
+from repro.stream.broker import (ChannelStream, ConsumerGroup,
+                                 PendingEntry, StreamBroker,
+                                 StreamError, attach_stream,
+                                 merge_brokers)
+from repro.stream.entry import (DELIVER, DROP, SUBMIT, StreamEntry,
+                                normalize_payload)
+from repro.stream.janitor import Janitor, TrimReport
+from repro.stream.reconcile import (Discrepancy, ReconcileReport,
+                                    reconcile)
+from repro.stream.stats import replay_stats, verify_stats
+from repro.stream.store import (JsonlSink, channel_of_segment,
+                                dump_broker, load_broker,
+                                segment_name)
+from repro.stream.top import HostRow, StreamTop
+
+__all__ = [
+    "SUBMIT", "DELIVER", "DROP", "StreamEntry", "normalize_payload",
+    "ChannelStream", "ConsumerGroup", "PendingEntry", "StreamBroker",
+    "StreamError", "attach_stream", "merge_brokers",
+    "Janitor", "TrimReport",
+    "Discrepancy", "ReconcileReport", "reconcile",
+    "replay_stats", "verify_stats",
+    "JsonlSink", "dump_broker", "load_broker", "segment_name",
+    "channel_of_segment",
+    "HostRow", "StreamTop",
+]

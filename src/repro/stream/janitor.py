@@ -1,0 +1,79 @@
+"""The janitor: policy-driven trimming of the durable stream.
+
+Mirrors the shipper/janitor split of Redis-backed action streams: the
+broker only ever appends; reclaiming memory/disk is a separate,
+explicitly-invoked policy pass.  Two conditions gate every trim:
+
+* **age** — an entry is age-eligible once ``now - entry.time`` exceeds
+  ``max_age`` (no ``max_age`` means age never blocks a trim);
+* **acked state** — when a stream has consumer groups, nothing past
+  any group's ``acked_floor`` is touched.  *An unacked entry is never
+  dropped* (test-enforced), no matter how old.
+
+A stream with no consumer groups trims by age alone; with neither a
+``max_age`` nor any groups the janitor has no policy to apply and
+removes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.stream.broker import StreamBroker
+
+__all__ = ["Janitor", "TrimReport"]
+
+
+@dataclass
+class TrimReport:
+    """What one janitor pass removed."""
+
+    #: Channel -> entries removed.
+    removed: dict[str, int] = field(default_factory=dict)
+    #: Channel -> seq the stream was trimmed through (inclusive).
+    floor: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.removed.values())
+
+
+class Janitor:
+    """Trims a broker's streams by age and acked state."""
+
+    def __init__(self, broker: StreamBroker,
+                 max_age: Optional[float] = None) -> None:
+        if max_age is not None and max_age < 0:
+            raise ValueError("max_age must be non-negative")
+        self.broker = broker
+        self.max_age = max_age
+
+    def run(self, now: float) -> TrimReport:
+        """One janitor pass at broker time ``now``."""
+        report = TrimReport()
+        for channel in self.broker.channels():
+            stream = self.broker.streams[channel]
+            if not len(stream):
+                continue
+            bound = stream.last_seq
+            if self.max_age is not None:
+                cutoff = now - self.max_age
+                aged = stream.first_seq - 1
+                for entry in stream.entries():
+                    if entry.time > cutoff:
+                        break
+                    aged = entry.seq
+                bound = min(bound, aged)
+            if stream.groups:
+                bound = min(bound,
+                            min(g.acked_floor
+                                for g in stream.groups.values()))
+            elif self.max_age is None:
+                # No age policy and nobody consuming: no basis to trim.
+                continue
+            removed = stream.trim_to(bound)
+            if removed:
+                report.removed[channel] = removed
+                report.floor[channel] = bound
+        return report

@@ -1,0 +1,143 @@
+"""``dtop``, stream-fed: an hsm-action-top-style live cluster table.
+
+:class:`StreamTop` consumes the monitor channel through a broker
+consumer group — read, render, ack — instead of polling one node's
+procfs snapshot.  Its state is exactly what the stream delivered, so
+the table works on a live run, on a replayed dump, and during a run.
+
+The row set is the union of *every* host that has ever appeared in the
+stream, whatever subset of metrics it reported — the old snapshot
+printer keyed rows on the load/freemem snapshots only and silently
+dropped hosts that had reported just disk or network data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dproc.metrics import MetricId
+from repro.stream.broker import StreamBroker
+from repro.stream.entry import SUBMIT
+
+__all__ = ["StreamTop", "HostRow"]
+
+#: The four table columns (one per snapshot set of the old dtop).
+TABLE_METRICS = (MetricId.LOADAVG, MetricId.FREEMEM,
+                 MetricId.DISKUSAGE, MetricId.NET_BANDWIDTH)
+
+
+@dataclass
+class HostRow:
+    """Latest streamed state of one host."""
+
+    host: str
+    #: metric ABI id -> (value, source timestamp).
+    last: dict[int, tuple[float, float]] = field(default_factory=dict)
+    events: int = 0
+    last_seen: float = 0.0
+
+    def value(self, metric: MetricId) -> Optional[float]:
+        rec = self.last.get(int(metric))
+        return rec[0] if rec is not None else None
+
+
+class StreamTop:
+    """Consumer-group-fed cluster table over the monitor stream."""
+
+    def __init__(self, broker: StreamBroker,
+                 channel: str = "dproc.monitor",
+                 group: str = "dtop", consumer: str = "top") -> None:
+        self.broker = broker
+        self.channel = channel
+        self.consumer = consumer
+        self.group = broker.group(channel, group)
+        self.hosts: dict[str, HostRow] = {}
+        self.events_consumed = 0
+        self.last_event_time = 0.0
+
+    def feed(self, now: float = 0.0,
+             count: Optional[int] = None) -> int:
+        """Consume new stream entries; returns how many were applied.
+
+        Entries are read through the consumer group and acked once
+        applied, so a janitor can reclaim them and a second feed never
+        double-counts.  Only submit entries mutate the table — one per
+        published event, independent of fan-out.
+        """
+        entries = self.group.read(self.consumer, count=count, now=now)
+        applied = 0
+        for entry in entries:
+            if entry.kind == SUBMIT and entry.records:
+                row = self.hosts.get(entry.source)
+                if row is None:
+                    row = self.hosts[entry.source] = HostRow(
+                        host=entry.source)
+                for mid, value, ts in entry.records:
+                    row.last[mid] = (value, ts)
+                row.events += 1
+                if entry.time > row.last_seen:
+                    row.last_seen = entry.time
+                applied += 1
+            self.events_consumed += 1
+            if entry.time > self.last_event_time:
+                self.last_event_time = entry.time
+        self.group.ack(*(e.seq for e in entries))
+        return applied
+
+    # -- queries -----------------------------------------------------------
+
+    def rows(self) -> list[HostRow]:
+        """Every host ever seen, sorted by name — all metric sets."""
+        return [self.hosts[h] for h in sorted(self.hosts)]
+
+    def mean(self, metric: MetricId) -> float:
+        values = [row.value(metric) for row in self.hosts.values()]
+        values = [v for v in values if v is not None]
+        return sum(values) / len(values) if values else float("nan")
+
+    def total(self, metric: MetricId) -> float:
+        return sum(row.value(metric) or 0.0
+                   for row in self.hosts.values())
+
+    def least_loaded(self) -> Optional[str]:
+        best = None
+        for row in self.rows():
+            load = row.value(MetricId.LOADAVG)
+            if load is not None and (best is None or load < best[0]):
+                best = (load, row.host)
+        return best[1] if best else None
+
+    def most_free_memory(self) -> Optional[str]:
+        best = None
+        for row in self.rows():
+            free = row.value(MetricId.FREEMEM)
+            if free is not None and (best is None or free > best[0]):
+                best = (free, row.host)
+        return best[1] if best else None
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, now: Optional[float] = None) -> str:
+        """The dtop table plus a consumer-group footer."""
+        lines = [f"{'node':>8} {'load':>6} {'free MiB':>8} "
+                 f"{'disk sec/s':>10} {'avail Mbps':>10} {'age':>5}"]
+        for row in self.rows():
+            load = row.value(MetricId.LOADAVG)
+            free = row.value(MetricId.FREEMEM)
+            disk = row.value(MetricId.DISKUSAGE)
+            net = row.value(MetricId.NET_BANDWIDTH)
+            age = (f"{now - row.last_seen:4.0f}s"
+                   if now is not None else "    -")
+            lines.append(
+                f"{row.host:>8} "
+                f"{load if load is not None else float('nan'):6.2f} "
+                f"{(free or 0) / 2**20:8.0f} "
+                f"{disk if disk is not None else float('nan'):10.1f} "
+                f"{(net or 0) * 8 / 1e6:10.1f} {age:>5}")
+        lines.append(f"{'MEAN':>8} {self.mean(MetricId.LOADAVG):6.2f} "
+                     f"{self.total(MetricId.FREEMEM) / 2**20:8.0f}")
+        lines.append(f"  [{self.events_consumed} events consumed, "
+                     f"{len(self.group.pending_for())} pending, "
+                     f"last @{self.last_event_time:.1f}s]")
+        return "\n".join(lines)

@@ -101,6 +101,39 @@ class TestSubmitUnderFaults:
         assert [e.payload for e in got] == ["after"]
 
 
+class TestSubmitReceiptAccounting:
+    def test_repeated_failed_target_excluded_exactly_once(self):
+        """Regression: ``delivered_targets`` used an O(n·m) list scan
+        that re-counted a target for every time it appeared in
+        ``failed_targets`` — a twice-failed host (retried submits
+        share a receipt in some harnesses) corrupted the delivered
+        list.  Membership is a set check now."""
+        from repro.kecho.channel import SubmitReceipt
+        receipt = SubmitReceipt(
+            event=None, cpu_seconds=0.0,
+            remote_targets=["maui", "etna", "hood"],
+            failed_targets=["maui", "maui", "maui"])
+        assert receipt.delivered_targets == ["etna", "hood"]
+
+    def test_all_failed_means_none_delivered(self):
+        from repro.kecho.channel import SubmitReceipt
+        receipt = SubmitReceipt(
+            event=None, cpu_seconds=0.0,
+            remote_targets=["maui", "etna"],
+            failed_targets=["etna", "maui", "etna"])
+        assert receipt.delivered_targets == []
+
+    def test_duplicate_target_failing_once_drops_both_copies(self):
+        """A host listed twice in ``remote_targets`` that fails is
+        excluded everywhere, not just at its first position."""
+        from repro.kecho.channel import SubmitReceipt
+        receipt = SubmitReceipt(
+            event=None, cpu_seconds=0.0,
+            remote_targets=["maui", "etna", "maui"],
+            failed_targets=["maui"])
+        assert receipt.delivered_targets == ["etna"]
+
+
 class TestPublishSubscribe:
     def test_event_reaches_remote_subscriber(self, env, bus, cluster3):
         eps = wire(bus, cluster3)

@@ -1,0 +1,106 @@
+"""Janitor retention policy: age vs acked state, property-tested."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream import Janitor, StreamBroker
+
+
+def build_broker(n: int = 20, dt: float = 1.0) -> StreamBroker:
+    broker = StreamBroker()
+    stream = broker.stream("c")
+    for i in range(n):
+        stream.append(kind="submit", source="s", dest="",
+                      time=i * dt, submitted_at=i * dt, size=1.0)
+    return broker
+
+
+class TestPolicyEdges:
+    def test_negative_max_age_rejected(self):
+        with pytest.raises(ValueError):
+            Janitor(build_broker(), max_age=-1.0)
+
+    def test_no_groups_no_age_trims_nothing(self):
+        broker = build_broker(10)
+        report = Janitor(broker).run(now=1e9)
+        assert report.total == 0
+        assert broker.total_entries() == 10
+
+    def test_age_only_trims_exactly_the_old_prefix(self):
+        broker = build_broker(10)  # times 0..9
+        report = Janitor(broker, max_age=4.0).run(now=9.0)
+        # Entries with time <= 9 - 4 = 5 (seqs 1..6) go.
+        assert report.removed == {"c": 6}
+        assert report.floor == {"c": 6}
+        assert broker.stream("c").first_seq == 7
+
+    def test_max_age_zero_is_valid_and_aggressive(self):
+        broker = build_broker(5)
+        Janitor(broker, max_age=0.0).run(now=10.0)
+        assert len(broker.stream("c")) == 0
+
+    def test_ack_only_trims_to_the_group_floor(self):
+        broker = build_broker(10)
+        grp = broker.group("c", "g")
+        grp.read("alice", count=6)
+        grp.ack(1, 2, 3, 5)  # 4 unacked blocks everything past 3
+        report = Janitor(broker).run(now=1e9)
+        assert report.removed == {"c": 3}
+        assert broker.stream("c").first_seq == 4
+
+    def test_slowest_group_wins(self):
+        broker = build_broker(10)
+        fast = broker.group("c", "fast")
+        fast.read("a")
+        fast.ack(*range(1, 11))
+        slow = broker.group("c", "slow")
+        slow.read("b", count=2)  # nothing acked: floor 0
+        report = Janitor(broker, max_age=0.0).run(now=1e9)
+        assert report.total == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    reads=st.integers(min_value=0, max_value=30),
+    ack_mask=st.lists(st.booleans(), min_size=30, max_size=30),
+    max_age=st.one_of(st.none(),
+                      st.floats(min_value=0.0, max_value=40.0,
+                                allow_nan=False)),
+    now=st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+)
+def test_janitor_never_drops_an_unacked_entry(n, reads, ack_mask,
+                                              max_age, now):
+    """With a consumer group attached, an entry that has been read but
+    not acked — or not read at all — survives every janitor pass."""
+    broker = build_broker(n)
+    grp = broker.group("c", "g")
+    got = grp.read("alice", count=reads)
+    acked = {e.seq for e, keep in zip(got, ack_mask) if keep}
+    grp.ack(*acked)
+    unacked = {e.seq for e in broker.stream("c").entries()} - acked
+
+    Janitor(broker, max_age=max_age).run(now=now)
+
+    survived = {e.seq for e in broker.stream("c").entries()}
+    assert unacked <= survived
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    max_age=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    now=st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+)
+def test_age_only_trim_is_exact_without_groups(n, max_age, now):
+    """No consumer groups: the janitor removes precisely the entries
+    whose age exceeds ``max_age``, oldest-first, and nothing newer."""
+    broker = build_broker(n)
+    times = {e.seq: e.time for e in broker.stream("c").entries()}
+    Janitor(broker, max_age=max_age).run(now=now)
+    survived = {e.seq for e in broker.stream("c").entries()}
+    expect = {seq for seq, t in times.items() if t > now - max_age}
+    assert survived == expect

@@ -1,0 +1,104 @@
+"""Stream-fed dtop: consumer-group feeding and the row-union fix."""
+
+from __future__ import annotations
+
+from repro.dproc import MetricId
+from repro.stream import StreamBroker, StreamTop
+
+
+def submit(broker, source, t, records):
+    broker.stream("dproc.monitor").append(
+        kind="submit", source=source, dest="", time=t,
+        submitted_at=t, size=100.0, targets=("other",),
+        records=tuple(records))
+
+
+def deliver(broker, source, dest, t):
+    broker.stream("dproc.monitor").append(
+        kind="deliver", source=source, dest=dest, time=t,
+        submitted_at=t - 0.01, size=100.0)
+
+
+class TestRowUnion:
+    def test_hosts_with_only_disk_or_net_metrics_keep_a_row(self):
+        """Regression: the old snapshot dtop keyed rows on the
+        load/freemem snapshots and silently dropped hosts that had
+        reported only disk or network data."""
+        broker = StreamBroker()
+        submit(broker, "alan", 1.0,
+               [(int(MetricId.LOADAVG), 0.5, 1.0)])
+        submit(broker, "etna", 1.1,
+               [(int(MetricId.FREEMEM), 2.0**28, 1.1)])
+        submit(broker, "disko", 1.2,
+               [(int(MetricId.DISKUSAGE), 3.5, 1.2)])
+        submit(broker, "netty", 1.3,
+               [(int(MetricId.NET_BANDWIDTH), 1e7, 1.3)])
+        top = StreamTop(broker)
+        top.feed(now=2.0)
+        assert [r.host for r in top.rows()] \
+            == ["alan", "disko", "etna", "netty"]
+        table = top.render(now=2.0)
+        for host in ("alan", "disko", "etna", "netty"):
+            assert host in table
+
+    def test_partial_metrics_render_as_nan_not_crash(self):
+        broker = StreamBroker()
+        submit(broker, "disko", 1.0,
+               [(int(MetricId.DISKUSAGE), 3.5, 1.0)])
+        top = StreamTop(broker)
+        top.feed()
+        row = top.rows()[0]
+        assert row.value(MetricId.LOADAVG) is None
+        assert row.value(MetricId.DISKUSAGE) == 3.5
+        assert "nan" in top.render()
+
+
+class TestFeeding:
+    def test_feed_applies_submits_and_acks(self):
+        broker = StreamBroker()
+        submit(broker, "alan", 1.0,
+               [(int(MetricId.LOADAVG), 0.5, 1.0)])
+        deliver(broker, "alan", "maui", 1.01)
+        top = StreamTop(broker)
+        assert top.feed(now=2.0) == 1  # only the submit applies
+        assert top.events_consumed == 2  # but both were consumed
+        assert top.group.pending_for() == {}  # and acked
+
+    def test_second_feed_never_double_counts(self):
+        broker = StreamBroker()
+        submit(broker, "alan", 1.0,
+               [(int(MetricId.LOADAVG), 0.5, 1.0)])
+        top = StreamTop(broker)
+        top.feed()
+        assert top.feed() == 0
+        submit(broker, "alan", 2.0,
+               [(int(MetricId.LOADAVG), 0.7, 2.0)])
+        assert top.feed() == 1
+        row = top.rows()[0]
+        assert row.events == 2
+        assert row.value(MetricId.LOADAVG) == 0.7
+
+    def test_latest_value_wins_and_age_tracks(self):
+        broker = StreamBroker()
+        submit(broker, "alan", 1.0,
+               [(int(MetricId.FREEMEM), 100.0, 1.0)])
+        submit(broker, "alan", 5.0,
+               [(int(MetricId.FREEMEM), 200.0, 5.0)])
+        top = StreamTop(broker)
+        top.feed(now=6.0)
+        row = top.rows()[0]
+        assert row.value(MetricId.FREEMEM) == 200.0
+        assert row.last_seen == 5.0
+
+    def test_aggregates(self):
+        broker = StreamBroker()
+        submit(broker, "a", 1.0, [(int(MetricId.LOADAVG), 1.0, 1.0),
+                                  (int(MetricId.FREEMEM), 10.0, 1.0)])
+        submit(broker, "b", 1.0, [(int(MetricId.LOADAVG), 3.0, 1.0),
+                                  (int(MetricId.FREEMEM), 30.0, 1.0)])
+        top = StreamTop(broker)
+        top.feed()
+        assert top.mean(MetricId.LOADAVG) == 2.0
+        assert top.total(MetricId.FREEMEM) == 40.0
+        assert top.least_loaded() == "a"
+        assert top.most_free_memory() == "b"
