@@ -16,20 +16,21 @@ from repro.dproc.central import CentralCollector, CentralConfig
 from repro.dproc.control_api import (ClearCommand, ControlCommand,
                                      ControlRequest, FilterCommand,
                                      PeriodCommand, ThresholdCommand,
-                                     UnfilterCommand)
+                                     UnfilterCommand, topk_filter,
+                                     topk_source)
 from repro.dproc.control_file import parse_control_text
 from repro.dproc.dmon import (DMon, DMonConfig, PEER_DEAD, PEER_FRESH,
                               PEER_STALE, PEER_UNKNOWN, RemoteMetric,
-                              register_default_modules)
+                              RemoteProcs, register_default_modules)
 from repro.dproc.federation import (GridFederation, Site, SiteSummary,
                                     WanLink)
 from repro.dproc.filters import DeployedFilter, FilterManager
 from repro.dproc.metrics import (METRIC_CONSTANTS, METRIC_FILES,
                                  MODULE_METRICS, MetricId, metric_by_name,
                                  module_of)
-from repro.dproc.modules import (BatteryMon, CpuMon, DiskMon, MemMon,
-                                 MetricSample, MonitoringModule, NetMon,
-                                 PmcMon)
+from repro.dproc.modules import (BatteryMon, CpuMon, DiskMon, KeyedSample,
+                                 MemMon, MetricSample, MonitoringModule,
+                                 NetMon, PmcMon, ProcMon)
 from repro.dproc.params import (AboveThreshold, BelowThreshold,
                                 ChangeThreshold, MetricPolicy,
                                 RangeThreshold, ThresholdRule,
@@ -44,14 +45,15 @@ __all__ = [
     "parse_control_text",
     "ControlCommand", "ControlRequest", "PeriodCommand",
     "ThresholdCommand", "ClearCommand", "FilterCommand",
-    "UnfilterCommand",
-    "DMon", "DMonConfig", "RemoteMetric", "register_default_modules",
+    "UnfilterCommand", "topk_filter", "topk_source",
+    "DMon", "DMonConfig", "RemoteMetric", "RemoteProcs",
+    "register_default_modules",
     "PEER_FRESH", "PEER_STALE", "PEER_DEAD", "PEER_UNKNOWN",
     "DeployedFilter", "FilterManager",
     "METRIC_CONSTANTS", "METRIC_FILES", "MODULE_METRICS", "MetricId",
     "metric_by_name", "module_of",
-    "BatteryMon", "CpuMon", "DiskMon", "MemMon", "MetricSample",
-    "MonitoringModule", "NetMon", "PmcMon",
+    "BatteryMon", "CpuMon", "DiskMon", "KeyedSample", "MemMon",
+    "MetricSample", "MonitoringModule", "NetMon", "PmcMon", "ProcMon",
     "AboveThreshold", "BelowThreshold", "ChangeThreshold", "MetricPolicy",
     "RangeThreshold", "ThresholdRule", "parse_threshold_spec",
     "ProcFS", "ProcFile",

@@ -29,7 +29,7 @@ from repro.kecho.control import (ClearParameter, ControlMessage,
 __all__ = [
     "ControlCommand", "ControlRequest", "PeriodCommand",
     "ThresholdCommand", "ClearCommand", "FilterCommand",
-    "UnfilterCommand",
+    "UnfilterCommand", "topk_filter", "topk_source",
 ]
 
 #: Threshold kinds and how many numeric arguments each takes.
@@ -175,6 +175,67 @@ class ControlRequest:
     def messages(self, sender: str, target: str) -> list[ControlMessage]:
         """The control messages a d-mon would emit for this request."""
         return parse_control_text(self.render(), sender, target)
+
+
+#: Keyed-table column accessors a top-K filter can rank by.
+_TOPK_COLUMNS = {"cpu": "proc_cpu", "mem": "proc_mem", "io": "proc_io"}
+
+
+def topk_source(k: int, by: str = "cpu", *, width: int = 512,
+                depth: int = 4, seed: int = 1) -> str:
+    """E-code source for a sketch-backed top-K process filter.
+
+    The generated filter folds every per-process row into a seeded
+    count-min sketch (bounded memory, monotone estimates), keeps the
+    ``k`` heaviest keys in a bounded heap, and ``emit``\\ s only those
+    (pid, weight) pairs — so a monitor asking for "top-K processes by
+    CPU" ships K pairs per poll instead of the full per-PID table.
+    """
+    try:
+        column = _TOPK_COLUMNS[by]
+    except KeyError:
+        raise ControlSyntaxError(
+            f"topk 'by' must be one of {sorted(_TOPK_COLUMNS)}, "
+            f"got {by!r}") from None
+    k, width, depth, seed = int(k), int(width), int(depth), int(seed)
+    if k < 1:
+        raise ControlSyntaxError("topk k must be >= 1")
+    if width < 1 or depth < 1:
+        raise ControlSyntaxError("sketch width and depth must be >= 1")
+    return (
+        "{\n"
+        f"    int c = cms_new({width}, {depth}, {seed});\n"
+        f"    int t = topk_new({k});\n"
+        "    int n = nproc();\n"
+        "    int i;\n"
+        "    int pid;\n"
+        "    double w;\n"
+        "    for (i = 0; i < n; i = i + 1) {\n"
+        "        pid = proc_pid(i);\n"
+        f"        w = cms_add(c, pid, {column}(i));\n"
+        "        topk_offer(t, pid, w);\n"
+        "    }\n"
+        "    n = topk_size(t);\n"
+        "    for (i = 0; i < n; i = i + 1) {\n"
+        "        emit(topk_key(t, i), topk_weight(t, i));\n"
+        "    }\n"
+        "    return cms_total(c);\n"
+        "}\n")
+
+
+def topk_filter(k: int, by: str = "cpu", *, width: int = 512,
+                depth: int = 4, seed: int = 1, metric: str = "proc",
+                filter_id: str = "topk") -> ControlRequest:
+    """A ready-to-write control request deploying a top-K filter.
+
+    ``metric`` scopes the filter (``"proc"`` governs just the process
+    module's keyed rows; ``"*"`` governs every keyed row on the node)::
+
+        dproc.write("/proc/cluster/maui/control", topk_filter(5))
+    """
+    source = topk_source(k, by, width=width, depth=depth, seed=seed)
+    return ControlRequest((FilterCommand(
+        source=source, metric=metric, filter_id=filter_id),))
 
 
 def _from_message(msg: ControlMessage) -> ControlCommand:

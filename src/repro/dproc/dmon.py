@@ -23,7 +23,8 @@ from typing import Callable, Iterable, Optional
 
 from repro.dproc.filters import FilterManager
 from repro.dproc.metrics import (MODULE_METRICS, MetricId, metric_by_name)
-from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.dproc.modules.base import (KeyedSample, MetricSample,
+                                      MonitoringModule)
 from repro.dproc.params import MetricPolicy, parse_threshold_spec
 from repro.errors import ControlSyntaxError, DprocError, InterruptError
 from repro.kecho import (ChannelEvent, ClearParameter, ControlMessage,
@@ -33,7 +34,7 @@ from repro.runtime.protocol import Bus, RuntimeNode
 from repro.runtime.series import CounterTrace, TimeSeries
 from repro.tracing.context import TraceRef
 
-__all__ = ["DMonConfig", "DMon", "RemoteMetric",
+__all__ = ["DMonConfig", "DMon", "RemoteMetric", "RemoteProcs",
            "register_default_modules",
            "PEER_FRESH", "PEER_STALE", "PEER_DEAD", "PEER_UNKNOWN"]
 
@@ -91,6 +92,19 @@ class RemoteMetric:
     received_at: float    # when this node learned it
 
 
+@dataclass
+class RemoteProcs:
+    """Latest per-process summary received from one remote host.
+
+    ``kind`` is ``"top"`` (sketch-filtered: pid -> ranked weight) or
+    ``"full"`` (unfiltered firehose: pid -> (cpu, mem, io)).
+    """
+
+    kind: str
+    rows: dict[int, object]
+    received_at: float
+
+
 class DMon:
     """The per-node distributed monitor."""
 
@@ -108,6 +122,11 @@ class DMon:
         self._last_sent_at: dict[MetricId, float] = {}
         # remote cache ------------------------------------------------------
         self.remote: dict[str, dict[MetricId, RemoteMetric]] = {}
+        #: host -> latest per-process summary heard from that host.
+        self.remote_procs: dict[str, RemoteProcs] = {}
+        #: What this node last *published* on the keyed stream (served
+        #: for its own /proc/cluster/<self>/proc_top entry).
+        self.last_procs: Optional[tuple[str, dict[int, object]]] = None
         #: host -> sim time its monitoring data was last received
         #: (drives the fresh/stale/dead liveness states).
         self.peer_last_heard: dict[str, float] = {}
@@ -186,6 +205,10 @@ class DMon:
             raise DprocError(f"d-mon on {self.node.name} already running")
         self.running = True
         self._epoch += 1
+        # Restart hygiene: sketch filters (count-min / top-K) must not
+        # carry counters across a crash/reboot — every epoch starts
+        # with empty sketch state.
+        self.filters.reset_state()
         self._monitor_ep = self.bus.connect(
             self.node, self.config.monitor_channel)
         self._control_ep = self.bus.connect(
@@ -262,6 +285,7 @@ class DMon:
         # 1. Collect from every registered module ("retrieve monitoring
         #    information from them at regular intervals").
         samples: dict[MetricId, float] = {}
+        keyed_by_module: dict[str, list[KeyedSample]] = {}
         collect_cost = 0.0
         module_counters = self._t_module_collect
         for module in self.modules.values():
@@ -270,7 +294,23 @@ class DMon:
             n_before = len(samples)
             for sample in module.collect(now):
                 samples[sample.metric] = sample.value
-            if ctx is not None:
+            if module.provides_keyed:
+                rows = module.keyed_collect(now)
+                if rows:
+                    keyed_by_module[module.name] = rows
+                    # Walking the per-process table costs kernel CPU
+                    # per row sampled.
+                    collect_cost += costs.proc_sample * len(rows)
+                if ctx is not None:
+                    tracer.record_span(
+                        ctx, name=f"module:{module.name}",
+                        stage="module", node=self.node.name,
+                        start=now, end=now,
+                        samples=len(samples) - n_before,
+                        keyed=len(rows),
+                        cpu_seconds=costs.module_poll
+                        + costs.proc_sample * len(rows))
+            elif ctx is not None:
                 tracer.record_span(
                     ctx, name=f"module:{module.name}", stage="module",
                     node=self.node.name, start=now, end=now,
@@ -284,28 +324,45 @@ class DMon:
         self.last_samples = samples
 
         # 2. Decide what to publish: dynamic filters first, parameters
-        #    for every metric not governed by a filter.
-        to_send, decide_cost = self._decide(samples, now, ctx)
+        #    for every metric not governed by a filter.  Keyed streams
+        #    (per-PID tables) go through sketch filters, which compress
+        #    them to emitted top-K pairs; unfiltered keyed rows publish
+        #    whole.
+        to_send, decide_cost, top_pairs, full_rows = self._decide(
+            samples, now, ctx, keyed_by_module)
         self.node.charge_kernel_seconds(collect_cost + decide_cost)
 
-        # 3. Publish.
+        # 3. Publish.  A full keyed row carries three values
+        #    (cpu/mem/io), a top-K pair one — the record accounting
+        #    that the ablation benchmark's event-volume story rests on.
+        keyed_records = len(top_pairs) + 3 * len(full_rows)
+        n_records = len(to_send) + keyed_records
         submit_cost = 0.0
-        if to_send and self._monitor_ep is not None:
+        if n_records and self._monitor_ep is not None:
             if self._has_audience():
                 size = (self.config.event_header_bytes
-                        + self.config.bytes_per_record * len(to_send)
+                        + self.config.bytes_per_record * n_records
                         + self.config.payload_padding)
                 payload = {
                     "host": self.node.name,
                     "metrics": {m: (v, now) for m, v in to_send.items()},
                 }
+                if top_pairs:
+                    payload["proc_top"] = dict(top_pairs)
+                    self.last_procs = ("top", dict(top_pairs))
+                if full_rows:
+                    procs = {int(pid): (cpu, mem, io)
+                             for pid, cpu, mem, io in full_rows}
+                    payload["procs"] = procs
+                    if not top_pairs:
+                        self.last_procs = ("full", procs)
                 receipt = self._monitor_ep.submit(payload, size=size,
                                                   trace=ctx)
                 submit_cost = receipt.cpu_seconds
                 self.events_published.add(now, 1.0)
-                self.records_published.add(now, float(len(to_send)))
+                self.records_published.add(now, float(n_records))
                 self._t_events.inc()
-                self._t_records.inc(len(to_send))
+                self._t_records.inc(n_records)
                 for metric, value in to_send.items():
                     self._last_sent[metric] = value
                     self._last_sent_at[metric] = now
@@ -322,10 +379,10 @@ class DMon:
         self._t_poll_spans.record(
             "poll", now, now,
             cpu=collect_cost + decide_cost + submit_cost,
-            records=len(to_send))
+            records=n_records)
         if root is not None:
             root.finish(now, published=bool(submit_cost),
-                        records=len(to_send),
+                        records=n_records,
                         cpu_seconds=collect_cost + decide_cost
                         + submit_cost)
         return submit_cost
@@ -350,63 +407,86 @@ class DMon:
         return result
 
     def _decide(self, samples: dict[MetricId, float], now: float,
-                trace=None) -> tuple[dict[MetricId, float], float]:
-        """Apply filters/parameters; returns (metrics to send, cpu cost).
+                trace=None,
+                keyed: Optional[dict[str, list[KeyedSample]]] = None,
+                ) -> tuple[dict[MetricId, float], float,
+                           list[tuple[int, float]], list[KeyedSample]]:
+        """Apply filters/parameters; returns ``(metrics to send, cpu
+        cost, emitted top-K pairs, unfiltered keyed rows)``.
 
-        With ``trace`` (a TraceContext), every filter execution and
-        parameter check records a decision span — the evidence the
-        adaptation audit trail links SmartPointer decisions back to.
+        A module's keyed stream is governed by whichever filter governs
+        the module: the filter's ``emit()`` pairs replace the raw table
+        (the sketch-compressed summary); with no filter the whole table
+        publishes.  With ``trace`` (a TraceContext), every filter
+        execution and parameter check records a decision span — the
+        evidence the adaptation audit trail links SmartPointer
+        decisions back to.
         """
         costs = self.node.costs
         cost = 0.0
         to_send: dict[MetricId, float] = {}
+        top_pairs: list[tuple[int, float]] = []
+        full_rows: list[KeyedSample] = []
+        keyed = keyed or {}
         tracer = self.node.tracer if trace is not None else None
 
         global_filter = self.filters.global_filter
         if global_filter is not None:
             records = self.filters.input_array(samples, self._last_sent,
                                                now)
-            outputs = self.filters.run(global_filter, records)
+            all_rows = [row for rows in keyed.values() for row in rows]
+            result = self.filters.run(global_filter, records,
+                                      keyed=all_rows or None)
             cost += costs.filter_exec
             self._t_filter.inc(costs.filter_exec)
-            for record in outputs:
+            for record in result.outputs:
                 metric = metric_by_name(record.name)
                 if metric in samples:
                     to_send[metric] = record.value
+            top_pairs = result.emitted
             if tracer is not None:
+                extra = {"emitted": len(top_pairs)} if keyed else {}
                 tracer.record_span(
                     trace, name=f"filter:{global_filter.filter_id}",
                     stage="dmon.filter", node=self.node.name,
                     start=now, end=now,
                     filter_id=global_filter.filter_id, scope="*",
-                    kept=tuple(sorted(m.name.lower() for m in to_send)))
-            return to_send, cost
+                    kept=tuple(sorted(m.name.lower() for m in to_send)),
+                    **extra)
+            return to_send, cost, top_pairs, full_rows
 
         filter_input: Optional[list] = None
         for module in self.modules.values():
+            rows = keyed.get(module.name)
             scoped = self.filters.filter_for(module.name)
             if scoped is not None:
                 if filter_input is None:
                     filter_input = self.filters.input_array(
                         samples, self._last_sent, now)
-                outputs = self.filters.run(scoped, filter_input)
+                result = self.filters.run(scoped, filter_input,
+                                          keyed=rows)
                 cost += costs.filter_exec
                 self._t_filter.inc(costs.filter_exec)
                 module_metrics = set(module.metrics())
                 kept = []
-                for record in outputs:
+                for record in result.outputs:
                     metric = metric_by_name(record.name)
                     if metric in module_metrics and metric in samples:
                         to_send[metric] = record.value
                         kept.append(metric.name.lower())
+                top_pairs.extend(result.emitted)
                 if tracer is not None:
+                    extra = ({"emitted": len(result.emitted)}
+                             if rows else {})
                     tracer.record_span(
                         trace, name=f"filter:{scoped.filter_id}",
                         stage="dmon.filter", node=self.node.name,
                         start=now, end=now,
                         filter_id=scoped.filter_id, scope=module.name,
-                        kept=tuple(sorted(kept)))
+                        kept=tuple(sorted(kept)), **extra)
             else:
+                if rows:
+                    full_rows.extend(rows)
                 for metric in module.metrics():
                     if metric not in samples:
                         continue
@@ -429,7 +509,7 @@ class DMon:
                             value=samples[metric],
                             decision="send" if send else "suppress",
                             rule=policy.describe())
-        return to_send, cost
+        return to_send, cost, top_pairs, full_rows
 
     # -- receiving remote monitoring data ------------------------------------------
 
@@ -443,6 +523,15 @@ class DMon:
             store = self.remote[host] = {}
         now = self.node.env.now
         self.peer_last_heard[host] = now
+        top = payload.get("proc_top")
+        if top is not None:
+            self.remote_procs[host] = RemoteProcs(
+                kind="top", rows=dict(top), received_at=now)
+        else:
+            full = payload.get("procs")
+            if full is not None:
+                self.remote_procs[host] = RemoteProcs(
+                    kind="full", rows=dict(full), received_at=now)
         if event.trace is not None:
             self.node.tracer.record_span(
                 event.trace, name=f"update:{self.node.name}",
@@ -674,9 +763,10 @@ def register_default_modules(dmon: DMon,
                                                      "pmc")) -> None:
     """Attach the standard module set (or a named subset) to a d-mon."""
     from repro.dproc.modules import (CpuMon, DiskMon, MemMon, NetMon,
-                                     PmcMon, SelfMon)
+                                     PmcMon, ProcMon, SelfMon)
     factory = {"cpu": CpuMon, "mem": MemMon, "disk": DiskMon,
-               "net": NetMon, "pmc": PmcMon, "dproc": SelfMon}
+               "net": NetMon, "pmc": PmcMon, "proc": ProcMon,
+               "dproc": SelfMon}
     for name in names:
         try:
             cls = factory[name]

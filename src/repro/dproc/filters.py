@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.dproc.metrics import METRIC_CONSTANTS, MetricId
-from repro.ecode import CompiledFilter, MetricRecord, compile_filter
+from repro.ecode import (CompiledFilter, FilterResult, KeyedSample,
+                         MetricRecord, compile_filter)
 from repro.errors import EcodeError, FilterDeploymentError
 from repro.runtime.protocol import RuntimeNode
 
@@ -42,6 +43,8 @@ class DeployedFilter:
     deployed_at: float
     invocations: int = 0
     total_outputs: int = 0
+    #: Cumulative (key, value) pairs emitted over the keyed stream.
+    total_emitted: int = 0
     errors: int = 0
     compile_cpu_seconds: float = field(default=0.0)
 
@@ -100,6 +103,16 @@ class FilterManager:
         self._by_id.clear()
         self._by_scope.clear()
 
+    def reset_state(self) -> None:
+        """Drop every deployed filter's persistent sketch state.
+
+        Called on DMon restart epochs: a rebooted node's sketch
+        counters (count-min cells, top-K weights) must start empty
+        instead of leaking monitoring history across the crash.
+        """
+        for deployed in self._by_id.values():
+            deployed.compiled.reset_state()
+
     # -- lookup ---------------------------------------------------------------
 
     def filter_for(self, scope: str) -> Optional[DeployedFilter]:
@@ -118,8 +131,10 @@ class FilterManager:
     # -- execution ------------------------------------------------------------
 
     def run(self, deployed: DeployedFilter,
-            records: list[MetricRecord]) -> list[MetricRecord]:
-        """Execute one filter over the full record array.
+            records: list[MetricRecord],
+            keyed: Optional[list[KeyedSample]] = None) -> FilterResult:
+        """Execute one filter over the full record array (plus the
+        optional keyed record table).
 
         The caller (d-mon) accounts for the execution cost.  A filter
         that raises is counted and treated as "publish nothing" — a
@@ -128,12 +143,13 @@ class FilterManager:
         """
         deployed.invocations += 1
         try:
-            result = deployed.compiled.run(records)
+            result = deployed.compiled.run(records, keyed=keyed)
         except EcodeError:
             deployed.errors += 1
-            return []
+            return FilterResult(outputs=[], returned=None, steps=0)
         deployed.total_outputs += len(result.outputs)
-        return result.outputs
+        deployed.total_emitted += len(result.emitted)
+        return result
 
     def input_array(self, samples: dict[MetricId, float],
                     last_sent: dict[MetricId, float],

@@ -38,6 +38,11 @@ class MetricId(IntEnum):
     DMON_POLL_COST = 14  #: SELF_MON — mean CPU s per polling iteration
     DMON_RX_COST = 15    #: SELF_MON — mean receive-path CPU s per poll
     DMON_EVENT_RATE = 16  #: SELF_MON — monitoring events published /s
+    # Per-process monitor (PROC_MON) aggregates; the per-PID table
+    # itself travels as a keyed stream, not as MetricIds.
+    PROC_COUNT = 17    #: PROC_MON — processes in the sampled table
+    PROC_CPU_MAX = 18  #: PROC_MON — heaviest per-PID CPU share
+    PROC_RSS_MAX = 19  #: PROC_MON — largest per-PID resident set (bytes)
 
 
 #: Which monitoring module owns which metrics.
@@ -52,6 +57,8 @@ MODULE_METRICS: dict[str, tuple[MetricId, ...]] = {
     "battery": (MetricId.BATTERY,),
     "dproc": (MetricId.DMON_POLL_COST, MetricId.DMON_RX_COST,
               MetricId.DMON_EVENT_RATE),
+    "proc": (MetricId.PROC_COUNT, MetricId.PROC_CPU_MAX,
+             MetricId.PROC_RSS_MAX),
 }
 
 #: Constants handed to the E-code compiler so filters can write
@@ -77,6 +84,9 @@ METRIC_FILES: dict[MetricId, str] = {
     MetricId.DMON_POLL_COST: "dproc_poll_cost",
     MetricId.DMON_RX_COST: "dproc_rx_cost",
     MetricId.DMON_EVENT_RATE: "dproc_event_rate",
+    MetricId.PROC_COUNT: "proc_count",
+    MetricId.PROC_CPU_MAX: "proc_cpu_max",
+    MetricId.PROC_RSS_MAX: "proc_rss_max",
 }
 
 _BY_NAME = {m.name.lower(): m for m in MetricId}

@@ -20,7 +20,7 @@ from repro.dproc.metrics import MetricId
 from repro.errors import DprocError
 from repro.runtime.protocol import RuntimeNode
 
-__all__ = ["MetricSample", "MonitoringModule"]
+__all__ = ["MetricSample", "KeyedSample", "MonitoringModule"]
 
 
 @dataclass(frozen=True)
@@ -32,11 +32,21 @@ class MetricSample:
     timestamp: float
 
 
+#: One keyed record ``(key, cpu, mem, io)`` — the per-PID stream shape
+#: shared with the E-code runtime (`repro.ecode.runtime.KeyedSample`).
+KeyedSample = tuple[int, float, float, float]
+
+
 class MonitoringModule(ABC):
     """Base class for d-mon monitoring services."""
 
     #: Module name ('cpu', 'mem', 'disk', 'net', 'pmc', ...).
     name: str = "?"
+
+    #: True when the module also produces a *keyed* record stream
+    #: (:meth:`keyed_collect`) — e.g. a per-PID process table — that
+    #: d-mon feeds to sketch filters instead of the MetricId path.
+    provides_keyed: bool = False
 
     def __init__(self, node: RuntimeNode) -> None:
         self.node = node
@@ -57,6 +67,10 @@ class MonitoringModule(ABC):
     @abstractmethod
     def collect(self, now: float) -> list[MetricSample]:
         """d-mon's registered callback: sample all metrics now."""
+
+    def keyed_collect(self, now: float) -> list[KeyedSample]:
+        """Per-key records for this poll (``provides_keyed`` modules)."""
+        return []
 
     def configure(self, key: str, value: float) -> None:
         """Adjust a module option (unknown keys are an error)."""

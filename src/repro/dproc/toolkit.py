@@ -110,6 +110,11 @@ class Dproc:
         self.procfs.mount(
             f"{base}/status",
             ProcFile(read_fn=lambda h=host: self._status_read(h)))
+        # Per-process summary (the keyed stream): the local node shows
+        # what it last published, remote hosts what was last received.
+        self.procfs.mount(
+            f"{base}/proc_top",
+            ProcFile(read_fn=lambda h=host: self._proc_top_read(h)))
         # Self-telemetry, dogfooded through /proc: dproc reporting on
         # dproc.  The local node renders its live registry; remote
         # hosts render whatever their SELF_MON module published.
@@ -179,6 +184,34 @@ class Dproc:
         age = self.dmon.peer_age(host)
         age_text = "inf" if math.isinf(age) else f"{age:.3f}"
         return f"state: {state}\nage: {age_text}\n"
+
+    def _proc_top_read(self, host: str) -> str:
+        """``/proc/cluster/<host>/proc_top``: per-process summary.
+
+        ``kind: top`` rows are ``pid weight`` (sketch-ranked, heaviest
+        first); ``kind: full`` rows are ``pid cpu mem io`` — whatever
+        the host's keyed stream last published.  ``kind: none`` until
+        anything is heard.
+        """
+        if host == self.node.name:
+            published = self.dmon.last_procs
+            if published is None:
+                return "kind: none\n"
+            kind, rows = published
+        else:
+            received = self.dmon.remote_procs.get(host)
+            if received is None:
+                return "kind: none\n"
+            kind, rows = received.kind, received.rows
+        lines = [f"kind: {kind}"]
+        if kind == "top":
+            ranked = sorted(rows.items(), key=lambda p: (-p[1], p[0]))
+            lines += [f"{pid} {weight:.6g}" for pid, weight in ranked]
+        else:
+            for pid in sorted(rows):
+                cpu, mem, io = rows[pid]
+                lines.append(f"{pid} {cpu:.6g} {mem:.6g} {io:.6g}")
+        return "".join(f"{line}\n" for line in lines)
 
     def _overhead_read(self, host: str) -> str:
         """``/proc/cluster/<host>/dproc/overhead``: monitoring cost.

@@ -29,7 +29,10 @@ from repro.ecode.codegen import (CompiledFilter, DEFAULT_MAX_STEPS,
 from repro.ecode.lexer import tokenize
 from repro.ecode.parser import parse
 from repro.ecode.runtime import (BUILTINS, FilterResult, InputView,
+                                 KEYED_BUILTINS, KeyedSample,
                                  MetricRecord, OutputArray, RECORD_FIELDS)
+from repro.ecode.sketches import (CountMinSketch, KeyCounter,
+                                  SKETCH_BUILTINS, SketchSpace, TopK)
 from repro.ecode.unparse import unparse
 
 __all__ = [
@@ -38,4 +41,6 @@ __all__ = [
     "tokenize", "parse", "unparse",
     "BUILTINS", "FilterResult", "InputView", "MetricRecord",
     "OutputArray", "RECORD_FIELDS",
+    "KEYED_BUILTINS", "KeyedSample", "SKETCH_BUILTINS", "SketchSpace",
+    "CountMinSketch", "TopK", "KeyCounter",
 ]

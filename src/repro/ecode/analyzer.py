@@ -13,7 +13,8 @@ from enum import Enum, auto
 from typing import Mapping
 
 from repro.ecode import ast_nodes as A
-from repro.ecode.runtime import BUILTINS, RECORD_FIELDS
+from repro.ecode.runtime import (BUILTINS, KEYED_BUILTINS, RECORD_FIELDS,
+                                 SKETCH_BUILTINS)
 from repro.errors import EcodeTypeError
 
 __all__ = ["EType", "Symbol", "analyze", "AnalysisResult"]
@@ -91,6 +92,13 @@ class AnalysisResult:
         self.variables: set[str] = set()
         #: True when the filter contains loops (ablation statistic).
         self.has_loops: bool = False
+        #: True when the filter calls sketch builtins (``cms_*``/
+        #: ``topk_*``/``ctr_*``) — such filters carry state across
+        #: invocations.
+        self.uses_sketch: bool = False
+        #: True when the filter reads the keyed record stream or emits
+        #: summary pairs (``nproc``/``proc_*``/``emit``).
+        self.uses_keyed: bool = False
 
 
 class _Analyzer:
@@ -349,22 +357,49 @@ class _Analyzer:
         raise self.err(f"unknown operator {op!r}", node)  # pragma: no cover
 
     def call(self, node: A.Call, scope: _Scope) -> EType:
-        if node.func not in BUILTINS:
-            raise self.err(f"unknown function {node.func!r}", node)
-        arity, _impl = BUILTINS[node.func]
-        if len(node.args) != arity:
-            raise self.err(
-                f"{node.func}() takes {arity} argument(s), "
-                f"got {len(node.args)}", node)
-        arg_types = [self.expr(a, scope) for a in node.args]
-        for t in arg_types:
-            if not t.is_numeric:
+        if node.func in BUILTINS:
+            arity, _impl = BUILTINS[node.func]
+            if len(node.args) != arity:
                 raise self.err(
-                    f"{node.func}() arguments must be numeric", node)
-        if node.func in ("abs", "min", "max") and \
-                all(t is EType.INT for t in arg_types):
-            return EType.INT
-        return EType.DOUBLE
+                    f"{node.func}() takes {arity} argument(s), "
+                    f"got {len(node.args)}", node)
+            arg_types = [self.expr(a, scope) for a in node.args]
+            for t in arg_types:
+                if not t.is_numeric:
+                    raise self.err(
+                        f"{node.func}() arguments must be numeric", node)
+            if node.func in ("abs", "min", "max") and \
+                    all(t is EType.INT for t in arg_types):
+                return EType.INT
+            return EType.DOUBLE
+        signature = SKETCH_BUILTINS.get(node.func) \
+            or KEYED_BUILTINS.get(node.func)
+        if signature is None:
+            raise self.err(f"unknown function {node.func!r}", node)
+        arg_kinds, result = signature
+        if len(node.args) != len(arg_kinds):
+            raise self.err(
+                f"{node.func}() takes {len(arg_kinds)} argument(s), "
+                f"got {len(node.args)}", node)
+        for position, (arg, kind) in enumerate(zip(node.args,
+                                                   arg_kinds), 1):
+            t = self.expr(arg, scope)
+            if kind == "int":
+                if t is not EType.INT:
+                    raise self.err(
+                        f"{node.func}() argument {position} must be an "
+                        f"integer expression (handles, keys and ranks "
+                        f"are ints)", node)
+            elif not t.is_numeric:
+                raise self.err(
+                    f"{node.func}() argument {position} must be "
+                    f"numeric", node)
+        assert self.result is not None
+        if node.func in SKETCH_BUILTINS:
+            self.result.uses_sketch = True
+        else:
+            self.result.uses_keyed = True
+        return EType.INT if result == "int" else EType.DOUBLE
 
 
 def analyze(program: A.Program,

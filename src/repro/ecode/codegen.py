@@ -20,14 +20,16 @@ Safety properties of the generated code:
 from __future__ import annotations
 
 import ast as py
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from repro.ecode import ast_nodes as A
 from repro.ecode.analyzer import AnalysisResult, EType, analyze
 from repro.ecode.parser import parse
 from repro.ecode.runtime import (BUILTINS, ExecEnv, FilterResult,
-                                 InputView, MetricRecord, OutputArray)
+                                 InputView, KEYED_BUILTINS, KeyedSample,
+                                 MetricRecord, OutputArray,
+                                 SKETCH_BUILTINS, SketchSpace)
 from repro.errors import EcodeError, EcodeRuntimeError
 
 __all__ = ["CompiledFilter", "compile_filter", "DEFAULT_MAX_STEPS"]
@@ -137,8 +139,12 @@ class _Generator:
             return py.Attribute(value=self.expr(node.base),
                                 attr=node.name, ctx=py.Load())
         if isinstance(node, A.Call):
-            return _call(_name(f"__bi_{node.func}__"),
-                         [self.expr(a) for a in node.args])
+            args = [self.expr(a) for a in node.args]
+            if node.func in SKETCH_BUILTINS:
+                return _method("__sketch__", node.func, args)
+            if node.func in KEYED_BUILTINS:
+                return _method("__env__", node.func, args)
+            return _call(_name(f"__bi_{node.func}__"), args)
         raise EcodeError(  # pragma: no cover - analyzer is exhaustive
             f"cannot generate code for {type(node).__name__}")
 
@@ -337,7 +343,7 @@ class _Generator:
         args = py.arguments(
             posonlyargs=[],
             args=[py.arg(arg="__input__"), py.arg(arg="__output__"),
-                  py.arg(arg="__env__")],
+                  py.arg(arg="__env__"), py.arg(arg="__sketch__")],
             kwonlyargs=[], kw_defaults=[], defaults=[])
         body = self.block(self.analysis.program.body) or [py.Pass()]
         func = py.FunctionDef(name=_FUNC_NAME, args=args, body=body,
@@ -356,18 +362,29 @@ class CompiledFilter:
     max_steps: int
     _pyfunc: object
     has_loops: bool
+    #: Sketch calls make a filter *stateful*: the same sketch space is
+    #: handed to every invocation, so count-min/top-K contents persist
+    #: across polls until :meth:`reset_state`.
+    uses_sketch: bool = False
+    #: Filter reads the keyed record stream (per-PID table) or emits.
+    uses_keyed: bool = False
+    _sketch: SketchSpace = field(default_factory=SketchSpace)
 
-    def run(self, records: Sequence[MetricRecord]) -> FilterResult:
+    def run(self, records: Sequence[MetricRecord],
+            keyed: Optional[Sequence[KeyedSample]] = None) -> FilterResult:
         """Execute the filter over ``records``.
 
         Returns the records the filter placed in ``output[]`` (what
-        d-mon will publish) plus any explicit return value.
+        d-mon will publish) plus any explicit return value, and — for
+        keyed filters — the ``(key, value)`` pairs it emitted over the
+        optional per-key record table ``keyed``.
         """
         view = InputView(records)
         output = OutputArray()
-        env = ExecEnv(self.max_steps)
+        env = ExecEnv(self.max_steps, keyed=keyed)
         try:
-            returned = self._pyfunc(view, output, env)  # type: ignore[operator]
+            returned = self._pyfunc(  # type: ignore[operator]
+                view, output, env, self._sketch)
         except EcodeError:
             raise
         except ZeroDivisionError as exc:  # pragma: no cover - guarded
@@ -376,9 +393,18 @@ class CompiledFilter:
             raise EcodeRuntimeError(
                 f"filter execution failed: {exc}") from exc
         return FilterResult(outputs=output.collect(),
-                            returned=returned, steps=env.steps)
+                            returned=returned, steps=env.steps,
+                            emitted=env.emitted)
 
     __call__ = run
+
+    def reset_state(self) -> None:
+        """Drop persistent sketch state (restart-epoch hygiene)."""
+        self._sketch.reset()
+
+    def sketch_state(self) -> bytes:
+        """Deterministic serialisation of the filter's sketch state."""
+        return self._sketch.snapshot()
 
 
 def compile_filter(source: str,
@@ -409,4 +435,6 @@ def compile_filter(source: str,
     return CompiledFilter(source=source, constants=constants,
                           max_steps=max_steps,
                           _pyfunc=namespace[_FUNC_NAME],
-                          has_loops=analysis.has_loops)
+                          has_loops=analysis.has_loops,
+                          uses_sketch=analysis.uses_sketch,
+                          uses_keyed=analysis.uses_keyed)

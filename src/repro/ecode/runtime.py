@@ -9,13 +9,16 @@ environment (guarded arithmetic, step limits, builtins).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.ecode.sketches import (SKETCH_BUILTINS, SketchSpace)  # noqa: F401
 from repro.errors import EcodeLimitError, EcodeRuntimeError
 
 __all__ = ["MetricRecord", "InputView", "OutputArray", "ExecEnv",
-           "FilterResult", "RECORD_FIELDS", "BUILTINS"]
+           "FilterResult", "RECORD_FIELDS", "BUILTINS",
+           "SKETCH_BUILTINS", "KEYED_BUILTINS", "SketchSpace",
+           "KeyedSample"]
 
 #: Numeric fields available on a record inside a filter.
 RECORD_FIELDS = ("value", "last_value_sent", "timestamp")
@@ -30,6 +33,25 @@ BUILTINS = {
     "ceil": (1, math.ceil),
     "sqrt": (1, math.sqrt),
 }
+
+#: Keyed-stream builtins, dispatched on :class:`ExecEnv`:
+#: name -> (argument kinds, result kind).  They read the optional
+#: per-key record table (e.g. the per-PID process table a proc module
+#: collected this poll) and emit ``(key, value)`` summary pairs —
+#: the top-K path out of a filter.
+KEYED_BUILTINS: dict[str, tuple[tuple[str, ...], str]] = {
+    "nproc": ((), "int"),
+    "proc_pid": (("int",), "int"),
+    "proc_cpu": (("int",), "double"),
+    "proc_mem": (("int",), "double"),
+    "proc_io": (("int",), "double"),
+    "emit": (("int", "num"), "int"),
+}
+
+#: One keyed record: ``(key, cpu, mem, io)`` — for the proc module the
+#: key is a PID, cpu a core share in [0, n_cores], mem bytes resident,
+#: io bytes/s.
+KeyedSample = tuple[int, float, float, float]
 
 
 @dataclass
@@ -117,11 +139,20 @@ class OutputArray:
 
 
 class ExecEnv:
-    """Per-invocation execution services (arithmetic guards, limits)."""
+    """Per-invocation execution services (arithmetic guards, limits,
+    keyed-stream access and ``emit`` collection)."""
 
-    def __init__(self, max_steps: int) -> None:
+    #: Cap on ``emit()`` calls per invocation, mirroring
+    #: :attr:`OutputArray.MAX_SLOTS`.
+    MAX_EMITS = 4096
+
+    def __init__(self, max_steps: int,
+                 keyed: Optional[Sequence[KeyedSample]] = None) -> None:
         self.max_steps = max_steps
         self.steps = 0
+        self._keyed: list[KeyedSample] = list(keyed or ())
+        #: ``(key, value)`` pairs produced by ``emit()``, in call order.
+        self.emitted: list[tuple[int, float]] = []
 
     def tick(self) -> None:
         """Loop-iteration guard injected into every loop body."""
@@ -151,6 +182,46 @@ class ExecEnv:
             raise EcodeRuntimeError("division by zero")
         return a / b
 
+    # -- keyed-stream builtins --------------------------------------------------
+
+    def _row(self, name: str, index: object) -> KeyedSample:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise EcodeRuntimeError(
+                f"{name}: index must be an integer, got {index!r}")
+        if not 0 <= index < len(self._keyed):
+            raise EcodeRuntimeError(
+                f"{name}: index {index} out of range "
+                f"(have {len(self._keyed)} keyed records)")
+        return self._keyed[index]
+
+    def nproc(self) -> int:
+        return len(self._keyed)
+
+    def proc_pid(self, index: object) -> int:
+        return int(self._row("proc_pid", index)[0])
+
+    def proc_cpu(self, index: object) -> float:
+        return float(self._row("proc_cpu", index)[1])
+
+    def proc_mem(self, index: object) -> float:
+        return float(self._row("proc_mem", index)[2])
+
+    def proc_io(self, index: object) -> float:
+        return float(self._row("proc_io", index)[3])
+
+    def emit(self, key: object, value: object) -> int:
+        """Append a ``(key, value)`` summary pair; returns the count
+        of pairs emitted so far."""
+        if not isinstance(key, (int, float)):
+            raise EcodeRuntimeError("emit: key must be numeric")
+        if not isinstance(value, (int, float)):
+            raise EcodeRuntimeError("emit: value must be numeric")
+        if len(self.emitted) >= self.MAX_EMITS:
+            raise EcodeRuntimeError(
+                f"filter emitted more than {self.MAX_EMITS} pairs")
+        self.emitted.append((int(key), float(value)))
+        return len(self.emitted)
+
 
 @dataclass
 class FilterResult:
@@ -162,3 +233,6 @@ class FilterResult:
     returned: Optional[float]
     #: Loop iterations executed (observability/ablation hook).
     steps: int
+    #: ``(key, value)`` pairs the filter produced via ``emit()`` — the
+    #: top-K summary d-mon publishes instead of the keyed firehose.
+    emitted: list[tuple[int, float]] = field(default_factory=list)

@@ -19,7 +19,13 @@ where ``str`` is a u16 byte length followed by UTF-8 bytes.  Kinds:
 * ``MONITOR`` — a d-mon metric event: host string then a u16 record
   count, each record ``(u16 metric id, f64 value, f64 timestamp)``.
   MetricId values are part of the E-code filter ABI, so the ids on the
-  wire are the ABI ids and decode back to :class:`MetricId`.
+  wire are the ABI ids and decode back to :class:`MetricId`.  Two
+  optional trailing sections carry the keyed per-process stream: a u16
+  count of ``(u32 pid, f64 weight)`` top-K pairs, then a u16 count of
+  ``(u32 pid, f64 cpu, f64 mem, f64 io)`` full rows.  Frames without
+  the sections (older peers) decode as zero rows, and zero-row
+  sections decode to payloads without the keys — round-trip safe in
+  both directions.
 * ``CONTROL`` — one control message (SetParameter, ClearParameter,
   DeployFilter, RemoveFilter) as a compact JSON object (control
   traffic is rare; self-describing beats packed here).
@@ -57,6 +63,8 @@ _CONTROL_TYPES = {cls.__name__: cls for cls in
                    RemoveFilter)}
 
 _RECORD = struct.Struct(">Hdd")
+_TOP_ROW = struct.Struct(">Id")
+_PROC_ROW = struct.Struct(">Iddd")
 _HEAD = struct.Struct(">HB")
 _F64 = struct.Struct(">d")
 _U16 = struct.Struct(">H")
@@ -109,6 +117,18 @@ def encode_frame(tag: str, event: ChannelEvent) -> bytes:
         for metric, (value, ts) in metrics.items():
             body.append(_RECORD.pack(int(metric), float(value),
                                      float(ts)))
+        top = payload.get("proc_top") or {}
+        procs = payload.get("procs") or {}
+        if len(top) > 0xFFFF or len(procs) > 0xFFFF:
+            raise ChannelError("too many keyed rows for wire format")
+        body.append(_U16.pack(len(top)))
+        for pid in sorted(top):
+            body.append(_TOP_ROW.pack(int(pid), float(top[pid])))
+        body.append(_U16.pack(len(procs)))
+        for pid in sorted(procs):
+            cpu, mem, io = procs[pid]
+            body.append(_PROC_ROW.pack(int(pid), float(cpu),
+                                       float(mem), float(io)))
         body_bytes = b"".join(body)
     elif isinstance(payload, ControlMessage):
         kind = KIND_CONTROL
@@ -161,6 +181,23 @@ def decode_frame(frame: bytes) -> tuple[str, ChannelEvent]:
             mid, value, ts = _RECORD.unpack(reader.take(_RECORD.size))
             metrics[MetricId(mid)] = (value, ts)
         payload = {"host": host, "metrics": metrics}
+        if reader.pos < len(reader.buf):
+            n_top = reader.u16()
+            if n_top:
+                top: dict[int, float] = {}
+                for _ in range(n_top):
+                    pid, weight = _TOP_ROW.unpack(
+                        reader.take(_TOP_ROW.size))
+                    top[pid] = weight
+                payload["proc_top"] = top
+            n_procs = reader.u16()
+            if n_procs:
+                procs: dict[int, tuple[float, float, float]] = {}
+                for _ in range(n_procs):
+                    pid, cpu, mem, io = _PROC_ROW.unpack(
+                        reader.take(_PROC_ROW.size))
+                    procs[pid] = (cpu, mem, io)
+                payload["procs"] = procs
     elif kind == KIND_CONTROL:
         raw = reader.take(_U32.unpack(reader.take(4))[0])
         doc = json.loads(raw.decode("utf-8"))

@@ -20,13 +20,15 @@ import os
 from typing import Optional
 
 from repro.dproc.metrics import MODULE_METRICS, MetricId
-from repro.dproc.modules.base import MetricSample, MonitoringModule
+from repro.dproc.modules.base import (KeyedSample, MetricSample,
+                                      MonitoringModule)
 from repro.dproc.modules.self_mon import SelfMon
 from repro.errors import DprocError
 from repro.runtime.protocol import RuntimeNode
 
 __all__ = ["HostCpuMon", "HostMemMon", "HostDiskMon", "HostNetMon",
-           "HostPmcMon", "host_module_factory", "HOST_MODULES"]
+           "HostPmcMon", "HostProcMon", "host_module_factory",
+           "HOST_MODULES"]
 
 #: Nominal NIC capacity for available-bandwidth reporting (100 Mbps,
 #: the paper's fabric) when the host interface speed is unknowable.
@@ -222,6 +224,108 @@ class HostPmcMon(MonitoringModule):
                 MetricSample(MetricId.INSTRUCTIONS, 0.0, now)]
 
 
+class HostProcMon(MonitoringModule):
+    """Per-PID table from real ``/proc/<pid>/stat`` (the keyed stream).
+
+    Rows are ``(pid, cpu_share, rss_bytes, io_bytes_per_s)``; CPU is a
+    per-PID utime+stime rate over the poll interval (share of one
+    core), I/O comes from ``/proc/<pid>/io`` where readable.  The scan
+    is bounded to :attr:`MAX_PIDS` processes (ascending PID order) so
+    a busy host cannot blow up the poll.
+    """
+
+    name = "proc"
+    provides_keyed = True
+
+    MAX_PIDS = 512
+
+    def __init__(self, node: RuntimeNode) -> None:
+        super().__init__(node)
+        self._cpu: dict[int, _RateTracker] = {}
+        self._io: dict[int, _RateTracker] = {}
+        try:
+            self._hz = float(os.sysconf("SC_CLK_TCK"))
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            self._hz = 100.0
+        try:
+            self._page = float(os.sysconf("SC_PAGE_SIZE"))
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            self._page = 4096.0
+        self._table: list[KeyedSample] = []
+        self._table_at: Optional[float] = None
+
+    def metrics(self) -> tuple[MetricId, ...]:
+        return MODULE_METRICS["proc"]
+
+    def collect(self, now: float) -> list[MetricSample]:
+        table = self._sample(now)
+        return [
+            MetricSample(MetricId.PROC_COUNT, float(len(table)), now),
+            MetricSample(MetricId.PROC_CPU_MAX,
+                         max((r[1] for r in table), default=0.0), now),
+            MetricSample(MetricId.PROC_RSS_MAX,
+                         max((r[2] for r in table), default=0.0), now),
+        ]
+
+    def keyed_collect(self, now: float) -> list[KeyedSample]:
+        return self._sample(now)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _pids() -> list[int]:
+        try:
+            entries = os.listdir("/proc")
+        except OSError:  # pragma: no cover - no procfs
+            return []
+        return sorted(int(e) for e in entries if e.isdigit())
+
+    def _sample(self, now: float) -> list[KeyedSample]:
+        if self._table_at == now:
+            return self._table
+        rows: list[KeyedSample] = []
+        live: set[int] = set()
+        for pid in self._pids()[:self.MAX_PIDS]:
+            stat = _read_proc(f"/proc/{pid}/stat")
+            if not stat:
+                continue  # process exited mid-scan
+            # Fields after the parenthesised comm (which may contain
+            # spaces): utime/stime are fields 14/15, rss field 24
+            # (1-based), i.e. 11/12/21 relative to the tail.
+            _, _, tail = stat.rpartition(")")
+            fields = tail.split()
+            if len(fields) < 22:
+                continue
+            try:
+                jiffies = float(fields[11]) + float(fields[12])
+                rss = float(fields[21]) * self._page
+            except ValueError:  # pragma: no cover - malformed stat
+                continue
+            live.add(pid)
+            tracker = self._cpu.setdefault(pid, _RateTracker())
+            cpu_share = tracker.rate(now, jiffies / self._hz)
+            io_rate = 0.0
+            io_text = _read_proc(f"/proc/{pid}/io")
+            if io_text:
+                total_bytes = 0.0
+                for line in io_text.splitlines():
+                    if line.startswith(("read_bytes:", "write_bytes:")):
+                        try:
+                            total_bytes += float(line.split()[1])
+                        except (IndexError, ValueError):  # pragma: no cover
+                            pass
+                io_rate = self._io.setdefault(
+                    pid, _RateTracker()).rate(now, total_bytes)
+            rows.append((pid, cpu_share, rss, io_rate))
+        # Drop trackers for exited PIDs so the maps stay bounded.
+        for stale in set(self._cpu) - live:
+            self._cpu.pop(stale, None)
+            self._io.pop(stale, None)
+        self._table = rows
+        self._table_at = now
+        return rows
+
+
 #: module name -> host-backed class (SELF_MON is backend-neutral:
 #: it reads the node's telemetry registry, which LiveNode provides).
 HOST_MODULES = {
@@ -230,6 +334,7 @@ HOST_MODULES = {
     "disk": HostDiskMon,
     "net": HostNetMon,
     "pmc": HostPmcMon,
+    "proc": HostProcMon,
     "dproc": SelfMon,
 }
 

@@ -105,6 +105,19 @@ class CPU:
         """All jobs currently consuming cycles (incl. kernel work)."""
         return len(self._jobs)
 
+    def process_table(self) -> list[tuple[int, str, bool, float]]:
+        """Snapshot of live jobs for per-process monitors.
+
+        Returns ``(jid, name, runnable, cpu_share)`` tuples in jid
+        order, where ``cpu_share`` is the fraction of one processor
+        each job currently receives under processor sharing.
+        """
+        if not self._jobs:
+            return []
+        share = self.per_job_rate() / self.mflops_per_cpu
+        return [(j.jid, j.name, j.runnable, share)
+                for j in sorted(self._jobs.values(), key=lambda j: j.jid)]
+
     def per_job_rate(self) -> float:
         """Current Mflop/s granted to each active job."""
         k = len(self._jobs)

@@ -60,6 +60,8 @@ class KernelCostModel:
     module_poll: float = usec(25)
     #: CPU_MON kernel thread: one walk of the task list.
     tasklist_walk: float = usec(40)
+    #: PROC_MON: sampling one process-table row (per-PID stat read).
+    proc_sample: float = usec(1)
 
     def encode_cost(self, size: float) -> float:
         """CPU seconds to serialise an event of ``size`` bytes."""

@@ -34,11 +34,13 @@ class TestRegistration:
     def test_register_all_default_modules(self, cluster3):
         dmon = make_dmon(cluster3, "alan")
         assert set(dmon.modules) == {"cpu", "mem", "disk", "net", "pmc"}
-        # Every metric of the default modules gets a policy (BATTERY
-        # and the DMON_* self-telemetry metrics belong to the optional
-        # battery / dproc modules).
+        # Every metric of the default modules gets a policy (BATTERY,
+        # the DMON_* self-telemetry metrics and the PROC_* aggregates
+        # belong to the optional battery / dproc / proc modules).
         optional = {MetricId.BATTERY, MetricId.DMON_POLL_COST,
-                    MetricId.DMON_RX_COST, MetricId.DMON_EVENT_RATE}
+                    MetricId.DMON_RX_COST, MetricId.DMON_EVENT_RATE,
+                    MetricId.PROC_COUNT, MetricId.PROC_CPU_MAX,
+                    MetricId.PROC_RSS_MAX}
         assert set(dmon.policies) == set(MetricId) - optional
 
     def test_duplicate_module_rejected(self, cluster3):
@@ -214,7 +216,10 @@ class TestParameters:
             == set(MetricId) - {MetricId.BATTERY,
                                 MetricId.DMON_POLL_COST,
                                 MetricId.DMON_RX_COST,
-                                MetricId.DMON_EVENT_RATE}
+                                MetricId.DMON_EVENT_RATE,
+                                MetricId.PROC_COUNT,
+                                MetricId.PROC_CPU_MAX,
+                                MetricId.PROC_RSS_MAX}
         assert set(a.resolve_metrics("net")) == {
             MetricId.NET_BANDWIDTH, MetricId.NET_RTT, MetricId.NET_RETX,
             MetricId.NET_LOST, MetricId.NET_USED, MetricId.NET_DELAY}

@@ -87,16 +87,18 @@ class TestExecution:
         deployed = manager.deploy(PASS_LOADAVG, scope="*")
         records = manager.input_array(
             {MetricId.LOADAVG: 3.0}, {}, env.now)
-        outputs = manager.run(deployed, records)
-        assert [o.name for o in outputs] == ["loadavg"]
+        result = manager.run(deployed, records)
+        assert [o.name for o in result.outputs] == ["loadavg"]
+        assert result.emitted == []
         assert deployed.invocations == 1
         assert deployed.total_outputs == 1
+        assert deployed.total_emitted == 0
 
     def test_run_blocks_when_condition_false(self, env, manager):
         deployed = manager.deploy(PASS_LOADAVG, scope="*")
         records = manager.input_array(
             {MetricId.LOADAVG: 0.5}, {}, env.now)
-        assert manager.run(deployed, records) == []
+        assert manager.run(deployed, records).outputs == []
 
     def test_runtime_error_counted_not_raised(self, env, manager):
         deployed = manager.deploy("{ return 1 / input[0].value; }",
@@ -104,8 +106,8 @@ class TestExecution:
         records = manager.input_array({MetricId.LOADAVG: 0.0}, {},
                                       env.now)
         # value is 0.0 -> int/double division by zero inside filter
-        outputs = manager.run(deployed, records)
-        assert outputs == []
+        result = manager.run(deployed, records)
+        assert result.outputs == []
         assert deployed.errors == 1
 
     def test_input_array_is_dense_and_indexed(self, env, manager):
@@ -133,7 +135,7 @@ class TestExecution:
         deployed = manager.deploy(src, scope="mem")
         stable = manager.input_array({MetricId.FREEMEM: 95.0},
                                      {MetricId.FREEMEM: 100.0}, env.now)
-        assert manager.run(deployed, stable) == []
+        assert manager.run(deployed, stable).outputs == []
         dropped = manager.input_array({MetricId.FREEMEM: 80.0},
                                       {MetricId.FREEMEM: 100.0}, env.now)
-        assert len(manager.run(deployed, dropped)) == 1
+        assert len(manager.run(deployed, dropped).outputs) == 1

@@ -1,0 +1,208 @@
+"""Unit tests for the streaming-sketch primitives and SketchSpace.
+
+The property suite (``tests/properties/test_sketch_bounds.py``) covers
+the statistical guarantees; this file pins the edge cases — parameter
+validation, handle hygiene, memoisation, eviction order, snapshot
+layout — with hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecode import (CountMinSketch, KeyCounter, SketchSpace, TopK,
+                         compile_filter)
+from repro.ecode.sketches import MAX_DEPTH, MAX_K, MAX_WIDTH, mix64
+from repro.errors import EcodeError, EcodeRuntimeError
+
+
+class TestMix64:
+    def test_is_deterministic_and_spreads(self):
+        assert mix64(0) == mix64(0)
+        outputs = {mix64(i) for i in range(1000)}
+        assert len(outputs) == 1000  # no collisions on small ints
+
+    def test_stays_in_64_bits(self):
+        for x in (0, 1, -1, 2**64 - 1, 2**70):
+            assert 0 <= mix64(x) < 2**64
+
+
+class TestCountMinEdges:
+    @pytest.mark.parametrize("width,depth", [
+        (0, 4), (MAX_WIDTH + 1, 4), (64, 0), (64, MAX_DEPTH + 1)])
+    def test_bad_shape_rejected(self, width, depth):
+        with pytest.raises(EcodeRuntimeError):
+            CountMinSketch(width, depth, 1)
+
+    def test_width_one_degenerates_to_total(self):
+        cms = CountMinSketch(1, 3, 9)
+        cms.add(1, 2.0)
+        cms.add(2, 3.0)
+        assert cms.estimate(1) == 5.0
+        assert cms.estimate(999) == 5.0
+        assert cms.total == 5.0
+
+    def test_add_returns_post_add_estimate(self):
+        cms = CountMinSketch(64, 4, 9)
+        assert cms.add(7, 2.0) == cms.estimate(7) == 2.0
+        assert cms.add(7, 0.5) == 2.5
+
+    def test_negative_keys_are_valid(self):
+        cms = CountMinSketch(64, 4, 9)
+        cms.add(-12345, 4.0)
+        assert cms.estimate(-12345) == 4.0
+
+    def test_snapshot_length_matches_shape(self):
+        cms = CountMinSketch(16, 2, 1)
+        # >IIQd head = 24 bytes, 2 rows of 16 f64 cells.
+        assert len(cms.snapshot()) == 24 + 2 * 16 * 8
+
+    def test_different_seeds_hash_differently(self):
+        a = CountMinSketch(1024, 1, 1)
+        b = CountMinSketch(1024, 1, 2)
+        buckets_a = [a.bucket(0, k) for k in range(64)]
+        buckets_b = [b.bucket(0, k) for k in range(64)]
+        assert buckets_a != buckets_b
+
+
+class TestTopKEdges:
+    @pytest.mark.parametrize("k", [0, -1, MAX_K + 1])
+    def test_bad_k_rejected(self, k):
+        with pytest.raises(EcodeRuntimeError):
+            TopK(k)
+
+    def test_eviction_requires_strictly_heavier(self):
+        heap = TopK(1)
+        assert heap.offer(1, 5.0) == 1
+        assert heap.offer(2, 5.0) == 0  # equal weight: incumbent wins
+        assert heap.items() == [(1, 5.0)]
+        assert heap.offer(2, 5.5) == 1
+        assert heap.items() == [(2, 5.5)]
+
+    def test_equal_weight_eviction_prefers_smaller_key(self):
+        heap = TopK(2)
+        heap.offer(10, 1.0)
+        heap.offer(3, 1.0)
+        heap.offer(7, 2.0)  # evicts one of the 1.0 entries
+        kept = {key for key, _ in heap.items()}
+        # The lightest by (weight, -key) is the *larger* key, so the
+        # smaller key survives — deterministic either way.
+        assert kept == {3, 7}
+
+    def test_reoffer_existing_key_retains_without_eviction(self):
+        heap = TopK(2)
+        heap.offer(1, 5.0)
+        heap.offer(2, 4.0)
+        assert heap.offer(2, 0.1) == 1  # member: retained, not demoted
+        assert dict(heap.items())[2] == 4.0
+
+    def test_snapshot_orders_heaviest_first(self):
+        heap = TopK(3)
+        for key, weight in ((5, 1.0), (6, 3.0), (7, 2.0)):
+            heap.offer(key, weight)
+        assert heap.items() == [(6, 3.0), (7, 2.0), (5, 1.0)]
+        assert len(heap.snapshot()) == 8 + 3 * 16
+
+
+class TestKeyCounterEdges:
+    def test_key_universe_bounded(self):
+        counter = KeyCounter(tag=1)
+        counter._counts = {i: 1.0 for i in range(KeyCounter.MAX_KEYS)}
+        counter.add(0, 1.0)  # existing key still fine
+        with pytest.raises(EcodeRuntimeError, match="distinct keys"):
+            counter.add(KeyCounter.MAX_KEYS + 1, 1.0)
+
+    def test_get_unknown_key_is_zero(self):
+        assert KeyCounter(tag=1).get(42) == 0.0
+
+
+class TestSketchSpace:
+    def test_allocation_is_memoised_on_arguments(self):
+        space = SketchSpace()
+        h1 = space.cms_new(64, 4, 7)
+        h2 = space.cms_new(64, 4, 7)
+        h3 = space.cms_new(64, 4, 8)
+        assert h1 == h2
+        assert h3 != h1
+        assert len(space) == 2
+
+    def test_wrong_handle_type_rejected(self):
+        space = SketchSpace()
+        cms = space.cms_new(64, 4, 7)
+        with pytest.raises(EcodeRuntimeError, match="TopK"):
+            space.topk_offer(cms, 1, 1.0)
+        with pytest.raises(EcodeRuntimeError, match="CountMinSketch"):
+            space.cms_add(space.topk_new(2), 1, 1.0)
+
+    def test_dead_handle_rejected_after_reset(self):
+        space = SketchSpace()
+        handle = space.cms_new(64, 4, 7)
+        space.cms_add(handle, 1, 1.0)
+        space.reset()
+        with pytest.raises(EcodeRuntimeError):
+            space.cms_add(handle, 1, 1.0)
+        assert space.snapshot() == b""
+
+    def test_object_cap_enforced(self):
+        space = SketchSpace()
+        for i in range(SketchSpace.MAX_OBJECTS):
+            space.ctr_new(i)
+        with pytest.raises(EcodeRuntimeError, match="sketch objects"):
+            space.ctr_new(SketchSpace.MAX_OBJECTS)
+
+    def test_negative_weight_rejected_through_builtins(self):
+        space = SketchSpace()
+        with pytest.raises(EcodeRuntimeError, match="non-negative"):
+            space.cms_add(space.cms_new(64, 4, 7), 1, -1.0)
+        with pytest.raises(EcodeRuntimeError, match="non-negative"):
+            space.topk_offer(space.topk_new(2), 1, float("nan"))
+
+    def test_rank_out_of_range_rejected(self):
+        space = SketchSpace()
+        handle = space.topk_new(2)
+        space.topk_offer(handle, 1, 1.0)
+        with pytest.raises(EcodeRuntimeError):
+            space.topk_key(handle, 1)
+        with pytest.raises(EcodeRuntimeError):
+            space.topk_weight(handle, -1)
+
+
+class TestCompiledFilterState:
+    SRC = """
+    {
+        int c = cms_new(32, 2, 3);
+        double w = cms_add(c, 7, 1.5);
+        return w;
+    }
+    """
+
+    def test_state_persists_across_invocations(self):
+        compiled = compile_filter(self.SRC)
+        assert compiled.uses_sketch
+        assert compiled.run([]).returned == 1.5
+        assert compiled.run([]).returned == 3.0
+        assert compiled.run([]).returned == 4.5
+
+    def test_reset_state_restarts_accumulation(self):
+        compiled = compile_filter(self.SRC)
+        compiled.run([])
+        compiled.run([])
+        assert compiled.sketch_state() != b""
+        compiled.reset_state()
+        assert compiled.sketch_state() == b""
+        assert compiled.run([]).returned == 1.5
+
+    def test_two_same_source_filters_have_independent_state(self):
+        a = compile_filter(self.SRC)
+        b = compile_filter(self.SRC)
+        a.run([])
+        a.run([])
+        b.run([])
+        assert a.run([]).returned == 4.5
+        assert b.run([]).returned == 3.0
+
+    def test_non_literal_shape_rejected_at_runtime_bounds(self):
+        src = "{ int c = cms_new(99999999, 2, 3); return 0; }"
+        compiled = compile_filter(src)
+        with pytest.raises(EcodeError):
+            compiled.run([])

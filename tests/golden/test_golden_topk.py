@@ -1,0 +1,132 @@
+"""Golden regression: a pinned 50-node top-K source-filtering run.
+
+A seeded 50-node cluster runs the ``proc`` keyed stream with a
+sketch-backed top-K CPU filter governing half the hosts.  The pinned
+record covers both sides of the contract:
+
+* **governed hosts** ship exactly their top-K (pid, weight) pairs —
+  the sketch, the heap ordering and the cumulative count-min weights
+  are all pinned byte-for-byte through the ``proc_top`` rendering;
+* **ungoverned hosts** ship their full synthetic process table, so
+  the volume asymmetry the filter exists to create is visible in the
+  record-accounting numbers.
+
+Intentional changes regenerate the pin like the other goldens::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+The pre-existing goldens (``golden_trace.json``,
+``golden_span_tree.json``) do not include the proc module and must
+stay bit-identical when this scenario changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Scenario
+from repro.dproc import DMonConfig, topk_filter
+from tests.golden.test_golden_trace import _round
+
+GOLDEN = Path(__file__).with_name("golden_topk.json")
+
+SCENARIO = {
+    "n_nodes": 50,
+    "seed": 11,
+    "duration": 12.0,
+    "poll_interval": 1.0,
+    "modules": ["cpu", "mem", "proc"],
+    "k": 3,
+    "by": "cpu",
+    "governed_every": 2,   # hosts 0, 2, 4, ... get the filter
+}
+
+
+def _governed(names: list[str]) -> list[str]:
+    return names[::SCENARIO["governed_every"]]
+
+
+def build_record() -> dict:
+    sc = Scenario(
+        nodes=SCENARIO["n_nodes"], seed=SCENARIO["seed"], backend="sim",
+        dmon=DMonConfig(poll_interval=SCENARIO["poll_interval"]),
+        modules=tuple(SCENARIO["modules"]))
+
+    def control_writes(sc: Scenario) -> None:
+        observer = sc.nodes.names[0]
+        for host in _governed(sc.nodes.names):
+            sc.dprocs[observer].write(
+                f"/proc/cluster/{host}/control",
+                topk_filter(SCENARIO["k"], SCENARIO["by"]))
+
+    sc = sc.with_setup(control_writes).run(SCENARIO["duration"])
+    observer = sc.nodes.names[0]
+    proc_top = {host: sc.dprocs[observer].read(
+        f"/proc/cluster/{host}/proc_top") for host in sc.nodes.names}
+    filters = {}
+    for host in _governed(sc.nodes.names):
+        deployed = sc.dprocs[host].dmon.filters.filter_for("proc")
+        filters[host] = {
+            "invocations": deployed.invocations,
+            "emitted": deployed.total_emitted,
+            "outputs": deployed.total_outputs,
+            "errors": deployed.errors,
+        }
+    accounting = {host: {
+        "events_published": sc.dprocs[host].node.telemetry.value(
+            "dmon.events_published"),
+        "records_published": sc.dprocs[host].node.telemetry.value(
+            "dmon.records_published"),
+    } for host in sc.nodes.names}
+    return _round({
+        "scenario": SCENARIO,
+        "proc_top": proc_top,
+        "filters": filters,
+        "accounting": accounting,
+    })
+
+
+class TestGoldenTopK:
+    def test_scenario_matches_golden_file(self, regen_golden):
+        record = build_record()
+        if regen_golden:
+            GOLDEN.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"regenerated {GOLDEN.name}")
+        assert GOLDEN.exists(), \
+            f"{GOLDEN} missing - run with --regen-golden to create it"
+        expected = json.loads(GOLDEN.read_text())
+        for key in expected:
+            assert record[key] == expected[key], f"drift in {key!r}"
+        assert set(record) == set(expected)
+
+    def test_golden_file_is_well_formed(self):
+        """Fast guard (no simulation): the pin shows the asymmetry the
+        filter is for — K pairs from governed hosts, full tables from
+        the rest — and the record accounting reflects it."""
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["scenario"] == _round(SCENARIO)
+        governed = set(doc["filters"])
+        assert len(governed) * SCENARIO["governed_every"] \
+            == doc["scenario"]["n_nodes"]
+        for host, text in doc["proc_top"].items():
+            lines = text.splitlines()
+            if host in governed:
+                assert lines[0] == "kind: top", host
+                assert 0 < len(lines) - 1 <= doc["scenario"]["k"]
+            else:
+                assert lines[0] == "kind: full", host
+                assert len(lines) - 1 > doc["scenario"]["k"]
+        for stats in doc["filters"].values():
+            assert stats["errors"] == 0
+            assert stats["emitted"] > 0
+        governed_records = [doc["accounting"][h]["records_published"]
+                            for h in governed]
+        ungoverned_records = [doc["accounting"][h]["records_published"]
+                              for h in doc["accounting"]
+                              if h not in governed]
+        assert max(governed_records) < min(ungoverned_records), \
+            "top-K hosts must publish fewer records than full-table hosts"

