@@ -45,6 +45,9 @@ from repro.sim import Environment, build_cluster  # noqa: E402
 from repro.telemetry import overhead_summary  # noqa: E402
 
 MODULES = ("cpu", "mem", "proc")
+#: Report format version: 2 added ``schema_version`` and the
+#: per-variant ``health`` SLO section.
+SCHEMA_VERSION = 2
 K = 5
 PERIOD_STRETCH = 4.0
 THRESHOLD_PCT = 15.0
@@ -97,12 +100,14 @@ def run_variant(variant: str, n: int, duration: float, poll: float,
     overhead = overhead_summary(
         {name: cluster[name].telemetry for name in cluster.names},
         sim_seconds=duration)
+    from repro.obs import health_section_from_overhead
     return {
         "variant": variant,
         "wall_seconds": round(wall, 3),
         "events_published": overhead["events_published"],
         "records_published": overhead["records_published"],
         "monitor_cpu_seconds": overhead["monitor_cpu_seconds"]["total"],
+        "health": health_section_from_overhead(overhead),
     }
 
 
@@ -134,6 +139,7 @@ def main(argv=None) -> int:
                      - topk["monitor_cpu_seconds"])
     report = {
         "benchmark": "ablation_topk",
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "n_nodes": args.nodes,
             "sim_seconds": args.duration,

@@ -30,6 +30,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.harness.chaos import chaos_recovery
 
+#: Report format version: 2 added ``schema_version`` and the
+#: per-record ``health`` SLO section.
+SCHEMA_VERSION = 2
 OUTPUT = Path(__file__).resolve().parent.parent / \
     "BENCH_chaos_recovery.json"
 
@@ -64,6 +67,8 @@ def run_once(n: int, duration: float, seed: int,
         # monitored system itself (repro.telemetry registries).
         "overhead": report.overhead,
     }
+    from repro.obs import health_section_from_overhead
+    record["health"] = health_section_from_overhead(report.overhead)
     if tracer is not None:
         from repro.tracing import latency_breakdown
         record["tracing"] = {
@@ -127,7 +132,8 @@ def main(argv: list[str] | None = None) -> int:
     record["repeats"] = args.repeats
     record["deterministic"] = deterministic
 
-    payload = {"benchmark": "chaos_recovery", "results": [record]}
+    payload = {"benchmark": "chaos_recovery",
+               "schema_version": SCHEMA_VERSION, "results": [record]}
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

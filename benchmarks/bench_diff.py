@@ -1,0 +1,204 @@
+"""Compare two ``BENCH_*.json`` reports and flag regressions.
+
+Every benchmark writer in this directory emits a versioned JSON
+report (``schema_version``, a ``results``/``variants`` record list,
+and per-record ``overhead`` + ``health`` sections).  This tool diffs
+two of them — typically the committed baseline against a fresh run::
+
+    PYTHONPATH=src python benchmarks/bench_diff.py \
+        BENCH_sim_throughput.json /tmp/fresh.json
+    PYTHONPATH=src python benchmarks/bench_diff.py old.json new.json \
+        --tolerance 0.10 --json
+
+Records are matched by identity (``n_nodes`` + ``workers`` for the
+throughput bench, ``variant`` for ablations, position otherwise) and
+every shared numeric metric is reported.  A metric with a known
+direction (events/s up is good, wall seconds down is good) that moves
+the wrong way by more than ``--tolerance`` is a regression; so is a
+record whose ``health`` verdict decays from healthy.  Exit status: 0
+clean, 1 regressions, 2 unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metrics where bigger is better; anything here that shrinks more
+#: than the tolerance is a regression.
+HIGHER_IS_BETTER = (
+    "events_per_second", "sim_speedup", "speedup",
+    "critical_path_events_per_second", "record_volume_factor",
+    "monitor_cpu_factor",
+)
+#: Metrics where smaller is better.
+LOWER_IS_BETTER = (
+    "wall_seconds", "setup_seconds", "monitor_cpu_seconds",
+    "recovery_time", "rejoin_time",
+)
+#: Informational metrics: reported, never gating (absolute totals
+#: move with configuration, not performance).
+NEUTRAL_HINTS = ("events_processed", "events_published",
+                 "records_published", "n_events")
+
+
+def _records(payload: dict) -> list:
+    for key in ("results", "variants"):
+        rows = payload.get(key)
+        if isinstance(rows, list):
+            return rows
+    return []
+
+
+def _identity(record: dict, index: int) -> str:
+    if "variant" in record:
+        return str(record["variant"])
+    if "n_nodes" in record:
+        ident = f"n={record['n_nodes']}"
+        if record.get("workers"):
+            ident += f",workers={record['workers']}"
+        return ident
+    return f"#{index}"
+
+
+def _numeric_fields(record: dict) -> dict:
+    out = {}
+    for key, value in record.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def _health_verdict(record: dict) -> str:
+    health = record.get("health")
+    if isinstance(health, dict):
+        return str(health.get("verdict", "unknown"))
+    return "unknown"
+
+
+def diff_reports(old: dict, new: dict, tolerance: float) -> dict:
+    """Structured comparison; ``regressions`` is the gate."""
+    rows = []
+    regressions = []
+    old_records = {_identity(r, i): r
+                   for i, r in enumerate(_records(old))}
+    new_records = {_identity(r, i): r
+                   for i, r in enumerate(_records(new))}
+    for ident in old_records:
+        if ident not in new_records:
+            regressions.append(f"{ident}: missing from new report")
+            continue
+        before, after = old_records[ident], new_records[ident]
+        old_nums, new_nums = (_numeric_fields(before),
+                              _numeric_fields(after))
+        for metric in sorted(set(old_nums) & set(new_nums)):
+            a, b = old_nums[metric], new_nums[metric]
+            delta = (b - a) / abs(a) if a else None
+            if metric in HIGHER_IS_BETTER:
+                direction = "higher"
+                bad = a and (a - b) / abs(a) > tolerance
+            elif metric in LOWER_IS_BETTER:
+                direction = "lower"
+                bad = a and (b - a) / abs(a) > tolerance
+            else:
+                direction = "neutral"
+                bad = False
+            rows.append({"record": ident, "metric": metric,
+                         "old": a, "new": b, "delta": delta,
+                         "direction": direction,
+                         "regression": bool(bad)})
+            if bad:
+                regressions.append(
+                    f"{ident}: {metric} {a:g} -> {b:g} "
+                    f"({delta:+.1%}, tolerance {tolerance:.0%})")
+        old_h, new_h = _health_verdict(before), _health_verdict(after)
+        if old_h != new_h:
+            rows.append({"record": ident, "metric": "health.verdict",
+                         "old": old_h, "new": new_h, "delta": None,
+                         "direction": "health",
+                         "regression": new_h == "degraded"})
+            if new_h == "degraded":
+                regressions.append(
+                    f"{ident}: health verdict {old_h} -> degraded")
+    for ident in new_records:
+        if ident not in old_records:
+            rows.append({"record": ident, "metric": "(new record)",
+                         "old": None, "new": None, "delta": None,
+                         "direction": "neutral", "regression": False})
+    return {
+        "benchmark": new.get("benchmark", old.get("benchmark")),
+        "schema_version": {"old": old.get("schema_version", 1),
+                           "new": new.get("schema_version", 1)},
+        "tolerance": tolerance,
+        "comparisons": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def _load(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bench_diff: cannot read {path}: {exc}")
+    if not isinstance(payload, dict) or not _records(payload):
+        raise SystemExit(f"bench_diff: {path} has no benchmark "
+                         f"records (expected 'results'/'variants')")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports; non-zero exit on "
+                    "regression.")
+    parser.add_argument("old", type=Path, help="baseline report")
+    parser.add_argument("new", type=Path, help="fresh report")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional decay on directional "
+                             "metrics (default: %(default)s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full comparison as JSON")
+    args = parser.parse_args(argv)
+
+    old, new = _load(args.old), _load(args.new)
+    if old.get("benchmark") != new.get("benchmark"):
+        print(f"bench_diff: comparing different benchmarks "
+              f"({old.get('benchmark')!r} vs {new.get('benchmark')!r})",
+              file=sys.stderr)
+        return 2
+    result = diff_reports(old, new, args.tolerance)
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+        return 0 if result["ok"] else 1
+
+    print(f"== bench diff: {result['benchmark']} "
+          f"(schema {result['schema_version']['old']} -> "
+          f"{result['schema_version']['new']}, tolerance "
+          f"{args.tolerance:.0%}) ==")
+    for row in result["comparisons"]:
+        if row["metric"] == "(new record)":
+            print(f"  {row['record']:<24} new record (no baseline)")
+            continue
+        delta = ("" if row["delta"] is None
+                 else f" ({row['delta']:+.1%})")
+        flag = "  REGRESSION" if row["regression"] else ""
+        if row["direction"] == "neutral" and not flag:
+            continue  # keep the table to what can gate
+        print(f"  {row['record']:<24} {row['metric']:<34} "
+              f"{row['old']} -> {row['new']}{delta}{flag}")
+    if result["regressions"]:
+        print(f"\n{len(result['regressions'])} regression(s):",
+              file=sys.stderr)
+        for line in result["regressions"]:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

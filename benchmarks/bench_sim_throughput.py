@@ -54,6 +54,9 @@ CHECK_TOLERANCE = 0.15
 #: (no RNG, no events), so the only throughput cost is appending, and
 #: the hard MAXLEN bound keeps memory flat at any duration.
 STREAM_MAX_LEN = 65536
+#: Report format version: 2 added ``schema_version`` and the
+#: per-record ``health`` SLO section.
+SCHEMA_VERSION = 2
 OUTPUT = Path(__file__).resolve().parent.parent / \
     "BENCH_sim_throughput.json"
 
@@ -68,6 +71,21 @@ class ScaleConfig:
     n_watchers: int | None
     metrics: tuple[str, ...]
     modules: tuple[str, ...]
+    #: ``--obs`` sampling scope: None samples every instrument; at
+    #: large n the plane samples only the series the stock SLO rules
+    #: and the throughput report actually read, which is what keeps
+    #: obs overhead within its <=5% budget at n=1000.
+    obs_prefixes: tuple[str, ...] | None = None
+    #: ``--obs`` health cadence: evaluate rules every k-th sample.
+    obs_health_every: int = 1
+
+
+#: The SLO allowlist for large ``--obs`` runs: the three stock rules
+#: (delivery latency p99, drop burn, monitor CPU burn), the publish
+#: counters the report reads, and the full fault panel.
+OBS_SLO_PREFIXES = ("dmon.collect_seconds", "dmon.events_published",
+                    "dmon.polls", "net.",
+                    "kecho.dproc.monitor.delivery_seconds")
 
 
 FULL_METRICS = ("LOADAVG", "FREEMEM", "DISKUSAGE", "NET_BANDWIDTH")
@@ -84,25 +102,38 @@ def scale_config(n: int) -> ScaleConfig:
                            metrics=("LOADAVG", "FREEMEM"),
                            modules=("cpu", "mem"))
     return ScaleConfig(poll_interval=15.0, n_watchers=8,
-                       metrics=("LOADAVG",), modules=("cpu",))
+                       metrics=("LOADAVG",), modules=("cpu",),
+                       obs_prefixes=OBS_SLO_PREFIXES,
+                       obs_health_every=2)
 
 
 def build_monitored_cluster(n: int, profile: ScaleConfig,
-                            duration: float, stream: bool = False):
+                            duration: float, stream: bool = False,
+                            obs: bool = False):
     """An n-node cluster with dproc deployed per ``profile``.
 
-    Returns ``(env, cluster, broker)`` so callers can harvest
-    per-node telemetry (and the stream tee, when enabled) after the
-    run.
+    Returns ``(env, cluster, broker, plane)`` so callers can harvest
+    per-node telemetry (and the stream tee / observability plane,
+    when enabled) after the run.
     """
     env = Environment()
     cluster = build_cluster(env, nodes=n, seed=1)
     bus = KechoBus()
     broker = None
+    plane = None
     if stream:
         from repro.stream import StreamBroker, attach_stream
         broker = StreamBroker(max_len=STREAM_MAX_LEN)
         attach_stream(broker, bus, cluster)
+    if obs:
+        from repro.obs import ObservabilityPlane
+        plane = ObservabilityPlane(
+            sample_interval=max(1.0, profile.poll_interval),
+            name_prefixes=profile.obs_prefixes,
+            health_every=profile.obs_health_every)
+        plane.bind(cluster.names)
+        first = cluster[cluster.names[0]]
+        first.spawn(plane.sampler(cluster, env), name="obs-sampler")
     metric_subset = frozenset(MetricId[name] for name in profile.metrics)
     names = cluster.names
     watcher_set = set(names if profile.n_watchers is None
@@ -120,15 +151,21 @@ def build_monitored_cluster(n: int, profile: ScaleConfig,
             dprocs[name].add_cluster_node(host)
     for dproc in dprocs.values():
         dproc.start()
-    return env, cluster, broker
+    if plane is not None:
+        # The dprocs just registered their instruments: resolve the
+        # sampling plans (and allocate the backing series) here in
+        # setup, so the measured run only pays for the observes.
+        plane.prepare(cluster)
+    return env, cluster, broker, plane
 
 
-def run_once(n: int, duration: float, stream: bool = False) -> dict:
+def run_once(n: int, duration: float, stream: bool = False,
+             obs: bool = False) -> dict:
     """Run one size; returns the result record for the JSON report."""
     profile = scale_config(n)
     t0 = time.perf_counter()
-    env, cluster, broker = build_monitored_cluster(n, profile,
-                                                   duration, stream)
+    env, cluster, broker, plane = build_monitored_cluster(
+        n, profile, duration, stream, obs)
     setup_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -165,6 +202,20 @@ def run_once(n: int, duration: float, stream: bool = False) -> dict:
             "entries_retained": broker.total_entries(),
             "entries_trimmed": sum(s.trimmed for s in
                                    broker.streams.values()),
+        }
+    if plane is not None:
+        # Same optional-key pattern for --obs runs.  The plane's
+        # self-accounted sampling cost is the robust form of the
+        # "obs overhead <= 5%" budget: wall-to-wall run pairing on a
+        # noisy box swings more than the budget itself.
+        record["obs"] = {
+            "sample_interval": plane.sample_interval,
+            "samples_taken": plane.samples_taken,
+            "series": len(plane.tsdb.keys()),
+            "healthy": plane.verdict()["healthy"],
+            "sampler_cost_seconds": round(plane.sample_cost_seconds, 4),
+            "sampler_cost_fraction": round(
+                plane.sample_cost_seconds / wall, 4) if wall else None,
         }
     return record
 
@@ -372,6 +423,11 @@ def main(argv: list[str] | None = None) -> int:
                              "entries) to single-worker runs; the "
                              "acceptance bound is within 10%% of the "
                              "tee-off rate")
+    parser.add_argument("--obs", action="store_true",
+                        help="attach the observability plane (TSDB "
+                             "sampler + health engine) to "
+                             "single-worker runs; acceptance bound "
+                             "is within 5%% of the plane-off rate")
     parser.add_argument("--check", action="store_true",
                         help="regression gate: re-run the baseline's "
                              "single-worker sizes and fail if events/s "
@@ -408,7 +464,7 @@ def main(argv: list[str] | None = None) -> int:
                                               top=args.top)
             elif workers == 1:
                 record = run_once(n, args.duration,
-                                  stream=args.stream)
+                                  stream=args.stream, obs=args.obs)
                 report = None
             else:
                 record = run_sharded_once(n, args.duration, workers)
@@ -431,8 +487,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"critical-path "
                   f"{record['speedup_vs_single_critical_path']}x)")
 
+    from repro.obs import health_section_from_overhead
+    for record in results:
+        record["health"] = health_section_from_overhead(
+            record.get("overhead"))
     payload = {
         "benchmark": "sim_throughput",
+        "schema_version": SCHEMA_VERSION,
         "sim_seconds": args.duration,
         "host_cpus": os.cpu_count(),
         "results": results,

@@ -99,6 +99,18 @@ class Scenario:
         self._stream_max_len: Optional[int] = None
         self._stream_broker = None
         self._shard_brokers: list = []
+        self._want_obs = False
+        self._obs_interval = 1.0
+        self._obs_rules = None
+        self._obs_kwargs: dict = {}
+        self._obs_scrape: Optional[tuple[str, int]] = None
+        self._obs_plane = None
+        self._obs_log = None
+        self._shard_planes: list = []
+        self._shard_obs_logs: list = []
+        self._obs_ingested = False
+        #: The live scrape endpoint (``with_observability(scrape_port=...)``).
+        self.scrape = None
         #: Populated by :meth:`build`.
         self.runtime: Optional[Runtime] = None
         self.dprocs: dict[str, Dproc] = {}
@@ -179,6 +191,47 @@ class Scenario:
         self._want_stream = True
         self._stream_dir = directory
         self._stream_max_len = max_len
+        return self
+
+    def with_observability(self, *, sample_interval: float = 1.0,
+                           rules=None, scrape_port: Optional[int] = None,
+                           scrape_host: str = "127.0.0.1",
+                           health_every: int = 1,
+                           name_prefixes: Optional[Sequence[str]] = None,
+                           capacity: int = 240) -> "Scenario":
+        """Attach the time-series metrics plane (both backends).
+
+        A :class:`repro.obs.ObservabilityPlane` samples every node's
+        telemetry registry each ``sample_interval`` seconds (virtual
+        seconds on sim — deterministic, byte-stable exports; wall
+        seconds on live) into a bounded ring-buffer TSDB, and a
+        health/SLO engine (``rules``, default
+        :func:`repro.obs.default_rules`) evaluates windowed queries
+        with hysteresis, logging every verdict flip to a durable
+        ``obs.health`` channel.  The plane is passive: goldens, traces
+        and data-plane stream bytes are identical with it on or off.
+
+        ``scrape_port`` (live only) additionally serves OpenMetrics
+        ``/metrics`` and JSON ``/healthz`` over HTTP for the cluster
+        (port 0 picks a free port; see :attr:`scrape` for the bound
+        address).  After the run, :attr:`obs` is the plane — on
+        sharded runs the per-shard planes merged in global time order;
+        when a stream was recorded it is replayed into per-channel
+        series on first access.
+        """
+        self._check_mutable()
+        if scrape_port is not None and self._backend != "live":
+            raise ScenarioError(
+                "the scrape endpoint serves real HTTP; on the "
+                "simulator export with scenario.obs / harness obs")
+        self._want_obs = True
+        self._obs_interval = float(sample_interval)
+        self._obs_rules = tuple(rules) if rules is not None else None
+        self._obs_kwargs = {"health_every": health_every,
+                            "name_prefixes": name_prefixes,
+                            "capacity": capacity}
+        self._obs_scrape = ((scrape_host, scrape_port)
+                            if scrape_port is not None else None)
         return self
 
     def with_workers(self, workers: int, *, mode: str = "auto",
@@ -345,6 +398,52 @@ class Scenario:
             "stream recording runs inline; no broker exists yet")
 
     @property
+    def obs(self):
+        """The observability plane (``with_observability`` scenarios).
+
+        On sharded runs the per-shard planes are merged into one
+        global plane on first access after the run; when the scenario
+        also recorded a durable stream, its entries are replayed into
+        per-channel ``stream.*`` series once, on first access.
+        """
+        if not self._want_obs:
+            raise ScenarioError(
+                "no observability plane; call with_observability() "
+                "before build()/run()")
+        plane = self._obs_plane
+        if plane is None and self._shard_planes:
+            from repro.obs import merge_planes
+            plane = merge_planes(self._shard_planes)
+            if getattr(self.runtime, "result", None) is not None:
+                # The run is over: the merged plane is final — cache it.
+                self._obs_plane = plane
+        if plane is None:
+            self._check_built()
+            raise ScenarioError(
+                "observability runs inline; no plane exists yet")
+        if self._want_stream and not self._obs_ingested \
+                and plane is self._obs_plane:
+            plane.ingest_stream(self.stream)
+            self._obs_ingested = True
+        return plane
+
+    @property
+    def obs_log(self):
+        """The durable ``obs.health`` transition log (a stream broker)."""
+        if not self._want_obs:
+            raise ScenarioError(
+                "no observability plane; call with_observability() "
+                "before build()/run()")
+        if self._obs_log is not None:
+            return self._obs_log
+        if self._shard_obs_logs:
+            from repro.stream import merge_brokers
+            return merge_brokers(self._shard_obs_logs)
+        self._check_built()
+        raise ScenarioError(
+            "observability runs inline; no transition log exists yet")
+
+    @property
     def shard_result(self):
         """Per-shard execution statistics (sharded runs only)."""
         self._check_built()
@@ -414,6 +513,33 @@ class Scenario:
                 fn(self)
         for fn in self._setup_hooks:
             fn(self)
+        if self._want_obs:
+            # Last on purpose: the plane only reads, and its sampler is
+            # a pure timer process, so attaching it after the frozen
+            # order leaves the golden-pinned schedule untouched.
+            self._obs_plane, self._obs_log = self._attach_obs(
+                runtime.nodes, runtime.clock)
+            if self._backend == "live" and self._obs_scrape is not None:
+                from repro.live.scrape import ScrapeServer
+                host, port = self._obs_scrape
+                self.scrape = ScrapeServer(runtime.nodes,
+                                           self._obs_plane,
+                                           host=host, port=port)
+                runtime.add_server(self.scrape)
+
+    def _attach_obs(self, nodes, clock):
+        """Build a plane over ``nodes`` and start its sampler."""
+        from repro.obs import ObservabilityPlane
+        from repro.stream import StreamBroker
+        log = StreamBroker()
+        plane = ObservabilityPlane(
+            sample_interval=self._obs_interval,
+            rules=self._obs_rules, health_log=log,
+            **self._obs_kwargs)
+        plane.bind(node.name for node in nodes)
+        first = nodes[nodes.names[0]]
+        first.spawn(plane.sampler(nodes, clock), name="obs-sampler")
+        return plane, log
 
     def _global_names(self) -> list[str]:
         if self._names is not None:
@@ -437,7 +563,7 @@ class Scenario:
                 "run has one fabric per worker")
         wants_inline = bool(self._setup_hooks or self._fault_hooks
                             or self._want_faults or self._want_tracing
-                            or self._want_stream)
+                            or self._want_stream or self._want_obs)
         mode = self._workers_mode
         if mode == "auto":
             mode = "inline" if wants_inline else "processes"
@@ -490,5 +616,13 @@ class Scenario:
                     fn(self)
             for fn in self._setup_hooks:
                 fn(self)
+            if self._want_obs:
+                # One plane per shard world, merged on .obs access —
+                # same shape as the per-shard stream brokers.
+                for world in runtime.worlds:
+                    plane, log = self._attach_obs(world.cluster,
+                                                  world.env)
+                    self._shard_planes.append(plane)
+                    self._shard_obs_logs.append(log)
         runtime.run(duration)
         return self

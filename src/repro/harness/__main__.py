@@ -5,7 +5,10 @@ tracing subcommand (:mod:`repro.harness.tracecli`);
 ``python -m repro.harness live [...]`` runs the stack over real
 asyncio localhost sockets (:mod:`repro.harness.livecli`);
 ``python -m repro.harness stream [...]`` tails, replays, reconciles
-and trims the durable event stream (:mod:`repro.harness.streamcli`).
+and trims the durable event stream (:mod:`repro.harness.streamcli`);
+``python -m repro.harness obs [...]`` renders the time-series metrics
+plane — health, sparkline dashboards, OpenMetrics/JSON export, live
+watch (:mod:`repro.harness.obscli`).
 """
 
 from __future__ import annotations
@@ -29,6 +32,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "stream":
         from repro.harness.streamcli import main as stream_main
         return stream_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.harness.obscli import main as obs_main
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the dproc paper's evaluation figures.")

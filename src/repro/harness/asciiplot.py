@@ -22,10 +22,14 @@ import math
 
 from repro.harness.experiment import ExperimentResult, SeriesResult
 
-__all__ = ["render_plot", "SERIES_GLYPHS"]
+__all__ = ["render_plot", "sparkline", "SERIES_GLYPHS",
+           "SPARK_GLYPHS"]
 
 #: Glyphs assigned to series, in order.
 SERIES_GLYPHS = "*o+x#@%&"
+
+#: Height ramp for :func:`sparkline`, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 
 def _scale(value: float, lo: float, hi: float, size: int,
@@ -48,6 +52,37 @@ def _format_tick(value: float) -> str:
     return f"{value:g}"
 
 
+def sparkline(values, width: int | None = None) -> str:
+    """One-line block-glyph sketch of ``values`` (obs dashboards).
+
+    Values are min-max scaled onto :data:`SPARK_GLYPHS`; a constant
+    series renders at mid-height rather than dividing by a zero span,
+    NaNs render as spaces, and ``width`` (when given) downsamples long
+    series by striding so the line always fits.
+    """
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    finite = [v for v in vals if v == v and not math.isinf(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if v != v or math.isinf(v):
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_GLYPHS[len(SPARK_GLYPHS) // 2])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_GLYPHS) - 1))
+            out.append(SPARK_GLYPHS[idx])
+    return "".join(out)
+
+
 def render_plot(result: ExperimentResult, width: int = 64,
                 height: int = 18, log_y: bool = False) -> str:
     """Render the experiment's series as an ASCII line chart."""
@@ -64,6 +99,17 @@ def render_plot(result: ExperimentResult, width: int = 64,
         y_hi = max(y_hi, y_lo * 10)
     elif y_lo > 0:
         y_lo = 0.0  # anchor linear plots at zero like the paper's axes
+    if y_hi <= y_lo:
+        # Degenerate y-span (constant-zero or constant-negative
+        # series): widen symmetrically so the data sits mid-canvas
+        # between two distinct tick labels instead of collapsing onto
+        # the bottom row with top == bottom tick.
+        pad = abs(y_hi) if y_hi else 1.0
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+    if x_hi <= x_lo:
+        # Single-sample series: give the x-axis a span so the point
+        # lands mid-chart and the tick labels differ.
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
 
     canvas = [[" "] * width for _ in range(height)]
 

@@ -78,6 +78,10 @@ class ChaosReport:
     #: :class:`repro.stream.ReconcileReport`).  Also not in
     #: :attr:`trace`.
     reconciliation: Optional[object] = None
+    #: The observability plane sampled through the run (``obs=True``
+    #: only; a :class:`repro.obs.ObservabilityPlane`).  Sampling is
+    #: passive, so the trace is identical with it on or off.
+    obs_plane: Optional[object] = None
 
     @property
     def trace(self) -> tuple:
@@ -103,6 +107,8 @@ def chaos_recovery(nodes: Optional[int] = None,
                    tracer=None, *,
                    workers: int = 1,
                    stream: bool = False,
+                   obs: bool = False,
+                   obs_rules=None,
                    n_nodes: Optional[int] = None) -> ChaosReport:
     """Run the chaos scenario on a fresh cluster and report recovery.
 
@@ -126,6 +132,13 @@ def chaos_recovery(nodes: Optional[int] = None,
     replay — every missing delivery must be attributed to an injected
     fault.  Recording is passive, so the report's :attr:`~ChaosReport
     .trace` is bit-identical with the stream on or off.
+
+    ``obs=True`` attaches the time-series metrics plane
+    (``Scenario.with_observability``): the run's telemetry is sampled
+    each poll interval and the health/SLO engine (``obs_rules``,
+    default :func:`repro.obs.default_rules`) turns the injected fault
+    window into degraded→recovered transitions on
+    :attr:`ChaosReport.obs_plane`.  Also passive.
     """
     from repro.deprecation import rename_kwarg
     nodes = rename_kwarg("chaos_recovery", "n_nodes", n_nodes,
@@ -222,6 +235,9 @@ def chaos_recovery(nodes: Optional[int] = None,
         scenario.with_tracing(tracer)
     if stream:
         scenario.with_stream()
+    if obs:
+        scenario.with_observability(sample_interval=poll_interval,
+                                    rules=obs_rules)
     scenario.run(duration)
 
     reconciliation = None
@@ -258,4 +274,5 @@ def chaos_recovery(nodes: Optional[int] = None,
         overhead=scenario.overhead(duration),
         stream_broker=broker,
         reconciliation=reconciliation,
+        obs_plane=scenario.obs if obs else None,
     )

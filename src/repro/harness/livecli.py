@@ -47,6 +47,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 1.0)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    parser.add_argument("--scrape", type=int, default=None,
+                        metavar="PORT",
+                        help="serve OpenMetrics /metrics and JSON "
+                             "/healthz on this port while running "
+                             "(0 picks a free port)")
     args = parser.parse_args(argv)
     if args.nodes < 2:
         parser.error("--nodes must be >= 2 (the filter ships from "
@@ -55,6 +60,23 @@ def main(argv: list[str] | None = None) -> int:
     scenario = Scenario(nodes=args.nodes, seed=args.seed,
                         backend="live",
                         dmon=DMonConfig(poll_interval=args.poll))
+    if args.scrape is not None:
+        scenario.with_observability(
+            sample_interval=min(1.0, args.poll),
+            scrape_port=args.scrape)
+
+        def announce(sc: Scenario) -> None:
+            # Runs before the server is up, but the port is only known
+            # after bind — print it from a short timer instead.
+            import asyncio
+
+            async def later() -> None:
+                await asyncio.sleep(0.1)
+                print(f"scrape endpoint: {sc.scrape.url}/metrics",
+                      flush=True)
+            asyncio.get_event_loop().create_task(later())
+
+        scenario.with_setup(announce)
 
     def deploy_filter(sc: Scenario) -> None:
         first, second = sc.nodes.names[:2]
@@ -87,10 +109,17 @@ def main(argv: list[str] | None = None) -> int:
          "errors": f.errors}
         for f in deployed]
     overhead = scenario.overhead(args.duration)
+    health = None
+    if args.scrape is not None:
+        health = scenario.obs.verdict()
+        health["scrape_hits"] = dict(scenario.scrape.hits)
 
     if args.json:
-        print(json.dumps({"delivered": delivered, "filters": stats,
-                          "overhead": overhead}, indent=2))
+        doc = {"delivered": delivered, "filters": stats,
+               "overhead": overhead}
+        if health is not None:
+            doc["health"] = health
+        print(json.dumps(doc, indent=2))
         return _verdict(delivered)
 
     print(f"\ndelivered metrics as seen from {first}:")
@@ -104,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\noverhead report ({args.duration:.0f}s wall, "
           f"{args.nodes} nodes):")
     print(json.dumps(overhead, indent=2))
+    if health is not None:
+        verdict = "healthy" if health["healthy"] else "DEGRADED"
+        print(f"\nhealth: {verdict} "
+              f"({health['transitions']} transitions; scrape hits "
+              f"{health['scrape_hits']})")
     return _verdict(delivered)
 
 

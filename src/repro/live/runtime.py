@@ -84,6 +84,10 @@ class LiveRuntime:
         self._bus: Optional[LiveBus] = None
         self._setups: list[Callable[["LiveRuntime"], None]] = []
         self._teardowns: list[Callable[["LiveRuntime"], None]] = []
+        #: Auxiliary servers (``async start()/stop()``, e.g. the
+        #: metrics scrape endpoint) started once setup completes and
+        #: stopped first at teardown.  Register via :meth:`add_server`.
+        self.aux_servers: list = []
         self.finished = False
 
     # -- the Runtime protocol ----------------------------------------------
@@ -113,6 +117,15 @@ class LiveRuntime:
         """Queue ``fn(runtime)`` to run just before shutdown."""
         self._teardowns.append(fn)
 
+    def add_server(self, server) -> None:
+        """Attach an aux server for the runtime's lifetime.
+
+        ``server`` needs ``async start()`` and ``async stop()``; it is
+        brought up after the setup callbacks (sockets exist, dprocs
+        run) and taken down before the node stacks close.
+        """
+        self.aux_servers.append(server)
+
     # -- the run loop ------------------------------------------------------
 
     async def _main(self, until: float) -> None:
@@ -131,6 +144,8 @@ class LiveRuntime:
             self.make_bus()
             for fn in self._setups:
                 fn(self)
+            for server in self.aux_servers:
+                await server.start()
             # Let real time pass; sockets and pollers do the work.
             remaining = until - self.clock.now
             if remaining > 0:
@@ -139,6 +154,8 @@ class LiveRuntime:
             await self._teardown()
 
     async def _teardown(self) -> None:
+        for server in self.aux_servers:
+            await server.stop()
         for fn in self._teardowns:
             fn(self)
         # Stop any dproc deployed on our nodes (closes endpoints and

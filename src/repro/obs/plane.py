@@ -1,0 +1,297 @@
+"""The observability plane: sampler, stream ingest, health, export.
+
+One :class:`ObservabilityPlane` per running world.  It is fed two
+ways:
+
+* **Periodic registry snapshots** — :meth:`sampler` is a process
+  generator (``yield clock.timeout(interval)``) that both backends
+  drive natively: the simulator schedules it in virtual time (so
+  sampling is deterministic and the export byte-stable), the live
+  backend drives it as an asyncio task on the wall clock.  Each tick
+  walks every node's :class:`~repro.telemetry.TelemetryRegistry` and
+  appends one sample per instrument: counters and gauges by value,
+  histograms as ``stat``-labelled count/mean/p99 series.
+* **Stream replay** — :meth:`ingest_stream` converts the PR 7 durable
+  log into per-channel rate and latency series (submits / delivers /
+  drops per interval, delivery latency distributions), so windowed
+  queries run over the exact data plane the broker recorded.
+
+Feeding is strictly passive: pure reads of registries and brokers, no
+RNG, no CPU charges, no scheduled events beyond the sampler's own
+timer — the passivity tests pin that goldens, traces and stream bytes
+are bit-identical with the plane on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.health import (HealthEngine, HealthRule, default_rules)
+from repro.obs.tsdb import TimeSeriesDB, merge_tsdbs
+from repro.telemetry.instruments import (Counter, Gauge, Histogram)
+
+__all__ = ["ObservabilityPlane", "merge_planes"]
+
+
+class ObservabilityPlane:
+    """TSDB + health engine + the sampling loop that feeds them."""
+
+    def __init__(self, *, sample_interval: float = 1.0,
+                 rules: Optional[Sequence[HealthRule]] = None,
+                 capacity: int = 240, rollup_factor: int = 4,
+                 n_tiers: int = 3, health_every: int = 1,
+                 name_prefixes: Optional[Sequence[str]] = None,
+                 health_log=None) -> None:
+        """``name_prefixes`` restricts sampling to instruments whose
+        dotted name starts with one of the prefixes (None = all);
+        ``health_every`` evaluates the rules every k-th sample;
+        ``health_log`` is an optional broker for the durable
+        ``obs.health`` transition channel."""
+        self.sample_interval = float(sample_interval)
+        self.tsdb = TimeSeriesDB(interval=self.sample_interval,
+                                 capacity=capacity,
+                                 rollup_factor=rollup_factor,
+                                 n_tiers=n_tiers)
+        self.rules = tuple(rules) if rules is not None \
+            else default_rules()
+        self.health_every = max(1, int(health_every))
+        self.name_prefixes = (tuple(name_prefixes)
+                              if name_prefixes is not None else None)
+        self.engine: Optional[HealthEngine] = None
+        self._health_log = health_log
+        self.samples_taken = 0
+        self.last_sample_at: Optional[float] = None
+        #: Host CPU-clock seconds spent inside :meth:`sample` — the
+        #: plane accounting for its own cost, the way the telemetry
+        #: subsystem accounts for the monitor's.  Deliberately NOT
+        #: part of :meth:`snapshot`: it is wall-clock noise, and the
+        #: export must stay byte-identical across same-seed runs.
+        self.sample_cost_seconds = 0.0
+        # Per-node sampling plans: resolved Series handles so repeat
+        # ticks skip key construction and dict lookups entirely.
+        # Keyed by node name; extended in place when the registry
+        # grows (instruments are never removed).
+        self._plans: dict[str, tuple[int, list, list, set]] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, node_names: Iterable[str]) -> None:
+        """Create the health engine over the monitored node set."""
+        self.engine = HealthEngine(self.tsdb, self.rules,
+                                   nodes=sorted(node_names),
+                                   log_broker=self._health_log)
+
+    def sampler(self, nodes, clock):
+        """The sampling loop, as a backend-neutral process generator.
+
+        ``nodes`` is the runtime's node group; ``clock`` its
+        :class:`~repro.runtime.protocol.Clock`.  Spawn it with
+        ``node.spawn(plane.sampler(nodes, clock))`` on either backend.
+        """
+        if self.engine is None:
+            self.bind(n.name for n in nodes)
+        while True:
+            self.sample(nodes, clock.now)
+            yield clock.timeout(self.sample_interval)
+
+    # -- feeding -------------------------------------------------------------
+
+    def _wanted(self, name: str) -> bool:
+        if self.name_prefixes is None:
+            return True
+        return name.startswith(self.name_prefixes)
+
+    def _node_plan(self, node) -> tuple[list, list]:
+        """Resolved ``(series, instrument)`` pairs for one node.
+
+        Built on the first tick (``len(registry)`` is the version
+        stamp) and extended in place when the registry gains
+        instruments; every later tick reuses the handles, which is
+        what keeps the sampler inside the bench overhead budget at
+        n=1000.
+        """
+        registry = node.telemetry
+        cached = self._plans.get(node.name)
+        if cached is not None and cached[0] == len(registry):
+            return cached[1], cached[2]
+        tsdb = self.tsdb
+        labels = (("node", node.name),)
+        if cached is not None:
+            _, scalars, hists, planned = cached
+        else:
+            scalars, hists, planned = [], [], set()
+        for name in registry.names():
+            if name in planned or not self._wanted(name):
+                continue
+            planned.add(name)
+            inst = registry.get(name)
+            if isinstance(inst, Counter):
+                scalars.append((tsdb.series(name, labels,
+                                            kind="counter"), inst))
+            elif isinstance(inst, Gauge):
+                scalars.append((tsdb.series(name, labels), inst))
+            elif isinstance(inst, Histogram):
+                # mean/p99 series stay lazy (slots 1-2) so a
+                # never-observed histogram exports exactly the count
+                # series, as before.
+                hists.append([tsdb.series(
+                    name, labels + (("stat", "count"),),
+                    kind="counter"), None, None, inst, name, labels])
+            # span logs stay out: bounded but heavy, and the
+            # tracing subsystem already owns span analysis
+        self._plans[node.name] = (len(registry), scalars, hists,
+                                  planned)
+        return scalars, hists
+
+    def prepare(self, nodes) -> int:
+        """Pre-resolve sampling plans for every current instrument.
+
+        Optional — the sampler builds plans on its first tick anyway.
+        Calling it at deploy time (after the monitored processes have
+        registered their instruments) moves series allocation out of
+        the measured run, so the first in-run tick is a pure observe
+        pass; the throughput bench does this at n=1000.  Purely a
+        read of the registries.  Returns the planned instrument
+        count.
+        """
+        return sum(len(scalars) + len(hists) for scalars, hists in
+                   (self._node_plan(node) for node in nodes))
+
+    def sample(self, nodes, now: float) -> None:
+        """Snapshot every node's registry into the TSDB at ``now``."""
+        t_start = time.perf_counter()
+        idx = int(math.floor(now / self.tsdb.interval + 1e-9))
+        for node in nodes:
+            scalars, hists = self._node_plan(node)
+            for series, inst in scalars:
+                series.observe_idx(idx, inst.value)
+            for entry in hists:
+                inst = entry[3]
+                count = inst.count
+                entry[0].observe_idx(idx, count)
+                if count:
+                    if entry[1] is None:
+                        name, labels = entry[4], entry[5]
+                        entry[1] = self.tsdb.series(
+                            name, labels + (("stat", "mean"),))
+                        entry[2] = self.tsdb.series(
+                            name, labels + (("stat", "p99"),))
+                    entry[1].observe_idx(idx, inst.mean)
+                    entry[2].observe_idx(idx, inst.quantile(0.99))
+        self.samples_taken += 1
+        self.last_sample_at = now
+        if self.engine is not None \
+                and self.samples_taken % self.health_every == 0:
+            self.engine.evaluate(now)
+        self.sample_cost_seconds += time.perf_counter() - t_start
+
+    def ingest_stream(self, broker) -> int:
+        """Replay a durable stream broker into per-channel series.
+
+        Per channel: ``stream.submits`` / ``stream.delivers`` /
+        ``stream.drops`` (events per sample interval) and
+        ``stream.deliver_latency`` (per-delivery latency
+        distribution).  Returns the number of entries ingested.
+        Deterministic: channels sorted, entries in seq order, series
+        points applied in time order.
+        """
+        from repro.stream import DELIVER, DROP, SUBMIT
+        interval = self.sample_interval
+        kind_series = {SUBMIT: "stream.submits",
+                       DELIVER: "stream.delivers",
+                       DROP: "stream.drops"}
+        ingested = 0
+        for channel in broker.channels():
+            labels = (("channel", channel),)
+            counts: dict[tuple[str, int], int] = {}
+            latencies: list[tuple[float, float]] = []
+            for entry in broker.entries(channel):
+                series = kind_series.get(entry.kind)
+                if series is None:  # pragma: no cover - future kinds
+                    continue
+                bucket = int(math.floor(entry.time / interval + 1e-9))
+                counts[(series, bucket)] = \
+                    counts.get((series, bucket), 0) + 1
+                if entry.kind == DELIVER:
+                    latencies.append((entry.time, entry.latency))
+                ingested += 1
+            for (series, bucket) in sorted(counts):
+                self.tsdb.observe(series, labels, bucket * interval,
+                                  counts[(series, bucket)])
+            latencies.sort(key=lambda r: r[0])
+            for t, latency in latencies:
+                self.tsdb.observe("stream.deliver_latency", labels,
+                                  t, latency)
+        return ingested
+
+    # -- read side -----------------------------------------------------------
+
+    def verdict(self, now: Optional[float] = None) -> dict:
+        if self.engine is None:
+            return {"healthy": True, "rules": [], "transitions": 0}
+        return self.engine.verdict(now)
+
+    @property
+    def transitions(self) -> list:
+        return self.engine.transitions if self.engine is not None \
+            else []
+
+    def snapshot(self) -> dict:
+        """JSON document of the whole plane (sorted, reproducible)."""
+        return {
+            "schema": "repro.obs/1",
+            "sample_interval": self.sample_interval,
+            "samples_taken": self.samples_taken,
+            "last_sample_at": self.last_sample_at,
+            "tsdb": self.tsdb.snapshot(),
+            "health": (self.engine.to_json()
+                       if self.engine is not None else None),
+        }
+
+    def export_json(self) -> str:
+        """Canonical bytes: same seed ⇒ identical string (test-pinned)."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def merge_planes(planes: Sequence[ObservabilityPlane]
+                 ) -> ObservabilityPlane:
+    """Fold per-shard planes into one global plane.
+
+    TSDBs merge via :func:`repro.obs.tsdb.merge_tsdbs`; transitions
+    concatenate in ``(time, rule, subject)`` order; per-subject final
+    verdict states are adopted (node subjects are disjoint across
+    shards — each node lives in exactly one shard).
+    """
+    planes = list(planes)
+    if not planes:
+        return ObservabilityPlane()
+    first = planes[0]
+    merged = ObservabilityPlane(
+        sample_interval=first.sample_interval, rules=first.rules,
+        capacity=first.tsdb.capacity,
+        rollup_factor=first.tsdb.rollup_factor,
+        n_tiers=first.tsdb.n_tiers,
+        health_every=first.health_every)
+    merged.tsdb = merge_tsdbs(p.tsdb for p in planes)
+    nodes = sorted({n for p in planes if p.engine is not None
+                    for n in p.engine.nodes})
+    merged.bind(nodes)
+    assert merged.engine is not None
+    transitions = [t for p in planes for t in p.transitions]
+    transitions.sort(key=lambda t: (t.time, t.rule, t.subject))
+    merged.engine.transitions = transitions
+    for p in planes:
+        if p.engine is None:
+            continue
+        for key, state in sorted(p.engine._states.items()):
+            merged.engine._states.setdefault(key, state)
+        merged.engine.evaluations += p.engine.evaluations
+    merged.samples_taken = sum(p.samples_taken for p in planes)
+    merged.last_sample_at = max(
+        (p.last_sample_at for p in planes
+         if p.last_sample_at is not None), default=None)
+    return merged

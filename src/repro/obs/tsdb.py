@@ -1,0 +1,441 @@
+"""A deterministic, bounded, in-memory time-series store.
+
+The metrics plane's substrate: fixed-interval ring series with labels,
+multi-tier min/max/mean/last rollups, and windowed queries
+(:meth:`TimeSeriesDB.rate`, :meth:`~TimeSeriesDB.avg_over_time`,
+:meth:`~TimeSeriesDB.quantile_over_time`).  Design constraints mirror
+:mod:`repro.telemetry.instruments` — the store observes the monitor,
+so it must never perturb it:
+
+* **Deterministic.**  No wall-clock reads, no RNG, no dict-order
+  dependence: every timestamp is caller-supplied, bucket indices are
+  integers (``floor(t / interval)``), and every export walks keys in
+  sorted order.  Two seeded runs produce byte-identical
+  :meth:`TimeSeriesDB.export_json` documents.
+* **Bounded.**  Each series is a pyramid of ring tiers: the base tier
+  holds per-interval buckets; when a bucket falls off a tier's ring it
+  is folded into the next, coarser tier (interval × ``rollup_factor``)
+  as a min/max/mean/last aggregate; the last tier drops (counted in
+  :attr:`Series.dropped`).  Memory per series is
+  ``O(tiers × capacity)`` regardless of run length.
+* **Passive.**  Observing a sample only appends to the store; queries
+  are pure reads.
+
+Sharded runs build one TSDB per shard (each node's series lives in
+exactly one shard) and :func:`merge_tsdbs` folds them into one global
+store in deterministic ``(series key, time)`` order — the same pattern
+as :func:`repro.stream.merge_brokers`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["ObsError", "Bucket", "Series", "TimeSeriesDB",
+           "merge_tsdbs", "series_key"]
+
+
+class ObsError(ReproError):
+    """Misuse of the observability plane (bad window, unknown series)."""
+
+
+def series_key(name: str, labels: Mapping[str, str] | Sequence = ()
+               ) -> str:
+    """Canonical series identity: ``name{k=v,...}`` with sorted labels."""
+    if isinstance(labels, Mapping):
+        items = sorted(labels.items())
+    else:
+        items = sorted(tuple(pair) for pair in labels)
+    if not items:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in items)
+    return f"{name}{{{inner}}}"
+
+
+class Bucket:
+    """One fixed-interval aggregate: count/sum/min/max/last.
+
+    ``idx`` is the integer bucket index (``floor(t / interval)`` of the
+    tier it lives in); the bucket's nominal time is ``idx * interval``.
+    """
+
+    __slots__ = ("idx", "count", "total", "min", "max", "last")
+
+    def __init__(self, idx: int, value: float) -> None:
+        self.idx = idx
+        self.count = 1
+        self.total = value
+        self.min = value
+        self.max = value
+        self.last = value
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    def fold(self, other: "Bucket") -> None:
+        """Absorb a finer bucket that rolls up into this one.
+
+        ``other`` is always *newer* than anything previously folded
+        (tiers evict oldest-first), so ``last`` takes its value.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.last = other.last
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def to_row(self, interval: float) -> list:
+        """JSON row ``[t, count, sum, min, max, last]``."""
+        return [self.idx * interval, self.count, self.total,
+                self.min, self.max, self.last]
+
+
+class _Tier:
+    """One ring of buckets at a fixed interval."""
+
+    __slots__ = ("interval", "capacity", "buckets")
+
+    def __init__(self, interval: float, capacity: int) -> None:
+        self.interval = interval
+        self.capacity = capacity
+        self.buckets: list[Bucket] = []
+
+
+class Series:
+    """One labelled series: a pyramid of ring tiers.
+
+    ``kind`` is advisory ("counter" for sampled cumulative values,
+    "gauge" for point-in-time values) — it picks the natural reading
+    in reports but does not change storage.
+    """
+
+    __slots__ = ("name", "labels", "kind", "tiers", "dropped")
+
+    def __init__(self, name: str, labels: Sequence = (), *,
+                 kind: str = "gauge", interval: float = 1.0,
+                 capacity: int = 240, rollup_factor: int = 4,
+                 n_tiers: int = 3) -> None:
+        if interval <= 0:
+            raise ObsError(f"series {name!r}: interval must be positive")
+        if capacity < 1 or n_tiers < 1 or rollup_factor < 2:
+            raise ObsError(f"series {name!r}: bad ring geometry")
+        self.name = name
+        self.labels = tuple(sorted(tuple(pair) for pair in labels))
+        self.kind = kind
+        self.tiers = [
+            _Tier(interval * rollup_factor ** i, capacity)
+            for i in range(n_tiers)]
+        #: Buckets that fell off the coarsest tier.
+        self.dropped = 0
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+    @property
+    def interval(self) -> float:
+        return self.tiers[0].interval
+
+    def observe(self, t: float, value: float) -> None:
+        """Record ``value`` at time ``t`` (NaN samples are ignored)."""
+        # + epsilon so exact multiples of the interval land in the
+        # bucket they open rather than flapping on float error.
+        self.observe_idx(
+            int(math.floor(t / self.tiers[0].interval + 1e-9)), value)
+
+    def observe_idx(self, idx: int, value: float) -> None:
+        """:meth:`observe` with the base bucket index precomputed.
+
+        The sampler's hot path: one tick lands tens of thousands of
+        observations at the same instant, so the caller computes the
+        bucket index once and every series skips the float math; the
+        fold check only runs when the ring actually overflows.
+        """
+        if value != value:
+            return
+        tier = self.tiers[0]
+        buckets = tier.buckets
+        if buckets:
+            last = buckets[-1]
+            if last.idx == idx:
+                last.observe(value)
+                return
+            if idx < last.idx:
+                raise ObsError(
+                    f"series {self.key!r}: time went backwards "
+                    f"(bucket {idx} after {last.idx})")
+        buckets.append(Bucket(idx, value))
+        if len(buckets) > tier.capacity:
+            self._enforce(0)
+
+    def _enforce(self, level: int) -> None:
+        """Fold a tier's overflow into the next tier (recursively)."""
+        tier = self.tiers[level]
+        while len(tier.buckets) > tier.capacity:
+            oldest = tier.buckets.pop(0)
+            if level + 1 >= len(self.tiers):
+                self.dropped += 1
+                continue
+            nxt = self.tiers[level + 1]
+            # Index of the finer bucket re-expressed at the coarser
+            # interval; both intervals share t=0 so integer division
+            # by the factor is exact.
+            factor = round(nxt.interval / tier.interval)
+            idx = oldest.idx // factor
+            if nxt.buckets and nxt.buckets[-1].idx == idx:
+                nxt.buckets[-1].fold(oldest)
+            else:
+                fresh = Bucket(idx, oldest.last)
+                fresh.count = oldest.count
+                fresh.total = oldest.total
+                fresh.min = oldest.min
+                fresh.max = oldest.max
+                nxt.buckets.append(fresh)
+                self._enforce(level + 1)
+
+    # -- reads -------------------------------------------------------------
+
+    def samples(self, start: float = -math.inf,
+                end: float = math.inf) -> list[tuple[float, Bucket]]:
+        """``(t, bucket)`` pairs in [start, end], oldest first.
+
+        Walks coarse → fine so older rolled-up history precedes the
+        recent full-resolution window; tiers never overlap in time
+        (folding removes from the finer tier).
+        """
+        out: list[tuple[float, Bucket]] = []
+        for tier in reversed(self.tiers):
+            for bucket in tier.buckets:
+                t = bucket.idx * tier.interval
+                if start <= t <= end:
+                    out.append((t, bucket))
+        return out
+
+    def points(self, start: float = -math.inf,
+               end: float = math.inf) -> list[tuple[float, float]]:
+        """``(t, value)`` pairs: last for counters, mean otherwise."""
+        use_last = self.kind == "counter"
+        return [(t, b.last if use_last else b.mean)
+                for t, b in self.samples(start, end)]
+
+    @property
+    def latest(self) -> Optional[float]:
+        """The most recent observed value (None when empty)."""
+        # The base tier always holds the newest bucket (folding only
+        # evicts oldest-first), so the first non-empty tier is enough.
+        for tier in self.tiers:
+            if tier.buckets:
+                return tier.buckets[-1].last
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "kind": self.kind,
+            "dropped": self.dropped,
+            "tiers": [
+                {"interval": tier.interval,
+                 "samples": [b.to_row(tier.interval)
+                             for b in tier.buckets]}
+                for tier in self.tiers],
+        }
+
+
+class TimeSeriesDB:
+    """Labelled ring series with rollups and windowed queries."""
+
+    def __init__(self, interval: float = 1.0, capacity: int = 240,
+                 rollup_factor: int = 4, n_tiers: int = 3) -> None:
+        self.interval = interval
+        self.capacity = capacity
+        self.rollup_factor = rollup_factor
+        self.n_tiers = n_tiers
+        self._series: dict[str, Series] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._series
+
+    def series(self, name: str, labels: Sequence = (), *,
+               kind: str = "gauge") -> Series:
+        """Get or create the series ``name{labels}``."""
+        key = series_key(name, labels)
+        s = self._series.get(key)
+        if s is None:
+            s = Series(name, labels, kind=kind,
+                       interval=self.interval, capacity=self.capacity,
+                       rollup_factor=self.rollup_factor,
+                       n_tiers=self.n_tiers)
+            self._series[key] = s
+        return s
+
+    def get(self, name: str, labels: Sequence = ()) -> Optional[Series]:
+        return self._series.get(series_key(name, labels))
+
+    def observe(self, name: str, labels: Sequence, t: float,
+                value: float, kind: str = "gauge") -> None:
+        self.series(name, labels, kind=kind).observe(t, value)
+
+    def keys(self, pattern: str = "") -> list[str]:
+        """Sorted series keys, filtered by substring ``pattern``."""
+        return sorted(k for k in self._series if pattern in k)
+
+    def all_series(self) -> list[Series]:
+        """Every series, in sorted key order."""
+        return [self._series[k] for k in sorted(self._series)]
+
+    # -- windowed queries ---------------------------------------------------
+
+    def _window(self, name: str, labels: Sequence, window: float,
+                now: float) -> list[tuple[float, Bucket]]:
+        if window <= 0:
+            raise ObsError(f"window must be positive, got {window!r}")
+        s = self.get(name, labels)
+        if s is None:
+            return []
+        return s.samples(now - window, now)
+
+    def avg_over_time(self, name: str, labels: Sequence = (), *,
+                      window: float, now: float) -> float:
+        """Observation-weighted mean over the window (NaN if empty)."""
+        rows = self._window(name, labels, window, now)
+        count = sum(b.count for _, b in rows)
+        if not count:
+            return math.nan
+        return sum(b.total for _, b in rows) / count
+
+    def min_over_time(self, name: str, labels: Sequence = (), *,
+                      window: float, now: float) -> float:
+        rows = self._window(name, labels, window, now)
+        return min((b.min for _, b in rows), default=math.nan)
+
+    def max_over_time(self, name: str, labels: Sequence = (), *,
+                      window: float, now: float) -> float:
+        rows = self._window(name, labels, window, now)
+        return max((b.max for _, b in rows), default=math.nan)
+
+    def quantile_over_time(self, q: float, name: str,
+                           labels: Sequence = (), *, window: float,
+                           now: float) -> float:
+        """Nearest-rank quantile of the window's bucket values.
+
+        Values are per-bucket means (multi-observation buckets carry
+        their average); with one sample per bucket — the sampler's
+        case — this is the exact quantile of the observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q!r}")
+        rows = self._window(name, labels, window, now)
+        values = sorted(b.mean for _, b in rows if b.count)
+        if not values:
+            return math.nan
+        if q <= 0.0:
+            return values[0]
+        rank = math.ceil(q * len(values))
+        return values[min(len(values), rank) - 1]
+
+    def rate(self, name: str, labels: Sequence = (), *, window: float,
+             now: float) -> float:
+        """Per-second increase of a cumulative series over the window.
+
+        Sums the positive increments between consecutive samples
+        (a value drop is a counter reset and contributes the new
+        value), divided by the covered span.  NaN with fewer than two
+        samples.
+        """
+        rows = self._window(name, labels, window, now)
+        if len(rows) < 2:
+            return math.nan
+        increase = 0.0
+        prev = rows[0][1].last
+        for _, bucket in rows[1:]:
+            cur = bucket.last
+            increase += cur - prev if cur >= prev else cur
+            prev = cur
+        span = rows[-1][0] - rows[0][0]
+        if span <= 0:
+            return math.nan
+        return increase / span
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable document of every series, sorted keys."""
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "rollup_factor": self.rollup_factor,
+            "n_tiers": self.n_tiers,
+            "series": {key: self._series[key].to_json()
+                       for key in sorted(self._series)},
+        }
+
+    def export_json(self) -> str:
+        """Canonical byte form: same run ⇒ same string (test-pinned)."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def merge_tsdbs(tsdbs: Iterable[TimeSeriesDB]) -> TimeSeriesDB:
+    """Fold per-shard stores into one global store.
+
+    Series keys are disjoint across shards for the sampler's per-node
+    series; when a key does appear in several stores (cluster-level
+    series) its samples are replayed in ``(time, shard index)`` order.
+    """
+    tsdbs = list(tsdbs)
+    if not tsdbs:
+        return TimeSeriesDB()
+    first = tsdbs[0]
+    merged = TimeSeriesDB(interval=first.interval,
+                          capacity=first.capacity,
+                          rollup_factor=first.rollup_factor,
+                          n_tiers=first.n_tiers)
+    keys = sorted({k for db in tsdbs for k in db._series})
+    for key in keys:
+        sources = [(i, db._series[key]) for i, db in enumerate(tsdbs)
+                   if key in db._series]
+        template = sources[0][1]
+        out = merged.series(template.name, template.labels,
+                            kind=template.kind)
+        rows: list[tuple[float, int, Bucket]] = []
+        for shard, s in sources:
+            for t, bucket in s.samples():
+                rows.append((t, shard, bucket))
+            out.dropped += s.dropped
+        rows.sort(key=lambda r: (r[0], r[1]))
+        for t, _, bucket in rows:
+            # Replay the aggregate rather than synthetic points so
+            # multi-observation buckets keep exact count/sum/min/max.
+            tier = out.tiers[0]
+            idx = int(math.floor(t / tier.interval + 1e-9))
+            if tier.buckets and tier.buckets[-1].idx == idx:
+                tier.buckets[-1].fold(bucket)
+            else:
+                fresh = Bucket(idx, bucket.last)
+                fresh.count = bucket.count
+                fresh.total = bucket.total
+                fresh.min = bucket.min
+                fresh.max = bucket.max
+                tier.buckets.append(fresh)
+                out._enforce(0)
+    return merged

@@ -27,12 +27,13 @@ from repro.telemetry.registry import TelemetryRegistry
 from repro.telemetry.report import (MONITOR_CPU_COUNTERS,
                                     merge_overhead_summaries,
                                     overhead_summary, render_json,
-                                    render_text)
+                                    render_text,
+                                    zero_overhead_summary)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Span", "SpanLog",
     "DEFAULT_LATENCY_BOUNDS", "TelemetryRegistry",
     "MONITOR_CPU_COUNTERS", "merge_overhead_summaries",
     "overhead_summary", "render_json",
-    "render_text",
+    "render_text", "zero_overhead_summary",
 ]

@@ -22,7 +22,8 @@ from repro.telemetry.instruments import Counter, Gauge, Histogram, SpanLog
 from repro.telemetry.registry import TelemetryRegistry
 
 __all__ = ["render_text", "render_json", "overhead_summary",
-           "merge_overhead_summaries", "MONITOR_CPU_COUNTERS"]
+           "zero_overhead_summary", "merge_overhead_summaries",
+           "MONITOR_CPU_COUNTERS"]
 
 #: Registry counters (seconds) that together make up a node's
 #: monitoring CPU overhead — the quantity the paper's Figures 4-8
@@ -134,18 +135,52 @@ def overhead_summary(registries: Mapping[str, TelemetryRegistry],
     }
 
 
+def zero_overhead_summary(sim_seconds: float = 0.0) -> dict:
+    """A well-formed all-zero summary (no nodes, nothing measured).
+
+    The shape every consumer of :func:`overhead_summary` expects, so
+    empty merges and not-yet-run benchmarks degrade to zeros instead
+    of KeyErrors downstream.
+    """
+    return {
+        "source": "repro.telemetry",
+        "n_nodes": 0,
+        "sim_seconds": sim_seconds,
+        "polls": 0.0,
+        "events_published": 0.0,
+        "records_published": 0.0,
+        "monitor_cpu_seconds": {
+            "total": 0.0,
+            "per_node_mean": 0.0,
+            "busiest_node": None,
+            "busiest_node_seconds": 0.0,
+            "components": {name.split(".", 1)[1]: 0.0
+                           for name in MONITOR_CPU_COUNTERS},
+        },
+        "cpu_fraction_of_node_time": 0.0,
+        "network": {
+            "drops_fault": 0.0,
+            "drops_congestion": 0.0,
+            "retransmissions": 0.0,
+            "wan_retries": 0.0,
+            "wan_backoff_seconds": 0.0,
+        },
+    }
+
+
 def merge_overhead_summaries(summaries) -> dict:
     """Combine per-shard :func:`overhead_summary` dicts into one.
 
     The sharded runtime harvests one summary per worker (each covering
     that shard's nodes over the same simulated span); merging sums the
     extensive quantities, recomputes the means, and picks the busiest
-    node across all shards.  Raises :class:`ValueError` on an empty
-    input or mismatched ``sim_seconds``.
+    node across all shards.  An empty input merges to
+    :func:`zero_overhead_summary`; mismatched ``sim_seconds`` raise
+    :class:`ValueError`.
     """
     summaries = [s for s in summaries if s]
     if not summaries:
-        raise ValueError("no overhead summaries to merge")
+        return zero_overhead_summary()
     sim_seconds = summaries[0]["sim_seconds"]
     for s in summaries[1:]:
         if s["sim_seconds"] != sim_seconds:

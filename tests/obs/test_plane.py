@@ -1,0 +1,165 @@
+"""The plane end to end: sampling, ingest, passivity, sharded merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, ScenarioError
+from repro.obs import ObservabilityPlane, merge_planes
+
+
+def run_scenario(*, obs: bool, nodes: int = 6, seed: int = 3,
+                 duration: float = 8.0, stream: bool = True,
+                 workers: int = 1):
+    sc = Scenario(nodes=nodes, seed=seed)
+    if stream:
+        sc.with_stream()
+    if obs:
+        sc.with_observability(sample_interval=1.0)
+    if workers > 1:
+        sc.with_workers(workers, mode="inline")
+    return sc.run(duration)
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def sc(self):
+        return run_scenario(obs=True)
+
+    def test_sampler_ticks_once_per_interval(self, sc):
+        # One tick per second of virtual time, t=0 and t=8 inclusive.
+        assert sc.obs.samples_taken == 9
+        assert sc.obs.last_sample_at == 8.0
+
+    def test_per_node_series_exist(self, sc):
+        keys = sc.obs.tsdb.keys("dmon.polls")
+        assert len(keys) == 6
+        assert all("node=" in k for k in keys)
+
+    def test_counter_series_are_monotone(self, sc):
+        name = sc.nodes.names[0]
+        series = sc.obs.tsdb.get("dmon.polls", (("node", name),))
+        values = [v for _, v in series.points()]
+        assert values == sorted(values)
+        assert series.kind == "counter"
+
+    def test_histogram_series_carry_stat_labels(self, sc):
+        assert sc.obs.tsdb.keys("stat=count")
+        assert sc.obs.tsdb.keys("stat=p99")
+
+    def test_stream_ingest_adds_channel_series(self, sc):
+        keys = sc.obs.tsdb.keys("stream.")
+        assert any("stream.submits" in k for k in keys)
+        assert any("stream.deliver_latency" in k for k in keys)
+        # Ingest is lazy but once-only: re-reading .obs must not
+        # double the ingested points.
+        first = sc.obs.export_json()
+        assert sc.obs.export_json() == first
+
+    def test_verdict_on_quiet_run_is_healthy(self, sc):
+        assert sc.obs.verdict()["healthy"] is True
+        assert sc.obs.transitions == []
+
+
+class TestPassivity:
+    """Obs on vs off: the monitored system must not notice."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return (run_scenario(obs=False, seed=5),
+                run_scenario(obs=True, seed=5))
+
+    def test_stream_bytes_bit_identical(self, pair):
+        off, on = pair
+        assert off.stream.serialize() == on.stream.serialize()
+
+    def test_overhead_summary_identical(self, pair):
+        off, on = pair
+        assert off.overhead() == on.overhead()
+
+    def test_procfs_identical(self, pair):
+        off, on = pair
+        name = off.nodes.names[0]
+        d_off, d_on = off.dprocs[name], on.dprocs[name]
+        path = f"/proc/cluster/{name}/dproc/overhead"
+        assert d_off.read(path) == d_on.read(path)
+
+
+class TestExportDeterminism:
+    def test_same_seed_byte_identical_export(self):
+        a = run_scenario(obs=True, seed=11).obs.export_json()
+        b = run_scenario(obs=True, seed=11).obs.export_json()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = run_scenario(obs=True, seed=11).obs.export_json()
+        b = run_scenario(obs=True, seed=12).obs.export_json()
+        assert a != b
+
+
+class TestShardedObs:
+    def test_sharded_plane_merges_all_nodes(self):
+        sc = run_scenario(obs=True, nodes=9, workers=3,
+                          duration=6.0, stream=False)
+        plane = sc.obs
+        assert len(plane.tsdb.keys("dmon.polls")) == 9
+        # 3 shards x 7 ticks each (t=0 and t=6 inclusive).
+        assert plane.samples_taken == 21
+        assert plane.engine is not None
+        assert len(plane.engine.nodes) == 9
+
+    def test_sharded_export_deterministic(self):
+        a = run_scenario(obs=True, nodes=9, workers=3,
+                         duration=6.0, stream=False)
+        b = run_scenario(obs=True, nodes=9, workers=3,
+                         duration=6.0, stream=False)
+        assert a.obs.export_json() == b.obs.export_json()
+
+    def test_merged_plane_is_cached_after_run(self):
+        sc = run_scenario(obs=True, nodes=9, workers=3,
+                          duration=4.0, stream=False)
+        assert sc.obs is sc.obs
+
+
+class TestMergePlanes:
+    def test_empty_merge(self):
+        plane = merge_planes([])
+        assert plane.samples_taken == 0
+        assert plane.verdict()["healthy"] is True
+
+    def test_merge_carries_transitions_sorted(self):
+        from repro.obs.health import HealthTransition
+        a = ObservabilityPlane(sample_interval=1.0)
+        b = ObservabilityPlane(sample_interval=1.0)
+        a.bind(["n0"])
+        b.bind(["n1"])
+        tr = lambda t, subject: HealthTransition(
+            time=t, rule="drop-burn", subject=subject,
+            from_status="healthy", to_status="degraded", value=2.0,
+            threshold=1.0)
+        a.engine.transitions.append(tr(4.0, "n0"))
+        b.engine.transitions.append(tr(2.0, "n1"))
+        merged = merge_planes([a, b])
+        assert [t.time for t in merged.transitions] == [2.0, 4.0]
+        assert merged.engine.nodes == ("n0", "n1")
+
+
+class TestScenarioGuards:
+    def test_scrape_port_rejected_on_sim(self):
+        with pytest.raises(ScenarioError):
+            Scenario(nodes=4).with_observability(scrape_port=0)
+
+    def test_chaos_obs_flag_attaches_plane(self):
+        from repro.harness.chaos import chaos_recovery
+        report = chaos_recovery(nodes=10, duration=30.0, seed=7,
+                                obs=True)
+        assert report.obs_plane is not None
+        assert report.obs_plane.samples_taken > 0
+        # The paper's loss window must trip drop-burn.
+        assert any(t.rule == "drop-burn"
+                   for t in report.obs_plane.transitions)
+
+    def test_chaos_without_obs_has_no_plane(self):
+        from repro.harness.chaos import chaos_recovery
+        report = chaos_recovery(nodes=8, duration=20.0, seed=7)
+        assert report.obs_plane is None

@@ -143,9 +143,21 @@ class TestMergeOverheadSummaries:
         assert merged["monitor_cpu_seconds"]["total"] == \
             pytest.approx(total)
 
-    def test_empty_and_mismatched_inputs_rejected(self):
-        with pytest.raises(ValueError):
-            merge_overhead_summaries([])
+    def test_empty_merge_is_zero_summary(self):
+        merged = merge_overhead_summaries([])
+        assert merged["n_nodes"] == 0
+        assert merged["polls"] == 0.0
+        assert merged["monitor_cpu_seconds"]["total"] == 0.0
+        assert merged["monitor_cpu_seconds"]["busiest_node"] is None
+        assert merged["cpu_fraction_of_node_time"] == 0.0
+        # Same shape as a real summary: every top-level key present.
+        real = Scenario(nodes=2, seed=1).run(2.0).overhead()
+        assert set(merged) == set(real)
+        assert set(merged["network"]) == set(real["network"])
+        assert set(merged["monitor_cpu_seconds"]) \
+            == set(real["monitor_cpu_seconds"])
+
+    def test_mismatched_spans_rejected(self):
         a = {"sim_seconds": 1.0}
         b = {"sim_seconds": 2.0}
         with pytest.raises(ValueError):

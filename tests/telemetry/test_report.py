@@ -7,7 +7,9 @@ import json
 import pytest
 
 from repro.telemetry import (MONITOR_CPU_COUNTERS, TelemetryRegistry,
-                             overhead_summary, render_json, render_text)
+                             merge_overhead_summaries, overhead_summary,
+                             render_json, render_text,
+                             zero_overhead_summary)
 
 
 def make_registry(scope: str = "n0") -> TelemetryRegistry:
@@ -123,3 +125,95 @@ class TestOverheadSummary:
         components = summary["monitor_cpu_seconds"]["components"]
         assert set(components) \
             == {name.split(".", 1)[1] for name in MONITOR_CPU_COUNTERS}
+
+    def test_summary_is_a_pure_read(self):
+        regs = self.make_cluster()
+        before = {name: reg.snapshot() for name, reg in regs.items()}
+        overhead_summary(regs, sim_seconds=10.0)
+        after = {name: reg.snapshot() for name, reg in regs.items()}
+        assert after == before
+
+    def test_summary_is_stable_across_calls(self):
+        regs = self.make_cluster()
+        first = overhead_summary(regs, sim_seconds=10.0)
+        second = overhead_summary(regs, sim_seconds=10.0)
+        assert first == second
+
+
+class TestZeroOverheadSummary:
+    def test_shape_matches_real_summary(self):
+        zero = zero_overhead_summary()
+        real = overhead_summary(
+            {"n0": TelemetryRegistry(scope="n0")}, sim_seconds=1.0)
+        assert set(zero) == set(real)
+        assert set(zero["network"]) == set(real["network"])
+        assert set(zero["monitor_cpu_seconds"]) \
+            == set(real["monitor_cpu_seconds"])
+        assert set(zero["monitor_cpu_seconds"]["components"]) \
+            == set(real["monitor_cpu_seconds"]["components"])
+
+    def test_all_zero_and_serialisable(self):
+        zero = zero_overhead_summary()
+        assert zero["n_nodes"] == 0
+        assert zero["polls"] == 0.0
+        assert zero["monitor_cpu_seconds"]["total"] == 0.0
+        assert zero["monitor_cpu_seconds"]["busiest_node"] is None
+        assert zero["cpu_fraction_of_node_time"] == 0.0
+        json.dumps(zero)
+
+    def test_sim_seconds_passthrough(self):
+        assert zero_overhead_summary(sim_seconds=5.0)["sim_seconds"] \
+            == 5.0
+
+    def test_empty_merge_returns_zero_summary(self):
+        assert merge_overhead_summaries([]) == zero_overhead_summary()
+        # Falsy entries are filtered, not merged.
+        assert merge_overhead_summaries([None, {}]) \
+            == zero_overhead_summary()
+
+    def test_merging_zero_with_real_is_identity(self):
+        reg = TelemetryRegistry(scope="n0")
+        reg.counter("dmon.polls").inc(3.0)
+        reg.counter("dmon.collect_seconds").inc(0.2)
+        real = overhead_summary({"n0": reg}, sim_seconds=2.0)
+        merged = merge_overhead_summaries(
+            [real, zero_overhead_summary(sim_seconds=2.0)])
+        assert merged["polls"] == real["polls"]
+        assert merged["n_nodes"] == real["n_nodes"]
+        assert merged["monitor_cpu_seconds"]["total"] \
+            == pytest.approx(real["monitor_cpu_seconds"]["total"])
+        assert merged["monitor_cpu_seconds"]["busiest_node"] == "n0"
+
+
+class TestDegenerateHistograms:
+    """Renderers must cope with empty and NaN-only histograms."""
+
+    def test_empty_histogram_text(self):
+        reg = TelemetryRegistry(scope="n0")
+        reg.histogram("h.empty", bounds=(0.01, 0.1))
+        text = render_text(reg)
+        assert "h.empty: count=0" in text
+        assert "inf" not in text  # quantiles of nothing are NaN, not inf
+
+    def test_nan_only_histogram_text(self):
+        reg = TelemetryRegistry(scope="n0")
+        hist = reg.histogram("h.nan", bounds=(0.01, 0.1))
+        hist.observe(float("nan"))
+        text = render_text(reg)
+        # Must render a line without raising; one line per instrument.
+        assert text.count("\n") == 1
+        assert text.startswith("h.nan:")
+
+    def test_empty_histogram_json_serialisable(self):
+        reg = TelemetryRegistry(scope="n0")
+        reg.histogram("h.empty", bounds=(0.01, 0.1))
+        doc = render_json(reg)
+        json.dumps(doc, allow_nan=True)
+
+    def test_render_does_not_mutate_empty_histogram(self):
+        reg = TelemetryRegistry(scope="n0")
+        reg.histogram("h.empty", bounds=(0.01, 0.1))
+        before = reg.snapshot()
+        render_text(reg)
+        render_json(reg)
+        assert reg.snapshot() == before
