@@ -30,7 +30,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -137,10 +136,11 @@ def main(argv=None) -> int:
                         / max(topk["records_published"], 1.0))
     cpu_reduction = (full["monitor_cpu_seconds"]
                      - topk["monitor_cpu_seconds"])
-    report = {
-        "benchmark": "ablation_topk",
-        "schema_version": SCHEMA_VERSION,
-        "config": {
+    from repro.harness.benchreport import BenchReport
+    report = BenchReport(
+        "ablation_topk", schema_version=SCHEMA_VERSION,
+        results_key="variants",
+        config={
             "n_nodes": args.nodes,
             "sim_seconds": args.duration,
             "poll_interval": args.poll,
@@ -150,20 +150,19 @@ def main(argv=None) -> int:
             "k": K,
             "period_stretch": PERIOD_STRETCH,
             "threshold_pct": THRESHOLD_PCT,
-        },
-        "variants": variants,
-        "reduction": {
-            "record_volume_factor": round(volume_reduction, 2),
-            "monitor_cpu_seconds_saved": round(cpu_reduction, 4),
-            "monitor_cpu_factor": round(
-                full["monitor_cpu_seconds"]
-                / max(topk["monitor_cpu_seconds"], 1e-12), 3),
-        },
-    }
+        })
+    report.extend(variants)
+    report.tail(reduction={
+        "record_volume_factor": round(volume_reduction, 2),
+        "monitor_cpu_seconds_saved": round(cpu_reduction, 4),
+        "monitor_cpu_factor": round(
+            full["monitor_cpu_seconds"]
+            / max(topk["monitor_cpu_seconds"], 1e-12), 3),
+    })
     print(f"  top-K vs full: {volume_reduction:.1f}x fewer records, "
           f"{cpu_reduction:.3f}s monitor CPU saved")
     if args.output:
-        args.output.write_text(json.dumps(report, indent=1) + "\n")
+        report.write(args.output, indent=1)
         print(f"  wrote {args.output}")
 
     # Acceptance gates: the point of the subsystem.

@@ -21,7 +21,6 @@ Results land in ``BENCH_chaos_recovery.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -67,8 +66,6 @@ def run_once(n: int, duration: float, seed: int,
         # monitored system itself (repro.telemetry registries).
         "overhead": report.overhead,
     }
-    from repro.obs import health_section_from_overhead
-    record["health"] = health_section_from_overhead(report.overhead)
     if tracer is not None:
         from repro.tracing import latency_breakdown
         record["tracing"] = {
@@ -132,10 +129,11 @@ def main(argv: list[str] | None = None) -> int:
     record["repeats"] = args.repeats
     record["deterministic"] = deterministic
 
-    payload = {"benchmark": "chaos_recovery",
-               "schema_version": SCHEMA_VERSION, "results": [record]}
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    from repro.harness.benchreport import BenchReport
+    report = BenchReport("chaos_recovery",
+                         schema_version=SCHEMA_VERSION)
+    report.add(record)
+    report.write(args.output)
     print(f"wrote {args.output}")
     return 0 if deterministic else 1
 

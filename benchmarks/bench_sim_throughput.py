@@ -487,19 +487,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"critical-path "
                   f"{record['speedup_vs_single_critical_path']}x)")
 
-    from repro.obs import health_section_from_overhead
-    for record in results:
-        record["health"] = health_section_from_overhead(
-            record.get("overhead"))
-    payload = {
-        "benchmark": "sim_throughput",
-        "schema_version": SCHEMA_VERSION,
-        "sim_seconds": args.duration,
-        "host_cpus": os.cpu_count(),
-        "results": results,
-    }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    from repro.harness.benchreport import BenchReport
+    report = BenchReport("sim_throughput",
+                         schema_version=SCHEMA_VERSION,
+                         sim_seconds=args.duration,
+                         host_cpus=os.cpu_count())
+    report.extend(results)
+    report.write(args.output)
     print(f"wrote {args.output}")
     return 0
 

@@ -1,0 +1,19 @@
+"""Thin shim: the BENCH report builder lives in the package.
+
+Benchmark scripts run from a checkout (``python benchmarks/bench_*``)
+import ``report`` from their own directory; the implementation is
+:mod:`repro.harness.benchreport` so installed users and the harness
+CLI share the same builder.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.benchreport import (  # noqa: E402,F401
+    SCHEMA_VERSION, BenchReport)
+
+__all__ = ["SCHEMA_VERSION", "BenchReport"]

@@ -87,6 +87,15 @@ class Scenario:
         self._workers = 1
         self._workers_mode = "auto"
         self._lookahead: Optional[float] = None
+        self._experiments: list = []
+        self._engines: list = []
+        self._want_pool = False
+        self._pool_workers = 1
+        self._pool_watchers = None
+        self._pool_batch = None
+        self._pool_flow = None
+        self._pool_uvloop = False
+        self._pool_deployment = None
         self._cluster_hooks: list[Hook] = []
         self._setup_hooks: list[Hook] = []
         self._fault_hooks: list[Hook] = []
@@ -270,6 +279,59 @@ class Scenario:
         self._lookahead = lookahead
         return self
 
+    def with_experiment(self, *experiments) -> "Scenario":
+        """Attach declarative experiments (both backends).
+
+        Each :class:`repro.experiment.Experiment` spawns an engine on
+        its observer node that ticks the policy every
+        ``decide_interval`` seconds (virtual on sim, wall on live) and
+        applies its adaptations through the real control plane.  After
+        the run, :meth:`experiment_reports` returns one comparable
+        :class:`~repro.experiment.ExperimentReport` per experiment.
+        With no experiments attached nothing changes — the sim event
+        schedule (and the goldens pinned to it) is untouched.
+        """
+        self._check_mutable()
+        self._experiments.extend(experiments)
+        return self
+
+    def with_node_pool(self, workers: int = 2, *,
+                       watchers: Union[int, Sequence[str],
+                                       None] = None,
+                       batch=None, flow=None,
+                       uvloop: bool = False) -> "Scenario":
+        """Scale the live backend across worker processes (live only).
+
+        The cluster's hosts are partitioned contiguously; this process
+        keeps slice 0 (plus the registry server), each extra worker
+        forks with its own event loop over one slice
+        (:mod:`repro.live.pool`).  ``watchers`` bounds subscription
+        fan-in — an int means "the first k hosts", a sequence names
+        them; only those subscribe to the monitoring channel, so a
+        200-node pool opens O(nodes x watchers) sockets instead of
+        O(nodes^2).  ``batch`` (a
+        :class:`~repro.live.transport.BatchConfig`) coalesces frames
+        per destination, ``flow`` (a
+        :class:`~repro.live.transport.FlowConfig`) sets the
+        backpressure watermarks, and ``uvloop=True`` installs uvloop
+        when available.  ``workers=1`` keeps everything in-process but
+        still applies batch/flow/watchers.
+        """
+        self._check_mutable()
+        if self._backend != "live":
+            raise ScenarioError(
+                "node pools fork real processes; shard the simulator "
+                "with with_workers() instead")
+        if workers < 1:
+            raise ScenarioError(f"workers must be >= 1, got {workers}")
+        self._want_pool = True
+        self._pool_workers = int(workers)
+        self._pool_watchers = watchers
+        self._pool_batch = batch
+        self._pool_flow = flow
+        self._pool_uvloop = uvloop
+        return self
+
     # -- build and run -----------------------------------------------------
 
     def build(self) -> "Scenario":
@@ -302,11 +364,9 @@ class Scenario:
                 return self._run_sharded(duration)
             self.build()
             return self.run_until(self.env.now + duration)
-        from repro.live.runtime import LiveRuntime
         if self.runtime is not None:
             raise ScenarioError("a live scenario runs exactly once")
-        runtime = LiveRuntime(nodes=self._nodes, seed=self._seed,
-                              names=self._names)
+        runtime = self._make_live_runtime()
         runtime.setup(self._construct)
         self._duration = duration
         runtime.run(duration)
@@ -335,6 +395,10 @@ class Scenario:
     @property
     def backend(self) -> str:
         return self._backend
+
+    @property
+    def seed(self) -> int:
+        return self._seed
 
     @property
     def nodes(self) -> NodeGroup:
@@ -443,6 +507,22 @@ class Scenario:
         raise ScenarioError(
             "observability runs inline; no transition log exists yet")
 
+    def experiment_reports(self, *, duration: Optional[float] = None
+                           ) -> list:
+        """One :class:`~repro.experiment.ExperimentReport` per
+        attached experiment, in attach order (after the run)."""
+        if not self._experiments:
+            raise ScenarioError(
+                "no experiments attached; call with_experiment() "
+                "before build()/run()")
+        self._check_built()
+        from repro.experiment import build_report
+        workers = (self._workers if self._backend == "sim"
+                   else self._pool_workers)
+        return [build_report(self, engine, workers=workers,
+                             duration=duration)
+                for engine in self._engines]
+
     @property
     def shard_result(self):
         """Per-shard execution statistics (sharded runs only)."""
@@ -463,6 +543,40 @@ class Scenario:
         if self.runtime is None:
             raise ScenarioError("scenario not built yet; call build() "
                                 "or run() first")
+
+    def _make_live_runtime(self):
+        """Build the live runtime — plain, or the parent of a pool."""
+        from repro.live.runtime import LiveRuntime
+        if not self._want_pool:
+            return LiveRuntime(nodes=self._nodes, seed=self._seed,
+                               names=self._names)
+        from repro.live.pool import (LivePool, PoolDeployment,
+                                     partition_hosts)
+        names = self._global_names()
+        slices = partition_hosts(names, self._pool_workers)
+        runtime = LiveRuntime(
+            nodes=len(slices[0]), seed=self._seed, names=slices[0],
+            batch=self._pool_batch, flow=self._pool_flow,
+            use_uvloop=self._pool_uvloop)
+        monitored = self._monitor_hosts
+        if monitored is None:
+            monitored = names
+        elif isinstance(monitored, int):
+            monitored = names[:monitored]
+        watchers = self._pool_watchers
+        if isinstance(watchers, int):
+            watchers = tuple(names[:watchers])
+        elif watchers is not None:
+            watchers = tuple(watchers)
+        self._pool_deployment = PoolDeployment(
+            seed=self._seed, dmon=self._dmon, modules=self._modules,
+            all_names=tuple(names), monitored=tuple(monitored),
+            watchers=watchers, batch=self._pool_batch,
+            flow=self._pool_flow, use_uvloop=self._pool_uvloop)
+        if len(slices) > 1:
+            runtime.pool = LivePool(slices[1:],
+                                    self._pool_deployment)
+        return runtime
 
     def _resolve_hosts(self, group: NodeGroup) -> Optional[list[str]]:
         spec = self._monitor_hosts
@@ -496,10 +610,23 @@ class Scenario:
             self._stream_broker = StreamBroker(
                 sink=sink, max_len=self._stream_max_len)
             attach_stream(self._stream_broker, bus, runtime.nodes)
+        config_fn = None
+        if self._pool_deployment is not None:
+            from repro.live.pool import watcher_config_fn
+            config_fn = watcher_config_fn(
+                self._dmon, self._pool_deployment.watchers)
         self.dprocs = deploy_dproc(
             runtime.nodes, config=self._dmon, modules=self._modules,
             bus=bus, hosts=hosts,
-            module_factory=getattr(runtime, "module_factory", None))
+            module_factory=getattr(runtime, "module_factory", None),
+            config_fn=config_fn)
+        if self._pool_deployment is not None:
+            # The parent slice's /proc trees must show the whole
+            # cluster, including hosts that live in worker processes.
+            for dproc in self.dprocs.values():
+                for host in self._pool_deployment.all_names:
+                    if host not in dproc._mounted_hosts:
+                        dproc.add_cluster_node(host)
         if self._want_tracing:
             from repro.tracing import TraceCollector, attach_tracer
             self.tracer = (self._tracer_arg if self._tracer_arg
@@ -526,6 +653,13 @@ class Scenario:
                                            self._obs_plane,
                                            host=host, port=port)
                 runtime.add_server(self.scrape)
+        if self._experiments:
+            # After the frozen order for the same reason as the obs
+            # plane: engines add pure timer processes, so a scenario
+            # with no experiments keeps a bit-identical schedule.
+            for exp in self._experiments:
+                self._attach_experiment(exp, runtime.nodes,
+                                        runtime.clock)
 
     def _attach_obs(self, nodes, clock):
         """Build a plane over ``nodes`` and start its sampler."""
@@ -540,6 +674,24 @@ class Scenario:
         first = nodes[nodes.names[0]]
         first.spawn(plane.sampler(nodes, clock), name="obs-sampler")
         return plane, log
+
+    def _attach_experiment(self, exp, nodes, clock) -> None:
+        """Spawn one experiment engine on its observer node."""
+        from repro.experiment import ExperimentEngine
+        if not 0 <= exp.observer < len(nodes.names):
+            raise ScenarioError(
+                f"experiment {exp.name!r} observer index "
+                f"{exp.observer} out of range")
+        observer = nodes.names[exp.observer]
+        dproc = self.dprocs.get(observer)
+        if dproc is None:
+            raise ScenarioError(
+                f"experiment {exp.name!r} observer {observer!r} "
+                f"runs no dproc (check monitor_hosts)")
+        engine = ExperimentEngine(exp, dproc, clock)
+        self._engines.append(engine)
+        nodes[observer].spawn(engine.ticker(),
+                              name=f"experiment-{exp.name}")
 
     def _global_names(self) -> list[str]:
         if self._names is not None:
@@ -563,7 +715,8 @@ class Scenario:
                 "run has one fabric per worker")
         wants_inline = bool(self._setup_hooks or self._fault_hooks
                             or self._want_faults or self._want_tracing
-                            or self._want_stream or self._want_obs)
+                            or self._want_stream or self._want_obs
+                            or self._experiments)
         mode = self._workers_mode
         if mode == "auto":
             mode = "inline" if wants_inline else "processes"
@@ -624,5 +777,28 @@ class Scenario:
                                                   world.env)
                     self._shard_planes.append(plane)
                     self._shard_obs_logs.append(log)
+            if self._experiments:
+                # Same placement rule as the unsharded path; the
+                # engine lives in the observer's shard and adapts
+                # remote shards through the cross-shard conduit.
+                from repro.experiment import ExperimentEngine
+                for exp in self._experiments:
+                    if not 0 <= exp.observer < len(names):
+                        raise ScenarioError(
+                            f"experiment {exp.name!r} observer index "
+                            f"{exp.observer} out of range")
+                    observer = names[exp.observer]
+                    dproc = self.dprocs.get(observer)
+                    if dproc is None:
+                        raise ScenarioError(
+                            f"experiment {exp.name!r} observer "
+                            f"{observer!r} runs no dproc")
+                    world = next(w for w in runtime.worlds
+                                 if observer in w.cluster.names)
+                    engine = ExperimentEngine(exp, dproc, world.env)
+                    self._engines.append(engine)
+                    world.cluster[observer].spawn(
+                        engine.ticker(),
+                        name=f"experiment-{exp.name}")
         runtime.run(duration)
         return self

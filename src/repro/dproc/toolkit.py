@@ -276,6 +276,8 @@ def deploy_dproc(cluster: NodeGroup,
                  hosts: Optional[Iterable[str]] = None,
                  start: bool = True,
                  module_factory: Optional[ModuleFactory] = None,
+                 config_fn: Optional[Callable[[str],
+                                              DMonConfig]] = None,
                  ) -> dict[str, Dproc]:
     """Deploy dproc on every node (or a subset) of a cluster.
 
@@ -284,13 +286,18 @@ def deploy_dproc(cluster: NodeGroup,
     ``cluster`` is any :class:`~repro.runtime.protocol.NodeGroup` —
     a simulated :class:`~repro.sim.cluster.Cluster` or the live
     backend's node group (which supplies its own ``bus`` and
-    ``module_factory``).
+    ``module_factory``).  ``config_fn`` overrides ``config`` per host
+    (e.g. restricting which hosts subscribe to the monitoring channel
+    on large live pools).
     """
     bus = bus if bus is not None else KechoBus()
     names = list(hosts) if hosts is not None else cluster.names
     instances: dict[str, Dproc] = {}
     for name in names:
-        instances[name] = Dproc(cluster[name], bus, config, modules,
+        host_config = config_fn(name) if config_fn is not None \
+            else config
+        instances[name] = Dproc(cluster[name], bus, host_config,
+                                modules,
                                 module_factory=module_factory)
     for dproc in instances.values():
         for name in names:

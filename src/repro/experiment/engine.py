@@ -1,0 +1,120 @@
+"""The experiment engine: a backend-neutral decide/apply ticker.
+
+One :class:`ExperimentEngine` per attached experiment.  The engine is
+a process generator in the same style as the observability sampler
+(``yield clock.timeout(interval)``), so it runs natively on every
+backend: the simulator schedules it in virtual time (deterministic —
+same seed ⇒ identical decision schedule ⇒ identical report) and the
+live backend drives it as an asyncio task on the wall clock.
+
+Each tick the engine builds a :class:`~repro.experiment.policy
+.MetricView` over the observer's d-proc, asks the policy to decide,
+and applies every returned action as a ``/proc/cluster/<target>/
+control`` write — the real control plane on both backends (KECho
+control channel; TCP frames on live).  Every applied action lands in
+the adaptation audit trail with its tick time, trigger and rendered
+request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InterruptError
+from repro.experiment.policy import Action, MetricView, Policy
+
+__all__ = ["ExperimentEngine", "AdaptationEvent"]
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One applied adaptation, as recorded in the audit trail."""
+
+    time: float
+    policy: str
+    target: str
+    commands: str
+    reason: str
+    observed: float
+
+    def to_record(self) -> dict:
+        return {"time": self.time, "policy": self.policy,
+                "target": self.target, "commands": self.commands,
+                "reason": self.reason,
+                "observed": (None if math.isnan(self.observed)
+                             else self.observed)}
+
+
+@dataclass
+class _Quality:
+    """Last observed delivered-metric quality (updated every tick)."""
+
+    hosts_reporting: int = 0
+    mean_staleness: float = math.nan
+    ticks: int = 0
+
+
+class ExperimentEngine:
+    """Drives one experiment's policy against one running scenario."""
+
+    def __init__(self, experiment, dproc, clock) -> None:
+        self.experiment = experiment
+        self.policy: Policy = experiment.policy
+        self.dproc = dproc
+        self.clock = clock
+        self.targets = (list(experiment.targets)
+                        if experiment.targets is not None
+                        else dproc.hosts())
+        self.audit: list[AdaptationEvent] = []
+        self.decisions = 0
+        self.quality = _Quality()
+        self._state: dict = {}
+        self._started = False
+
+    # -- the ticker --------------------------------------------------------
+
+    def ticker(self):
+        """The decide/apply loop, as a process generator."""
+        exp = self.experiment
+        try:
+            if exp.warmup > 0:
+                yield self.clock.timeout(exp.warmup)
+            view = self._view()
+            self._apply(view, self.policy.initial(view))
+            self._started = True
+            while True:
+                view = self._view()
+                self._observe(view)
+                self.decisions += 1
+                self._apply(view, self.policy.decide(view,
+                                                     self._state))
+                yield self.clock.timeout(exp.decide_interval)
+        except InterruptError:  # teardown cancels the ticker
+            return
+
+    # -- internals ---------------------------------------------------------
+
+    def _view(self) -> MetricView:
+        return MetricView(self.dproc, self.targets, self.clock.now)
+
+    def _observe(self, view: MetricView) -> None:
+        metric = self.experiment.quality_metric
+        fresh = view.fresh_hosts(metric)
+        self.quality.hosts_reporting = len(fresh)
+        self.quality.ticks += 1
+        if fresh:
+            self.quality.mean_staleness = (
+                sum(view.staleness(h, metric) for h in fresh)
+                / len(fresh))
+
+    def _apply(self, view: MetricView, actions: list[Action]) -> None:
+        for action in actions:
+            self.dproc.write(
+                f"/proc/cluster/{action.target}/control",
+                action.request)
+            self.audit.append(AdaptationEvent(
+                time=view.now, policy=self.policy.name,
+                target=action.target,
+                commands=action.request.render(),
+                reason=action.reason, observed=action.observed))

@@ -8,7 +8,10 @@ asyncio localhost sockets (:mod:`repro.harness.livecli`);
 and trims the durable event stream (:mod:`repro.harness.streamcli`);
 ``python -m repro.harness obs [...]`` renders the time-series metrics
 plane — health, sparkline dashboards, OpenMetrics/JSON export, live
-watch (:mod:`repro.harness.obscli`).
+watch (:mod:`repro.harness.obscli`);
+``python -m repro.harness experiment [...]`` runs the declarative
+Experiment/Policy sweep (Figs. 12-14) on the sim, sharded, or live
+backend (:mod:`repro.harness.experimentcli`).
 """
 
 from __future__ import annotations
@@ -35,6 +38,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "obs":
         from repro.harness.obscli import main as obs_main
         return obs_main(argv[1:])
+    if argv and argv[0] == "experiment":
+        from repro.harness.experimentcli import main as exp_main
+        return exp_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the dproc paper's evaluation figures.")

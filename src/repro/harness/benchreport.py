@@ -1,0 +1,93 @@
+"""Shared builder for the ``BENCH_*.json`` report files.
+
+Every benchmark script used to assemble its own payload dict by hand;
+the three shapes drifted (indent, key order, where the ``health`` SLO
+section came from).  :class:`BenchReport` is the one place that knows
+the envelope::
+
+    {"benchmark": <name>, "schema_version": 2, <head fields...>,
+     <results_key>: [records...], <tail fields...>}
+
+and that every record carries a ``health`` section derived from its
+overhead summary (see :func:`repro.obs.health_section_from_overhead`).
+``benchmarks/bench_diff.py`` consumes this envelope: it matches records
+by ``variant`` or by ``n_nodes``/``workers``, so any record added here
+should carry one of those identities.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["SCHEMA_VERSION", "BenchReport"]
+
+#: Report format version: 2 added ``schema_version`` itself and the
+#: per-record ``health`` SLO section.
+SCHEMA_VERSION = 2
+
+_UNSET = object()
+
+
+class BenchReport:
+    """Accumulates benchmark records and writes the JSON envelope.
+
+    ``head`` keyword fields land between ``schema_version`` and the
+    results list (e.g. ``sim_seconds``, ``host_cpus``, ``config``);
+    fields added via :meth:`tail` land after it (e.g. the ablation
+    ``reduction`` summary).  Key order is insertion order, so existing
+    report shapes survive the refactor byte-for-byte.
+    """
+
+    def __init__(self, benchmark: str, *, results_key: str = "results",
+                 schema_version: int = SCHEMA_VERSION,
+                 **head: Any) -> None:
+        self.benchmark = benchmark
+        self.schema_version = schema_version
+        self.results_key = results_key
+        self._head = dict(head)
+        self._tail: dict[str, Any] = {}
+        self.records: list[dict] = []
+
+    # -- building ---------------------------------------------------------
+
+    def add(self, record: dict, *, overhead: Any = _UNSET) -> dict:
+        """Append one record, attaching its ``health`` section.
+
+        The SLO verdict is derived from ``overhead`` when given, else
+        from the record's own ``"overhead"`` key; a record that already
+        carries ``"health"`` is taken as-is.
+        """
+        if "health" not in record:
+            from repro.obs import health_section_from_overhead
+            source = overhead if overhead is not _UNSET \
+                else record.get("overhead")
+            record["health"] = health_section_from_overhead(source)
+        self.records.append(record)
+        return record
+
+    def extend(self, records: list) -> None:
+        for record in records:
+            self.add(record)
+
+    def tail(self, **fields: Any) -> None:
+        """Add top-level fields placed after the results list."""
+        self._tail.update(fields)
+
+    # -- output -----------------------------------------------------------
+
+    def payload(self) -> dict:
+        doc: dict[str, Any] = {"benchmark": self.benchmark,
+                               "schema_version": self.schema_version}
+        doc.update(self._head)
+        doc[self.results_key] = self.records
+        doc.update(self._tail)
+        return doc
+
+    def write(self, path: Path, *, indent: Optional[int] = 2) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.payload(), indent=indent)
+                        + "\n")
+        return path

@@ -122,7 +122,6 @@ def chaos_recovery(nodes: Optional[int] = None,
     view).  A sharded chaos run is deterministic for a fixed (seed,
     workers) but is a different event schedule from ``workers=1``: the
     observer probes cross-shard d-mon state at window granularity.
-    ``n_nodes`` is a deprecated alias for ``nodes``.
 
     ``stream=True`` additionally tees every channel submit, delivery
     and fault-plane drop into a durable event stream
@@ -140,9 +139,10 @@ def chaos_recovery(nodes: Optional[int] = None,
     window into degraded→recovered transitions on
     :attr:`ChaosReport.obs_plane`.  Also passive.
     """
-    from repro.deprecation import rename_kwarg
-    nodes = rename_kwarg("chaos_recovery", "n_nodes", n_nodes,
-                         "nodes", nodes)
+    if n_nodes is not None:
+        # The PR 5 alias is gone; fail loudly with the migration.
+        raise TypeError("chaos_recovery() no longer accepts "
+                        "'n_nodes'; pass nodes=... instead")
     n_nodes = 100 if nodes is None else nodes
 
     config = DMonConfig(poll_interval=poll_interval)

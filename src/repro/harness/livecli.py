@@ -52,6 +52,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve OpenMetrics /metrics and JSON "
                              "/healthz on this port while running "
                              "(0 picks a free port)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="node-pool worker processes; this "
+                             "process keeps the first host slice "
+                             "(default 1 = single process)")
+    parser.add_argument("--watchers", type=int, default=None,
+                        metavar="K",
+                        help="only the first K hosts subscribe to "
+                             "the monitoring channel (default: all "
+                             "hosts; essential at --nodes 100+)")
+    parser.add_argument("--batch", dest="batch", action="store_true",
+                        default=False,
+                        help="coalesce outgoing frames into BATCH "
+                             "super-frames")
+    parser.add_argument("--no-batch", dest="batch",
+                        action="store_false",
+                        help="disable frame batching (default)")
+    parser.add_argument("--batch-bytes", type=int, default=None,
+                        metavar="N",
+                        help="batch size watermark in bytes "
+                             "(implies --batch)")
+    parser.add_argument("--batch-delay", type=float, default=None,
+                        metavar="SEC",
+                        help="batch time watermark in seconds "
+                             "(implies --batch)")
+    parser.add_argument("--uvloop", action="store_true",
+                        help="install uvloop when available")
     args = parser.parse_args(argv)
     if args.nodes < 2:
         parser.error("--nodes must be >= 2 (the filter ships from "
@@ -60,6 +86,22 @@ def main(argv: list[str] | None = None) -> int:
     scenario = Scenario(nodes=args.nodes, seed=args.seed,
                         backend="live",
                         dmon=DMonConfig(poll_interval=args.poll))
+    want_batch = (args.batch or args.batch_bytes is not None
+                  or args.batch_delay is not None)
+    if (args.workers > 1 or want_batch or args.watchers is not None
+            or args.uvloop):
+        from repro.live.transport import BatchConfig
+        batch = None
+        if want_batch:
+            defaults = BatchConfig()
+            batch = BatchConfig(
+                max_bytes=args.batch_bytes
+                if args.batch_bytes is not None else defaults.max_bytes,
+                max_delay=args.batch_delay
+                if args.batch_delay is not None else defaults.max_delay)
+        scenario.with_node_pool(max(1, args.workers),
+                                watchers=args.watchers, batch=batch,
+                                uvloop=args.uvloop)
     if args.scrape is not None:
         scenario.with_observability(
             sample_interval=min(1.0, args.poll),
@@ -86,7 +128,9 @@ def main(argv: list[str] | None = None) -> int:
                                           source=HALVING_FILTER)]))
 
     scenario.with_setup(deploy_filter)
-    print(f"live: {args.nodes} nodes over localhost TCP, "
+    batching = "on" if want_batch else "off"
+    print(f"live: {args.nodes} nodes over localhost TCP "
+          f"({max(1, args.workers)} process(es), batching {batching}), "
           f"{args.duration:.0f}s wall, poll every {args.poll:g}s ...",
           flush=True)
     scenario.run(args.duration)
@@ -96,7 +140,9 @@ def main(argv: list[str] | None = None) -> int:
     delivered = {}
     for label, metric in DELIVERED_METRICS:
         rows = {}
-        for host in scenario.nodes.names:
+        # All mounted hosts, not just this process's slice — with a
+        # node pool this proves cross-process delivery end to end.
+        for host in observer.hosts():
             if host == first:
                 continue
             value = observer.metric(host, metric)
@@ -108,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
          "invocations": f.invocations, "outputs": f.total_outputs,
          "errors": f.errors}
         for f in deployed]
-    overhead = scenario.overhead(args.duration)
+    overhead = scenario.overhead()
+    wire = scenario.runtime.wire_stats()
     health = None
     if args.scrape is not None:
         health = scenario.obs.verdict()
@@ -116,22 +163,37 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json:
         doc = {"delivered": delivered, "filters": stats,
-               "overhead": overhead}
+               "overhead": overhead, "wire": wire}
         if health is not None:
             doc["health"] = health
         print(json.dumps(doc, indent=2))
         return _verdict(delivered)
 
     print(f"\ndelivered metrics as seen from {first}:")
-    width = max(len(h) for h in scenario.nodes.names)
     for label, rows in delivered.items():
+        shown = list(rows.items())
+        extra = ""
+        if len(shown) > 8:
+            extra = f"  ... ({len(shown) - 8} more)"
+            shown = shown[:8]
         cells = "  ".join(
             f"{host}={'-' if v is None else f'{v:.4g}'}"
-            for host, v in rows.items())
-        print(f"  {label:>4}: {cells}")
+            for host, v in shown)
+        print(f"  {label:>4}: {cells}{extra}")
     print(f"\nfilter on {second}: {stats}")
+    frames = wire.get("net.tx_frames", 0.0)
+    wire_frames = wire.get("net.tx_wire_frames", 0.0)
+    if frames:
+        saved = 100.0 * (1.0 - wire_frames / frames)
+        print(f"\nwire: {frames:.0f} frames in "
+              f"{wire_frames:.0f} wire writes "
+              f"({saved:.1f}% coalesced; "
+              f"{wire.get('net.tx_batches', 0.0):.0f} batches, "
+              f"{wire.get('net.backpressure_pauses', 0.0):.0f} "
+              f"backpressure pauses, "
+              f"{wire.get('net.backpressure_drops', 0.0):.0f} drops)")
     print(f"\noverhead report ({args.duration:.0f}s wall, "
-          f"{args.nodes} nodes):")
+          f"{overhead['n_nodes']} nodes):")
     print(json.dumps(overhead, indent=2))
     if health is not None:
         verdict = "healthy" if health["healthy"] else "DEGRADED"

@@ -30,13 +30,19 @@ where ``str`` is a u16 byte length followed by UTF-8 bytes.  Kinds:
   DeployFilter, RemoveFilter) as a compact JSON object (control
   traffic is rare; self-describing beats packed here).
 * ``JSON`` — any other JSON-serialisable payload.
+* ``BATCH`` — a super-frame coalescing many MONITOR/CONTROL/JSON
+  frames into one socket write: magic + kind, a u32 member count,
+  then each member as a complete length-prefixed frame.  The decoder
+  unwraps batches transparently (``FrameDecoder.feed`` returns the
+  member frame bodies), so :func:`decode_frame` never sees one;
+  nesting is rejected.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.dproc.metrics import MetricId
 from repro.errors import ChannelError
@@ -45,18 +51,24 @@ from repro.kecho.control import (ClearParameter, ControlMessage,
                                  SetParameter)
 from repro.kecho.event import ChannelEvent
 
-__all__ = ["encode_frame", "decode_frame", "FrameDecoder",
-           "MAGIC", "KIND_MONITOR", "KIND_CONTROL", "KIND_JSON",
-           "MAX_FRAME_BYTES"]
+__all__ = ["encode_frame", "decode_frame", "encode_batch",
+           "FrameDecoder", "MAGIC", "KIND_MONITOR", "KIND_CONTROL",
+           "KIND_JSON", "KIND_BATCH", "MAX_FRAME_BYTES",
+           "MAX_BATCH_FRAMES"]
 
 MAGIC = 0xEC05
 KIND_MONITOR = 1
 KIND_CONTROL = 2
 KIND_JSON = 3
+KIND_BATCH = 4
 
 #: Upper bound on one frame; protects the decoder from a corrupt or
-#: hostile length prefix.
+#: hostile length prefix.  A ``BATCH`` super-frame is bounded like any
+#: other frame, so a batch can never smuggle more than this through.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Upper bound on members per ``BATCH`` super-frame.
+MAX_BATCH_FRAMES = 4096
 
 _CONTROL_TYPES = {cls.__name__: cls for cls in
                   (SetParameter, ClearParameter, DeployFilter,
@@ -167,6 +179,10 @@ def decode_frame(frame: bytes) -> tuple[str, ChannelEvent]:
     magic, kind = _HEAD.unpack(reader.take(_HEAD.size))
     if magic != MAGIC:
         raise ChannelError(f"bad frame magic {magic:#x}")
+    if kind == KIND_BATCH:
+        raise ChannelError(
+            "BATCH super-frames must be unwrapped by FrameDecoder "
+            "before decode_frame")
     tag = reader.string()
     channel = reader.string()
     source = reader.string()
@@ -216,11 +232,44 @@ def decode_frame(frame: bytes) -> tuple[str, ChannelEvent]:
     return tag, event
 
 
+def encode_batch(frames: Sequence[bytes]) -> bytes:
+    """Coalesce complete length-prefixed frames into one super-frame.
+
+    ``frames`` are outputs of :func:`encode_frame` (length prefix
+    included); they are embedded verbatim, so unwrapping is the same
+    splitting loop the decoder already runs on the outer stream.
+    """
+    if not frames:
+        raise ChannelError("cannot encode an empty batch")
+    if len(frames) > MAX_BATCH_FRAMES:
+        raise ChannelError(
+            f"batch of {len(frames)} frames exceeds the "
+            f"{MAX_BATCH_FRAMES}-member bound")
+    body = b"".join([_HEAD.pack(MAGIC, KIND_BATCH),
+                     _U32.pack(len(frames))] + list(frames))
+    if len(body) > MAX_FRAME_BYTES:
+        raise ChannelError(
+            f"batch of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound")
+    return _U32.pack(len(body)) + body
+
+
 class FrameDecoder:
-    """Incremental splitter: feed stream chunks, get whole frames."""
+    """Incremental splitter: feed stream chunks, get whole frames.
+
+    ``BATCH`` super-frames are unwrapped transparently: ``feed``
+    returns their member frame bodies in wire order, never the batch
+    itself.  Zero-length frames, oversized frames/batches and nested
+    batches are protocol errors.
+    """
 
     def __init__(self) -> None:
         self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buf)
 
     def feed(self, data: bytes) -> list[bytes]:
         """Absorb ``data``; return every now-complete frame body."""
@@ -229,12 +278,62 @@ class FrameDecoder:
         buf = self._buf
         while len(buf) >= 4:
             (length,) = _U32.unpack(bytes(buf[:4]))
-            if length > MAX_FRAME_BYTES:
-                raise ChannelError(
-                    f"frame of {length} bytes exceeds the "
-                    f"{MAX_FRAME_BYTES}-byte bound")
+            self._check_length(length)
             if len(buf) < 4 + length:
                 break
-            frames.append(bytes(buf[4:4 + length]))
+            body = bytes(buf[4:4 + length])
             del buf[:4 + length]
+            if (length >= _HEAD.size
+                    and body[2] == KIND_BATCH
+                    and _U16.unpack(body[:2])[0] == MAGIC):
+                frames.extend(self._unwrap_batch(body))
+            else:
+                frames.append(body)
         return frames
+
+    def finish(self) -> None:
+        """Assert a clean end-of-stream.
+
+        Raises :class:`ChannelError` when the stream ended inside a
+        frame — a partial length header or a truncated body.
+        """
+        if self._buf:
+            raise ChannelError(
+                f"stream ended mid-frame ({len(self._buf)} trailing "
+                f"bytes buffered)")
+
+    @staticmethod
+    def _check_length(length: int) -> None:
+        if length == 0:
+            raise ChannelError("zero-length frame on the wire")
+        if length > MAX_FRAME_BYTES:
+            raise ChannelError(
+                f"frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte bound")
+
+    def _unwrap_batch(self, body: bytes) -> list[bytes]:
+        """Split one BATCH super-frame body into member frame bodies."""
+        reader = _Reader(body)
+        reader.take(_HEAD.size)  # magic/kind validated by the caller
+        (count,) = _U32.unpack(reader.take(4))
+        if count == 0:
+            raise ChannelError("empty BATCH super-frame")
+        if count > MAX_BATCH_FRAMES:
+            raise ChannelError(
+                f"BATCH of {count} members exceeds the "
+                f"{MAX_BATCH_FRAMES}-member bound")
+        members: list[bytes] = []
+        for _ in range(count):
+            (length,) = _U32.unpack(reader.take(4))
+            self._check_length(length)
+            member = reader.take(length)
+            if (length >= _HEAD.size
+                    and member[2] == KIND_BATCH
+                    and _U16.unpack(member[:2])[0] == MAGIC):
+                raise ChannelError("nested BATCH super-frame")
+            members.append(member)
+        if reader.pos != len(body):
+            raise ChannelError(
+                f"BATCH has {len(body) - reader.pos} trailing bytes "
+                f"after {count} members")
+        return members

@@ -95,7 +95,12 @@ class RegistryServer:
         self._writers[cid] = writer
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    # A client that vanishes mid-teardown (worker
+                    # process exit) is a normal departure, not noise.
+                    break
                 if not line:
                     break
                 try:
@@ -119,7 +124,12 @@ class RegistryServer:
                             "hosts": hosts, "channels": channels},
                            separators=(",", ":")) + "\n").encode()
         for writer in self._writers.values():
-            writer.write(line)
+            if writer.is_closing():
+                continue
+            try:
+                writer.write(line)
+            except (ConnectionError, OSError):
+                continue
 
 
 class RegistryClient:

@@ -26,8 +26,24 @@ from repro.live.clock import AsyncClock
 from repro.live.modules import host_module_factory
 from repro.live.node import LiveNode
 from repro.live.registry import RegistryClient, RegistryServer
+from repro.live.transport import BatchConfig, FlowConfig
 
-__all__ = ["LiveRuntime", "LiveNodeGroup"]
+__all__ = ["LiveRuntime", "LiveNodeGroup", "install_uvloop"]
+
+
+def install_uvloop() -> bool:
+    """Install the uvloop event-loop policy when available.
+
+    Optional dependency: returns False (and changes nothing) when
+    uvloop is not importable, so the stock asyncio loop keeps working
+    everywhere.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
 
 
 class LiveNodeGroup:
@@ -66,7 +82,10 @@ class LiveRuntime:
 
     def __init__(self, nodes: int = 4, seed: int = 0,
                  names: Optional[Sequence[str]] = None,
-                 registry: Optional[tuple[str, int]] = None) -> None:
+                 registry: Optional[tuple[str, int]] = None,
+                 batch: Optional[BatchConfig] = None,
+                 flow: Optional[FlowConfig] = None,
+                 use_uvloop: bool = False) -> None:
         if nodes < 1:
             raise ValueError("a live cluster needs at least one node")
         self.clock = AsyncClock()
@@ -77,7 +96,20 @@ class LiveRuntime:
         self._nodes = {
             name: LiveNode(name, self.clock, seed=seed, index=i)
             for i, name in enumerate(host_names)}
+        for node in self._nodes.values():
+            node.stack.batch_config = batch
+            if flow is not None:
+                node.stack.flow_config = flow
         self.nodes = LiveNodeGroup(self._nodes)
+        self._batch = batch
+        self._flow = flow
+        self._use_uvloop = use_uvloop
+        #: A :class:`repro.live.pool.LivePool` when this runtime is
+        #: the parent of a multi-process node pool (set by the
+        #: scenario facade before :meth:`run`).
+        self.pool = None
+        self.pool_harvests: list[dict] = []
+        self._duration = 0.0
         self._registry_addr = registry
         self._registry_server: Optional[RegistryServer] = None
         self.registry_client = RegistryClient()
@@ -101,7 +133,39 @@ class LiveRuntime:
 
     def run(self, until: float) -> None:
         """Bring the cluster up, run ``until`` wall seconds, tear down."""
+        self._duration = until
+        if self._use_uvloop:
+            install_uvloop()
         asyncio.run(self._main(until))
+
+    def overhead(self) -> dict:
+        """Cluster-wide overhead: this process merged with pool workers.
+
+        Shaped exactly like :func:`repro.telemetry.overhead_summary`
+        (worker summaries merge via
+        :func:`~repro.telemetry.merge_overhead_summaries`), so
+        ``Scenario.overhead()`` reports the whole pool.
+        """
+        from repro.telemetry import (merge_overhead_summaries,
+                                     overhead_summary)
+        span = self._duration or 1.0
+        local = overhead_summary(
+            {node.name: node.telemetry for node in self.nodes},
+            sim_seconds=span)
+        remote = [h["overhead"] for h in self.pool_harvests
+                  if h.get("overhead")]
+        if not remote:
+            return local
+        return merge_overhead_summaries([local] + remote)
+
+    def wire_stats(self) -> dict:
+        """Pool-wide transport counters (frames, batches, drops)."""
+        from repro.live.pool import pool_harvest
+        totals = dict(pool_harvest(self, self._duration or 1.0)["wire"])
+        for harvest in self.pool_harvests:
+            for name, value in harvest.get("wire", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
 
     def shutdown(self) -> None:
         """Everything real is torn down inside :meth:`run`."""
@@ -141,6 +205,12 @@ class LiveRuntime:
                 address = await node.stack.start()
                 node.stack.resolve = client.host_address
                 client.register_host(node.name, address)
+            if self.pool is not None:
+                # Fork the worker processes early, then wait for every
+                # worker's dprocs before parent-side setup hooks run
+                # (control writes must never race worker startup).
+                self.pool.start(registry_addr, until)
+                await self.pool.wait_ready()
             self.make_bus()
             for fn in self._setups:
                 fn(self)
@@ -151,6 +221,10 @@ class LiveRuntime:
             if remaining > 0:
                 await asyncio.sleep(remaining)
         finally:
+            if self.pool is not None:
+                # Workers harvest at their own teardown; the registry
+                # must stay up until they are gone.
+                self.pool_harvests = await self.pool.collect()
             await self._teardown()
 
     async def _teardown(self) -> None:

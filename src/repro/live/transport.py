@@ -7,23 +7,71 @@ writes length-prefixed codec frames.  The surface mirrors the
 simulator's ``NetStack`` exactly — ``bind``/``unbind`` a tag handler,
 ``connect`` for a :class:`LiveConnection`, ``batch`` as a no-op — so
 :class:`repro.kecho.channel.ChannelEndpoint` runs on it unchanged.
+
+Scaling machinery (all per-destination, owned by a shared
+:class:`_PeerLink` so every channel endpoint talking to the same host
+rides one socket):
+
+* **connection pooling** — ``connect(dst, tag)`` returns a thin
+  :class:`LiveConnection` facade over one pooled TCP link per
+  destination host, so a 200-node cluster needs O(nodes × watchers)
+  sockets instead of O(nodes × watchers × channels);
+* **frame batching** — with a :class:`BatchConfig`, outgoing frames
+  coalesce into ``BATCH`` super-frames flushed by size watermark
+  (``max_bytes``/``max_frames``) or time watermark (``max_delay``);
+* **sender-side backpressure** — write-buffer high/low watermarks
+  (:class:`FlowConfig`) wired into asyncio flow control: past the
+  high watermark the link pauses, frames park in a bounded deferral
+  queue drained when ``drain()`` reports the buffer back under the
+  low watermark; queue overflow *drops* the newest frame and reports
+  it through :attr:`LiveStack.drop_hook`, so the durable stream
+  records the loss and reconciliation stays zero-discrepancy.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import Any, Callable, Optional
 
-from repro.errors import TransportError
+from repro.errors import ChannelError, TransportError
 from repro.kecho.event import ChannelEvent
-from repro.live.codec import FrameDecoder, decode_frame, encode_frame
+from repro.live.codec import (FrameDecoder, decode_frame, encode_batch,
+                              encode_frame)
 from repro.runtime.series import CounterTrace
 
-__all__ = ["LiveStack", "LiveConnection", "LiveCompletion"]
+__all__ = ["LiveStack", "LiveConnection", "LiveCompletion",
+           "BatchConfig", "FlowConfig"]
 
 Resolver = Callable[[str], Optional[tuple[str, int]]]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Frame-coalescing watermarks for one stack's outgoing links."""
+
+    #: Flush when the coalesced frames reach this many bytes.
+    max_bytes: int = 32 * 1024
+    #: Flush at most this many seconds after the first queued frame.
+    max_delay: float = 0.05
+    #: Flush when this many frames are queued (bounded super-frames).
+    max_frames: int = 256
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Sender-side backpressure watermarks for one stack's links."""
+
+    #: Pause the link when the socket write buffer exceeds this.
+    high_watermark: int = 256 * 1024
+    #: ``drain()`` resumes the link once the buffer is back below this.
+    low_watermark: int = 64 * 1024
+    #: Frames parked while paused; overflow drops (and records) the
+    #: newest frame instead of buffering without bound.
+    max_deferred: int = 1024
 
 
 class LiveCompletion:
@@ -46,22 +94,32 @@ class LiveCompletion:
         fn(self)
 
 
-class LiveConnection:
-    """One logical connection to a remote host (lazily dialled).
+class _PeerLink:
+    """The pooled TCP link to one destination host (lazily dialled).
 
+    Owns the writer, the coalescing buffer and the flow-control state;
+    every :class:`LiveConnection` to the same host delegates here.
     Frames written before the TCP connect completes are buffered and
     flushed on connection; after a connection error every further send
     reports a failed completion (the publisher keeps running — delivery
     failure must never take d-mon down).
     """
 
-    def __init__(self, stack: "LiveStack", dst: str, tag: str) -> None:
+    def __init__(self, stack: "LiveStack", dst: str) -> None:
         self.stack = stack
         self.dst = dst
-        self.tag = tag
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: list[bytes] = []
         self._dead = False
+        self.refs = 0
+        # batching state
+        self._batch: list[bytes] = []
+        self._batch_bytes = 0
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        # backpressure state
+        self.paused = False
+        self._deferred: deque[tuple[bytes, ChannelEvent]] = deque()
+        self._drainer: Optional[asyncio.Task] = None
         self._opener = asyncio.ensure_future(self._open())
 
     async def _open(self) -> None:
@@ -75,44 +133,195 @@ class LiveConnection:
         except OSError:
             self._dead = True
             return
+        flow = self.stack.flow_config
+        if flow is not None:
+            writer.transport.set_write_buffer_limits(
+                high=flow.high_watermark, low=flow.low_watermark)
         self._writer = writer
         pending, self._pending = self._pending, []
-        for frame in pending:
-            writer.write(frame)
+        for data in pending:
+            self._write_out(data)
+
+    # -- send path ---------------------------------------------------------
+
+    def send(self, frame: bytes, event: ChannelEvent) -> bool:
+        """Queue one encoded frame; False when it is known lost."""
+        if self._dead:
+            return False
+        if self.paused:
+            flow = self.stack.flow_config
+            if flow is None or len(self._deferred) < flow.max_deferred:
+                self._deferred.append((frame, event))
+                self.stack._t_deferred.inc()
+                return True
+            self.stack._record_drop(event, self.dst)
+            return False
+        return self._enqueue(frame)
+
+    def _enqueue(self, frame: bytes) -> bool:
+        batch = self.stack.batch_config
+        if batch is None:
+            self._write_out(frame)
+            return not self._dead
+        self._batch.append(frame)
+        self._batch_bytes += len(frame)
+        if (self._batch_bytes >= batch.max_bytes
+                or len(self._batch) >= batch.max_frames):
+            self.flush()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                batch.max_delay, self._flush_timer)
+        return not self._dead
+
+    def _flush_timer(self) -> None:
+        self._flush_handle = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Write out the coalesced frames (one super-frame if > 1)."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._batch:
+            return
+        frames, self._batch = self._batch, []
+        self._batch_bytes = 0
+        if len(frames) == 1:
+            self._write_out(frames[0])
+            return
+        try:
+            data = encode_batch(frames)
+        except ChannelError:  # over-large batch: fall back frame-wise
+            for frame in frames:
+                self._write_out(frame)
+            return
+        self.stack._t_batches.inc()
+        self.stack._t_batched_frames.inc(len(frames))
+        self._write_out(data)
+
+    def _write_out(self, data: bytes) -> None:
+        """One wire write (a frame or a super-frame)."""
+        writer = self._writer
+        if writer is None:
+            self._pending.append(data)
+            return
+        if writer.transport.is_closing():
+            # The peer hung up (teardown); asyncio would log every
+            # further write as "socket.send() raised exception".
+            self._dead = True
+            return
+        try:
+            writer.write(data)
+        except Exception:
+            self._dead = True
+            return
+        # Counted only on a real socket write, so frames parked in
+        # ``_pending`` before the connect completes count once.
+        self.stack._t_wire_frames.inc()
+        self.stack._t_wire_bytes.inc(len(data))
+        self._check_watermark(writer)
+
+    def _check_watermark(self, writer: asyncio.StreamWriter) -> None:
+        flow = self.stack.flow_config
+        if flow is None or self.paused:
+            return
+        try:
+            size = writer.transport.get_write_buffer_size()
+        except Exception:  # pragma: no cover - transport torn down
+            return
+        if size > flow.high_watermark:
+            self.paused = True
+            self.stack._t_pauses.inc()
+            self._drainer = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        """Wait out the slow consumer, then replay deferred frames."""
+        writer = self._writer
+        if writer is None:  # pragma: no cover - paused before connect
+            self.paused = False
+            return
+        try:
+            await writer.drain()
+        except Exception:
+            self._dead = True
+            self.paused = False
+            return
+        self.paused = False
+        self.stack._t_resumes.inc()
+        while self._deferred and not self.paused and not self._dead:
+            frame, _event = self._deferred.popleft()
+            self._enqueue(frame)
+
+    # -- teardown ----------------------------------------------------------
+
+    def release(self) -> None:
+        """Drop one facade's reference (the pool owns the socket)."""
+        self.refs = max(0, self.refs - 1)
+
+    def close(self) -> None:
+        self._opener.cancel()
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._drainer is not None:
+            self._drainer.cancel()
+            self._drainer = None
+        # Best-effort final flush: coalesced and deferred frames go to
+        # the kernel buffer before the socket closes.
+        if self._writer is not None:
+            while self._deferred:
+                frame, _event = self._deferred.popleft()
+                self._batch.append(frame)
+            self.paused = False
+            self.flush()
+            self._writer.close()
+            self._writer = None
+        self._dead = True
+
+
+class LiveConnection:
+    """One logical connection to a remote host: a facade over the
+    stack's pooled per-destination :class:`_PeerLink`."""
+
+    def __init__(self, stack: "LiveStack", dst: str, tag: str) -> None:
+        self.stack = stack
+        self.dst = dst
+        self.tag = tag
+        self._link = stack._link_to(dst)
+        self._closed = False
 
     def send(self, payload: Any, size: float) -> LiveCompletion:
         """Encode and transmit one :class:`ChannelEvent`."""
         if not isinstance(payload, ChannelEvent):
             raise TransportError(
                 "live transport carries ChannelEvent frames only")
-        if self._dead:
+        if self._closed or self._link._dead:
             return LiveCompletion(ok=False)
         frame = encode_frame(self.tag, payload)
         now = self.stack.clock.now
         self.stack.bytes_out.add(now, float(len(frame)))
         self.stack._t_tx.inc(len(frame))
-        if self._writer is None:
-            self._pending.append(frame)
-        else:
-            try:
-                self._writer.write(frame)
-            except Exception:
-                self._dead = True
-                return LiveCompletion(ok=False)
-        return LiveCompletion(ok=True)
+        self.stack._t_frames.inc()
+        return LiveCompletion(ok=self._link.send(frame, payload))
 
     def close(self) -> None:
-        self._opener.cancel()
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
-        self._dead = True
+        if not self._closed:
+            self._closed = True
+            self._link.release()
 
 
 class LiveStack:
     """One node's TCP endpoint: server socket + tagged dispatch."""
 
-    def __init__(self, host: str, clock, telemetry) -> None:
+    #: Wired by ``repro.stream.attach_stream`` to the durable broker's
+    #: ``record_drop``; called as ``drop_hook(event, dest, reason,
+    #: now)`` for every frame the sender gives up on (backpressure
+    #: overflow), so live drops reconcile exactly like sim drops.
+    drop_hook: Optional[Callable] = None
+
+    def __init__(self, host: str, clock, telemetry,
+                 batch: Optional[BatchConfig] = None,
+                 flow: Optional[FlowConfig] = None) -> None:
         self.host = host
         self.clock = clock
         self.handlers: dict[str, Callable] = {}
@@ -121,12 +330,29 @@ class LiveStack:
         #: Host-name → (ip, port) lookup; wired to the registry client
         #: by the runtime before any connection is made.
         self.resolve: Resolver = lambda host: None
+        #: Outgoing transport tuning; set before the first ``connect``
+        #: (the runtime configures these from the scenario).
+        self.batch_config = batch
+        self.flow_config = flow if flow is not None else FlowConfig()
+        self._links: dict[str, _PeerLink] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self.bytes_in = CounterTrace(f"{host}:rx-bytes")
         self.bytes_out = CounterTrace(f"{host}:tx-bytes")
         self._t_tx = telemetry.counter("net.tx_frame_bytes")
         self._t_rx = telemetry.counter("net.rx_frame_bytes")
         self._t_undeliverable = telemetry.counter("net.undeliverable")
+        self._t_frames = telemetry.counter("net.tx_frames")
+        self._t_wire_frames = telemetry.counter("net.tx_wire_frames")
+        self._t_wire_bytes = telemetry.counter("net.tx_wire_bytes")
+        self._t_batches = telemetry.counter("net.tx_batches")
+        self._t_batched_frames = telemetry.counter(
+            "net.tx_batched_frames")
+        self._t_deferred = telemetry.counter(
+            "net.backpressure_deferred")
+        self._t_drops = telemetry.counter("net.backpressure_drops")
+        self._t_pauses = telemetry.counter("net.backpressure_pauses")
+        self._t_resumes = telemetry.counter("net.backpressure_resumes")
+        self._t_truncated = telemetry.counter("net.rx_truncated")
 
     # -- lifecycle --------------------------------------------------------
 
@@ -141,6 +367,9 @@ class LiveStack:
         for conn in self.connections:
             conn.close()
         self.connections.clear()
+        for link in self._links.values():
+            link.close()
+        self._links.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -167,6 +396,27 @@ class LiveStack:
         """No-op: real sockets need no bandwidth reallocation."""
         yield self
 
+    def flush(self) -> None:
+        """Force-flush every link's coalescing buffer (tests/teardown)."""
+        for link in self._links.values():
+            link.flush()
+
+    # -- internals ---------------------------------------------------------
+
+    def _link_to(self, dst: str) -> _PeerLink:
+        link = self._links.get(dst)
+        if link is None:
+            link = _PeerLink(self, dst)
+            self._links[dst] = link
+        link.refs += 1
+        return link
+
+    def _record_drop(self, event: ChannelEvent, dst: str) -> None:
+        self._t_drops.inc()
+        hook = self.drop_hook
+        if hook is not None:
+            hook(event, dst, "backpressure", self.clock.now)
+
     # -- receive path ------------------------------------------------------
 
     async def _serve(self, reader: asyncio.StreamReader,
@@ -174,8 +424,16 @@ class LiveStack:
         decoder = FrameDecoder()
         try:
             while True:
-                data = await reader.read(65536)
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionError, OSError):
+                    data = b""
                 if not data:
+                    if decoder.pending_bytes:
+                        # Partial header/body at EOF: the peer died
+                        # mid-frame.  Count it; the reconciler sees
+                        # the missing delivery.
+                        self._t_truncated.inc()
                     break
                 now = self.clock.now
                 self.bytes_in.add(now, float(len(data)))

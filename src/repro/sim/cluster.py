@@ -76,8 +76,7 @@ def build_cluster(env: Environment, nodes: Optional[int] = None,
     Parameters
     ----------
     nodes:
-        Cluster size (default 8, the paper's testbed).  ``n_nodes`` is
-        a deprecated alias.
+        Cluster size (default 8, the paper's testbed).
     config:
         Default hardware config for every node.
     node_configs:
@@ -86,9 +85,10 @@ def build_cluster(env: Environment, nodes: Optional[int] = None,
         Host names; defaults to the paper-style names, extended with
         ``nodeK`` beyond eight.
     """
-    from repro.deprecation import rename_kwarg
-    nodes = rename_kwarg("build_cluster", "n_nodes", n_nodes,
-                         "nodes", nodes)
+    if n_nodes is not None:
+        # The PR 5 alias is gone; fail loudly with the migration.
+        raise TypeError("build_cluster() no longer accepts "
+                        "'n_nodes'; pass nodes=... instead")
     n_nodes = 8 if nodes is None else nodes
     if n_nodes < 1:
         raise SimulationError("a cluster needs at least one node")

@@ -30,26 +30,30 @@ GOLDEN = Path(__file__).with_name("golden_span_tree.json")
 #: The pinned scenario: small cluster, head sampling on, two CPU-load
 #: steps that force a traced SmartPointer adaptation.
 SCENARIO = {
-    "n_nodes": 8,
+    "nodes": 8,
     "seed": 3,
     "duration": 12.0,
     "sample_rate": 0.5,
 }
 
 
+def _pinned_scenario() -> dict:
+    # The checked-in golden keeps the historical "n_nodes" key; only
+    # the serialized record translates back from the canonical kwarg.
+    doc = dict(SCENARIO)
+    doc["n_nodes"] = doc.pop("nodes")
+    return doc
+
+
 def build_record() -> dict:
-    # The pinned record keeps the historical "n_nodes" key; the call
-    # uses the canonical kwarg.
-    kwargs = dict(SCENARIO)
-    kwargs["nodes"] = kwargs.pop("n_nodes")
-    collector = run_trace_scenario(**kwargs)
+    collector = run_trace_scenario(**SCENARIO)
     # Pin the biggest complete tree: deterministic, and it exercises
     # the full module -> dmon -> kecho -> transport -> delivery ->
     # update fan-out.
     best = max((t for t in collector.trees() if t.complete),
                key=lambda t: (len(t.spans), t.trace_id))
     return _round({
-        "scenario": SCENARIO,
+        "scenario": _pinned_scenario(),
         "accounting": {
             "traces_started": collector.traces_started,
             "traces_sampled_out": collector.traces_sampled_out,
@@ -80,7 +84,7 @@ class TestGoldenSpanTree:
         """Fast guard (no simulation): the pin parses and the tree is
         a real end-to-end trace."""
         doc = json.loads(GOLDEN.read_text())
-        assert doc["scenario"] == _round(SCENARIO)
+        assert doc["scenario"] == _round(_pinned_scenario())
         acct = doc["accounting"]
         # Head sampling at 0.5 really dropped something.
         assert acct["traces_sampled_out"] > 0

@@ -34,7 +34,7 @@ from tests.golden.test_golden_trace import _round
 GOLDEN = Path(__file__).with_name("golden_topk.json")
 
 SCENARIO = {
-    "n_nodes": 50,
+    "nodes": 50,
     "seed": 11,
     "duration": 12.0,
     "poll_interval": 1.0,
@@ -49,9 +49,17 @@ def _governed(names: list[str]) -> list[str]:
     return names[::SCENARIO["governed_every"]]
 
 
+def _pinned_scenario() -> dict:
+    # The checked-in golden keeps the historical "n_nodes" key; only
+    # the serialized record translates back from the canonical kwarg.
+    doc = dict(SCENARIO)
+    doc["n_nodes"] = doc.pop("nodes")
+    return doc
+
+
 def build_record() -> dict:
     sc = Scenario(
-        nodes=SCENARIO["n_nodes"], seed=SCENARIO["seed"], backend="sim",
+        nodes=SCENARIO["nodes"], seed=SCENARIO["seed"], backend="sim",
         dmon=DMonConfig(poll_interval=SCENARIO["poll_interval"]),
         modules=tuple(SCENARIO["modules"]))
 
@@ -82,7 +90,7 @@ def build_record() -> dict:
             "dmon.records_published"),
     } for host in sc.nodes.names}
     return _round({
-        "scenario": SCENARIO,
+        "scenario": _pinned_scenario(),
         "proc_top": proc_top,
         "filters": filters,
         "accounting": accounting,
@@ -108,7 +116,7 @@ class TestGoldenTopK:
         filter is for — K pairs from governed hosts, full tables from
         the rest — and the record accounting reflects it."""
         doc = json.loads(GOLDEN.read_text())
-        assert doc["scenario"] == _round(SCENARIO)
+        assert doc["scenario"] == _round(_pinned_scenario())
         governed = set(doc["filters"])
         assert len(governed) * SCENARIO["governed_every"] \
             == doc["scenario"]["n_nodes"]

@@ -31,7 +31,7 @@ GOLDEN = Path(__file__).with_name("golden_trace.json")
 #: The pinned scenario: 50 nodes, lossy window, a partition and a
 #: crash/reboot, all inside 40 simulated seconds.
 SCENARIO = {
-    "n_nodes": 50,
+    "nodes": 50,
     "seed": 11,
     "duration": 40.0,
     "loss_probability": 0.3,
@@ -59,14 +59,18 @@ def _round(value):
     return value
 
 
+def _pinned_scenario() -> dict:
+    # The checked-in golden keeps the historical "n_nodes" key; only
+    # the serialized record translates back from the canonical kwarg.
+    doc = dict(SCENARIO)
+    doc["n_nodes"] = doc.pop("nodes")
+    return doc
+
+
 def build_record() -> dict:
-    # The pinned record keeps the historical "n_nodes" key; the call
-    # uses the canonical kwarg.
-    kwargs = dict(SCENARIO)
-    kwargs["nodes"] = kwargs.pop("n_nodes")
-    report = chaos_recovery(**kwargs)
+    report = chaos_recovery(**SCENARIO)
     return _round({
-        "scenario": SCENARIO,
+        "scenario": _pinned_scenario(),
         "victim": report.victim,
         "recovery_time": report.recovery_time,
         "rejoin_time": report.rejoin_time,
@@ -99,11 +103,11 @@ class TestGoldenTrace:
         """Fast guard (no simulation): the checked-in file parses and
         carries both halves of the pin — behaviour and telemetry."""
         doc = json.loads(GOLDEN.read_text())
-        assert doc["scenario"] == _round(SCENARIO)
+        assert doc["scenario"] == _round(_pinned_scenario())
         assert doc["events"], "pinned trace has no events"
         assert all(isinstance(t, (int, float)) and isinstance(d, str)
                    for t, d in doc["events"])
         overhead = doc["overhead"]
         assert overhead["source"] == "repro.telemetry"
-        assert overhead["n_nodes"] == SCENARIO["n_nodes"]
+        assert overhead["n_nodes"] == SCENARIO["nodes"]
         assert overhead["monitor_cpu_seconds"]["total"] > 0

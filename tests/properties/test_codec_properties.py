@@ -1,0 +1,138 @@
+"""Property-based tests for the live wire codec's framing layer.
+
+The invariant under test is the transport's whole correctness story:
+any sequence of events, grouped into BATCH super-frames any way the
+sender likes and delivered in any chunking the kernel likes, decodes
+to exactly the original events in order.  (The batching/backpressure
+machinery only ever changes *grouping* and *chunking* — never
+content — so this is the property that makes it safe.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.dproc import MetricId  # noqa: E402
+from repro.errors import ChannelError  # noqa: E402
+from repro.kecho.event import ChannelEvent  # noqa: E402
+from repro.live.codec import (FrameDecoder, decode_frame,  # noqa: E402
+                              encode_batch, encode_frame)
+
+FAST = settings(max_examples=60, deadline=None)
+
+_values = st.floats(min_value=-1e12, max_value=1e12,
+                    allow_nan=False, width=64)
+
+
+@st.composite
+def events(draw):
+    """Monitor, control-ish JSON, or arbitrary JSON payload events."""
+    which = draw(st.integers(0, 2))
+    source = draw(st.text(min_size=1, max_size=8))
+    channel = draw(st.text(min_size=1, max_size=12))
+    if which == 0:
+        metrics = {MetricId(m): (draw(_values), draw(_values))
+                   for m in draw(st.lists(
+                       st.sampled_from([int(m) for m in MetricId]),
+                       max_size=4, unique=True))}
+        payload = {"host": source, "metrics": metrics}
+        if draw(st.booleans()):
+            # Zero-row sections decode to absent keys by design, so
+            # only a non-empty table is expected to round-trip.
+            payload["proc_top"] = {
+                pid: draw(_values)
+                for pid in draw(st.lists(st.integers(0, 2**31),
+                                         min_size=1, max_size=3,
+                                         unique=True))}
+    elif which == 1:
+        payload = draw(st.dictionaries(
+            st.text(max_size=6),
+            st.one_of(st.integers(-2**31, 2**31), st.text(max_size=8),
+                      st.booleans(), st.none()),
+            max_size=4))
+    else:
+        payload = draw(st.lists(
+            st.one_of(st.integers(-100, 100), st.text(max_size=4)),
+            max_size=5))
+    return ChannelEvent(channel=channel, source=source,
+                        payload=payload, size=draw(_values),
+                        submitted_at=draw(_values))
+
+
+@st.composite
+def coalesced_streams(draw):
+    """Events, a random grouping into batches, a random chunking."""
+    evs = draw(st.lists(events(), min_size=1, max_size=12))
+    frames = [encode_frame(f"t{i}", ev) for i, ev in enumerate(evs)]
+    wire = bytearray()
+    i = 0
+    while i < len(frames):
+        group = draw(st.integers(1, len(frames) - i))
+        if group == 1 and draw(st.booleans()):
+            wire.extend(frames[i])            # sent as itself
+        else:
+            wire.extend(encode_batch(frames[i:i + group]))
+        i += group
+    cuts = sorted(draw(st.lists(
+        st.integers(1, max(1, len(wire) - 1)), max_size=8)))
+    chunks, prev = [], 0
+    for cut in cuts + [len(wire)]:
+        if cut > prev:
+            chunks.append(bytes(wire[prev:cut]))
+            prev = cut
+    return evs, chunks
+
+
+def _normalize(event: ChannelEvent):
+    return (event.channel, event.source, event.payload,
+            event.size, event.submitted_at)
+
+
+class TestCoalescedRoundTrip:
+    @FAST
+    @given(coalesced_streams())
+    def test_any_grouping_any_chunking_roundtrips(self, case):
+        evs, chunks = case
+        decoder = FrameDecoder()
+        bodies = []
+        for chunk in chunks:
+            bodies.extend(decoder.feed(chunk))
+        decoder.finish()
+        assert len(bodies) == len(evs)
+        for i, (body, original) in enumerate(zip(bodies, evs)):
+            tag, decoded = decode_frame(body)
+            assert tag == f"t{i}"
+            assert _normalize(decoded) == _normalize(original)
+
+    @FAST
+    @given(coalesced_streams())
+    def test_interrupted_stream_resumes_without_phantoms(self, case):
+        """A cut mid-stream yields only genuine prefix frames, and
+        feeding the remainder completes the run losslessly."""
+        evs, chunks = case
+        wire = b"".join(chunks)
+        cut = len(wire) // 2
+        decoder = FrameDecoder()
+        bodies = decoder.feed(wire[:cut])
+        assert len(bodies) <= len(evs)
+        for body, original in zip(bodies, evs):
+            _, decoded = decode_frame(body)
+            assert _normalize(decoded) == _normalize(original)
+        bodies.extend(decoder.feed(wire[cut:]))
+        decoder.finish()
+        assert len(bodies) == len(evs)
+
+    @FAST
+    @given(coalesced_streams())
+    def test_eof_inside_a_frame_is_an_error(self, case):
+        evs, chunks = case
+        wire = b"".join(chunks)
+        decoder = FrameDecoder()
+        decoder.feed(wire[:len(wire) - 1])
+        with pytest.raises(ChannelError):
+            decoder.finish()

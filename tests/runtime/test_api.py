@@ -1,22 +1,12 @@
-"""The Scenario facade and the deprecation shims."""
+"""The Scenario facade and the removed-alias guard rails."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 from repro.api import Scenario, ScenarioError
-from repro.deprecation import reset_deprecations
 from repro.dproc import MetricId
 from repro.sim import Environment, build_cluster
-
-
-@pytest.fixture(autouse=True)
-def _fresh_deprecations():
-    reset_deprecations()
-    yield
-    reset_deprecations()
 
 
 class TestBuildAndRun:
@@ -124,35 +114,18 @@ class TestHookOrder:
         assert seen and seen[0] is not None
 
 
-class TestDeprecationShims:
-    def test_n_nodes_warns_exactly_once(self):
-        env = Environment()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            build_cluster(env, n_nodes=2, seed=0)
-            build_cluster(Environment(), n_nodes=2, seed=0)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)
-                        and "n_nodes" in str(w.message)]
-        assert len(deprecations) == 1
-        assert "nodes=" in str(deprecations[0].message)
+class TestRemovedAliases:
+    """The PR 5 ``n_nodes`` shims are gone; the error says what to do."""
 
-    def test_n_nodes_still_works(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            cluster = build_cluster(Environment(), n_nodes=3, seed=0)
-        assert len(cluster) == 3
+    def test_build_cluster_rejects_n_nodes(self):
+        with pytest.raises(TypeError, match="nodes=..."):
+            build_cluster(Environment(), n_nodes=3, seed=0)
 
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="deprecated alias"):
-            build_cluster(Environment(), nodes=2, n_nodes=2)
-
-    def test_chaos_recovery_alias(self):
+    def test_chaos_recovery_rejects_n_nodes(self):
         from repro.harness.chaos import chaos_recovery
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            report = chaos_recovery(n_nodes=4, duration=10.0,
-                                    crash_at=4.0, reboot_at=7.0)
-        assert report.n_nodes == 4
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
+        with pytest.raises(TypeError, match="nodes=..."):
+            chaos_recovery(n_nodes=4, duration=10.0)
+
+    def test_deprecation_module_removed(self):
+        with pytest.raises(ImportError):
+            import repro.deprecation  # noqa: F401

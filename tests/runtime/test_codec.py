@@ -11,7 +11,8 @@ from repro.errors import ChannelError
 from repro.kecho.control import DeployFilter, SetParameter
 from repro.kecho.event import ChannelEvent
 from repro.live.codec import (FrameDecoder, MAGIC, MAX_FRAME_BYTES,
-                              decode_frame, encode_frame)
+                              decode_frame, encode_batch,
+                              encode_frame)
 
 
 def _roundtrip(tag: str, event: ChannelEvent):
@@ -169,3 +170,100 @@ class TestBadFrames:
             submitted_at=0.0)))[0]
         with pytest.raises(ChannelError):
             decode_frame(body[:-3])
+
+
+class TestBatch:
+    def _frames(self, n: int) -> list[bytes]:
+        return [encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={"i": i}, size=1.0,
+            submitted_at=float(i))) for i in range(n)]
+
+    def test_batch_unwraps_in_order(self):
+        batch = encode_batch(self._frames(5))
+        bodies = FrameDecoder().feed(batch)
+        assert [decode_frame(b)[1].payload["i"]
+                for b in bodies] == [0, 1, 2, 3, 4]
+
+    def test_mixed_stream_of_batches_and_singles(self):
+        frames = self._frames(6)
+        stream = (frames[0] + encode_batch(frames[1:4]) + frames[4]
+                  + encode_batch(frames[5:]))
+        bodies = FrameDecoder().feed(stream)
+        assert [decode_frame(b)[1].payload["i"]
+                for b in bodies] == [0, 1, 2, 3, 4, 5]
+
+    def test_batch_byte_at_a_time(self):
+        batch = encode_batch(self._frames(3))
+        decoder = FrameDecoder()
+        bodies = []
+        for i in range(len(batch)):
+            bodies.extend(decoder.feed(batch[i:i + 1]))
+        assert len(bodies) == 3
+        decoder.finish()
+
+    def test_decode_frame_refuses_batch_body(self):
+        batch = encode_batch(self._frames(2))
+        with pytest.raises(ChannelError, match="unwrapped"):
+            decode_frame(batch[4:])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ChannelError):
+            encode_batch([])
+
+    def test_member_bound_enforced(self):
+        from repro.live.codec import MAX_BATCH_FRAMES
+        frame = self._frames(1)[0]
+        with pytest.raises(ChannelError, match="bound"):
+            encode_batch([frame] * (MAX_BATCH_FRAMES + 1))
+
+    def test_nested_batch_rejected(self):
+        inner = encode_batch(self._frames(2))
+        outer = encode_batch([inner, self._frames(1)[0]])
+        with pytest.raises(ChannelError, match="nested"):
+            FrameDecoder().feed(outer)
+
+    def test_trailing_bytes_rejected(self):
+        batch = bytearray(encode_batch(self._frames(2)))
+        # Claim one member but carry two: trailing bytes after count.
+        struct.pack_into(">I", batch, 4 + 3, 1)
+        with pytest.raises(ChannelError, match="trailing"):
+            FrameDecoder().feed(bytes(batch))
+
+
+class TestDecoderHardening:
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ChannelError, match="zero-length"):
+            FrameDecoder().feed(struct.pack(">I", 0))
+
+    def test_finish_clean_at_frame_boundary(self):
+        frame = encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={}, size=1.0,
+            submitted_at=0.0))
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        decoder.finish()  # no residue -> no error
+
+    def test_finish_raises_on_partial_header(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00")
+        with pytest.raises(ChannelError, match="mid-frame"):
+            decoder.finish()
+
+    def test_finish_raises_on_partial_body(self):
+        frame = encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={}, size=1.0,
+            submitted_at=0.0))
+        decoder = FrameDecoder()
+        decoder.feed(frame[:-1])
+        with pytest.raises(ChannelError, match="mid-frame"):
+            decoder.finish()
+
+    def test_pending_bytes_tracks_buffer(self):
+        frame = encode_frame("t", ChannelEvent(
+            channel="c", source="s", payload={}, size=1.0,
+            submitted_at=0.0))
+        decoder = FrameDecoder()
+        decoder.feed(frame[:10])
+        assert decoder.pending_bytes == 10
+        decoder.feed(frame[10:])
+        assert decoder.pending_bytes == 0

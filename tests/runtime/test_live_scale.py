@@ -1,0 +1,311 @@
+"""Live-backend scaling machinery: batching, backpressure, node pool.
+
+Unit level: a :class:`_PeerLink` against fake writers pins the
+coalescing watermarks and the pause/defer/drop flow-control ladder.
+End to end: real sockets prove frames coalesce on the wire, a slow
+consumer trips the high watermark and resumes after drain, a
+multi-process node pool delivers every host's metrics, and a streamed
+run reconciles clean (backpressure drops are attributed, never
+silent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.kecho.event import ChannelEvent
+from repro.live.codec import FrameDecoder, decode_frame, encode_frame
+from repro.live.transport import (BatchConfig, FlowConfig, LiveStack,
+                                  _PeerLink)
+from repro.telemetry import TelemetryRegistry
+
+
+class _FakeTransport:
+    def __init__(self) -> None:
+        self.buffer = 0
+        self.closing = False
+        self.limits = None
+
+    def set_write_buffer_limits(self, high=None, low=None) -> None:
+        self.limits = (high, low)
+
+    def get_write_buffer_size(self) -> int:
+        return self.buffer
+
+    def is_closing(self) -> bool:
+        return self.closing
+
+
+class _FakeWriter:
+    """Counts writes into a pretend kernel buffer that drain() empties."""
+
+    def __init__(self) -> None:
+        self.transport = _FakeTransport()
+        self.writes: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.writes.append(data)
+        self.transport.buffer += len(data)
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)
+        self.transport.buffer = 0
+
+    def close(self) -> None:
+        self.transport.closing = True
+
+
+class _Clock:
+    now = 0.0
+
+
+def _event(i: int = 0) -> ChannelEvent:
+    return ChannelEvent(channel="c", source="s", payload={"i": i},
+                        size=32.0, submitted_at=float(i))
+
+
+def _frame(i: int = 0) -> bytes:
+    return encode_frame("t", _event(i))
+
+
+def _stack(batch=None, flow=None) -> LiveStack:
+    return LiveStack("alan", _Clock(), TelemetryRegistry("alan"),
+                     batch=batch, flow=flow)
+
+
+async def _link(stack: LiveStack, writer=None) -> _PeerLink:
+    """A link with the dial replaced by a fake (or absent) writer."""
+    link = _PeerLink(stack, "maui")
+    link._opener.cancel()
+    await asyncio.sleep(0)
+    link._writer = writer
+    return link
+
+
+class TestPeerLinkBatching:
+    def test_flush_on_frame_watermark(self):
+        async def run():
+            stack = _stack(batch=BatchConfig(max_bytes=1 << 30,
+                                             max_delay=60.0,
+                                             max_frames=3))
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            for i in range(3):
+                assert link.send(_frame(i), _event(i))
+            return stack, writer
+        stack, writer = asyncio.run(run())
+        assert len(writer.writes) == 1
+        bodies = FrameDecoder().feed(writer.writes[0])
+        assert [decode_frame(b)[1].payload["i"]
+                for b in bodies] == [0, 1, 2]
+        assert stack._t_batches.value == 1
+        assert stack._t_wire_frames.value == 1
+        assert stack._t_frames.value == 0  # counted by LiveConnection
+
+    def test_flush_on_byte_watermark(self):
+        async def run():
+            stack = _stack(batch=BatchConfig(
+                max_bytes=len(_frame(0)) + 1, max_delay=60.0,
+                max_frames=1000))
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            link.send(_frame(0), _event(0))
+            assert writer.writes == []          # still coalescing
+            link.send(_frame(1), _event(1))     # crosses max_bytes
+            return writer
+        writer = asyncio.run(run())
+        assert len(writer.writes) == 1
+        assert len(FrameDecoder().feed(writer.writes[0])) == 2
+
+    def test_flush_on_time_watermark(self):
+        async def run():
+            stack = _stack(batch=BatchConfig(max_bytes=1 << 30,
+                                             max_delay=0.01,
+                                             max_frames=1000))
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            link.send(_frame(0), _event(0))
+            link.send(_frame(1), _event(1))
+            assert writer.writes == []
+            await asyncio.sleep(0.05)
+            return writer
+        writer = asyncio.run(run())
+        assert len(writer.writes) == 1
+        assert len(FrameDecoder().feed(writer.writes[0])) == 2
+
+    def test_single_frame_flushes_as_itself(self):
+        async def run():
+            stack = _stack(batch=BatchConfig(max_delay=0.01))
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            link.send(_frame(7), _event(7))
+            await asyncio.sleep(0.05)
+            return stack, writer
+        stack, writer = asyncio.run(run())
+        assert len(writer.writes) == 1
+        # No BATCH wrapper for a lone frame: bytes are the frame.
+        assert writer.writes[0] == _frame(7)
+        assert stack._t_batches.value == 0
+
+    def test_preconnect_frames_counted_once(self):
+        async def run():
+            stack = _stack()
+            link = await _link(stack, writer=None)
+            link.send(_frame(0), _event(0))
+            link.send(_frame(1), _event(1))
+            assert stack._t_wire_frames.value == 0  # parked, not sent
+            writer = _FakeWriter()
+            link._writer = writer
+            pending, link._pending = link._pending, []
+            for data in pending:        # what _open() does on connect
+                link._write_out(data)
+            return stack, writer
+        stack, writer = asyncio.run(run())
+        assert len(writer.writes) == 2
+        assert stack._t_wire_frames.value == 2
+
+
+class TestPeerLinkBackpressure:
+    FLOW = FlowConfig(high_watermark=100, low_watermark=10,
+                      max_deferred=2)
+
+    def test_pause_defer_resume_preserves_order(self):
+        async def run():
+            stack = _stack(flow=self.FLOW)
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            big = encode_frame("t", ChannelEvent(
+                channel="c", source="s", payload={"x": "y" * 200},
+                size=1.0, submitted_at=0.0))
+            link.send(big, _event(0))          # buffer > high: pause
+            assert link.paused
+            assert stack._t_pauses.value == 1
+            assert link.send(_frame(1), _event(1))  # deferred
+            assert link.send(_frame(2), _event(2))
+            assert stack._t_deferred.value == 2
+            assert len(writer.writes) == 1     # nothing new on wire
+            await asyncio.sleep(0.01)          # drainer runs
+            return stack, writer
+        stack, writer = asyncio.run(run())
+        assert stack._t_resumes.value == 1
+        assert [decode_frame(FrameDecoder().feed(w)[0])[1]
+                .payload.get("i") for w in writer.writes[1:]] == [1, 2]
+
+    def test_overflow_drops_are_recorded_and_attributed(self):
+        async def run():
+            stack = _stack(flow=self.FLOW)
+            drops = []
+            stack.drop_hook = (
+                lambda event, dst, reason, now:
+                drops.append((event.payload.get("i"), dst, reason)))
+            writer = _FakeWriter()
+            link = await _link(stack, writer)
+            link.paused = True                 # as if past high water
+            assert link.send(_frame(1), _event(1))
+            assert link.send(_frame(2), _event(2))
+            assert not link.send(_frame(3), _event(3))  # queue full
+            return stack, drops
+        stack, drops = asyncio.run(run())
+        assert stack._t_drops.value == 1
+        assert drops == [(3, "maui", "backpressure")]
+
+    def test_dead_link_fails_sends_without_raising(self):
+        async def run():
+            stack = _stack()
+            link = await _link(stack, _FakeWriter())
+            link._dead = True
+            return link.send(_frame(0), _event(0))
+        assert asyncio.run(run()) is False
+
+
+class TestSlowConsumerLive:
+    """Real sockets: a peer that stops reading trips the watermark."""
+
+    def test_watermark_pause_and_resume(self):
+        async def run():
+            stack = _stack(flow=FlowConfig(high_watermark=16 * 1024,
+                                           low_watermark=4 * 1024,
+                                           max_deferred=8))
+            gate = asyncio.Event()
+
+            async def slow_peer(reader, writer):
+                await gate.wait()              # ... then drain it all
+                while await reader.read(1 << 16):
+                    pass
+
+            server = await asyncio.start_server(
+                slow_peer, "127.0.0.1", 0)
+            address = server.sockets[0].getsockname()[:2]
+            stack.resolve = lambda host: address
+            conn = stack.connect("maui", "t")
+            big = ChannelEvent(channel="c", source="s",
+                               payload={"x": "y" * 65536}, size=1.0,
+                               submitted_at=0.0)
+            for _ in range(200):               # ~13 MB at the peer
+                conn.send(big, size=1.0)
+                await asyncio.sleep(0)
+                if stack._t_pauses.value:
+                    break
+            assert stack._t_pauses.value >= 1, \
+                "slow consumer never tripped the high watermark"
+            gate.set()                         # peer starts reading
+            for _ in range(200):
+                await asyncio.sleep(0.02)
+                if stack._t_resumes.value:
+                    break
+            assert stack._t_resumes.value >= 1, \
+                "drain never resumed the link"
+            await stack.stop()
+            server.close()
+            await server.wait_closed()
+        asyncio.run(run())
+
+
+@pytest.mark.slow
+class TestLiveEndToEnd:
+    def test_batching_reduces_wire_frames(self):
+        import math
+        from repro.api import Scenario
+        from repro.dproc import DMonConfig, MetricId
+        sc = Scenario(nodes=3, seed=5, backend="live",
+                      dmon=DMonConfig(poll_interval=0.2))
+        sc.with_node_pool(1, batch=BatchConfig(max_delay=0.4))
+        sc.run(2.5)
+        wire = sc.runtime.wire_stats()
+        assert wire["net.tx_batches"] > 0
+        assert wire["net.tx_wire_frames"] < wire["net.tx_frames"]
+        # Content got there: a remote loadavg is cached at node 0.
+        observer = sc.dprocs[sc.nodes.names[0]]
+        assert not math.isnan(observer.metric(sc.nodes.names[1],
+                                              MetricId.LOADAVG))
+
+    def test_node_pool_delivers_all_hosts(self):
+        from repro.api import Scenario
+        from repro.dproc import DMonConfig, MetricId
+        import math
+        sc = Scenario(nodes=8, seed=3, backend="live",
+                      dmon=DMonConfig(poll_interval=0.25))
+        sc.with_node_pool(2)
+        sc.run(4.0)
+        observer = sc.dprocs[sc.nodes.names[0]]
+        missing = [host for host in observer.hosts()
+                   if host != sc.nodes.names[0]
+                   and math.isnan(observer.metric(host,
+                                                  MetricId.LOADAVG))]
+        assert not missing, f"no delivery from {missing}"
+        overhead = sc.overhead()
+        assert overhead["n_nodes"] == 8  # both processes merged
+
+    def test_streamed_live_run_reconciles_clean(self, tmp_path):
+        from repro.api import Scenario
+        from repro.dproc import DMonConfig
+        from repro.stream import reconcile
+        sc = Scenario(nodes=3, seed=9, backend="live",
+                      dmon=DMonConfig(poll_interval=0.25))
+        sc.with_node_pool(1, batch=BatchConfig(max_delay=0.3))
+        sc.with_stream(str(tmp_path / "stream"))
+        sc.run(2.5)
+        report = reconcile(sc.stream, sc.dprocs)
+        assert report.ok, report.render()
